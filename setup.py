@@ -1,0 +1,9 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+The environment has no `wheel` package and no index access, so pip's
+PEP 517 editable path (which builds a wheel) fails; this shim lets pip
+fall back to `setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

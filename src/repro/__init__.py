@@ -1,0 +1,35 @@
+"""Sweet KNN reproduction — TI-based KNN join on a simulated GPU.
+
+Reproduction of "Sweet KNN: An Efficient KNN on GPU through
+Reconciliation between Redundancy Removal and Regularity"
+(Chen, Ding, Shen — ICDE 2017).
+
+Quick start::
+
+    import numpy as np
+    from repro import knn_join
+
+    points = np.random.default_rng(0).normal(size=(2000, 16))
+    result = knn_join(points, points, k=10)   # Sweet KNN self-join
+    result.indices, result.distances
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from .core import METHODS, KNNResult, SweetKNN, knn_join, sweet_knn
+from .core.basic_gpu import basic_ti_knn
+from .core.ti_knn import ti_knn_join
+from .baselines import brute_force_knn, cublas_knn, kdtree_knn
+from .datasets import load as load_dataset
+from .gpu import DeviceSpec, tesla_k20c
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
+    "basic_ti_knn", "ti_knn_join",
+    "brute_force_knn", "cublas_knn", "kdtree_knn",
+    "load_dataset", "DeviceSpec", "tesla_k20c",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Baselines: exact brute force, the CUBLAS-style GPU KNN, KD-tree."""
+
+from .brute_force import brute_force_knn
+from .cublas_knn import cublas_knn, plan_partitions
+from .kdtree import KDTree, kdtree_knn
+
+__all__ = ["brute_force_knn", "cublas_knn", "plan_partitions", "KDTree",
+           "kdtree_knn"]

@@ -1,0 +1,9 @@
+"""Benchmark harness: run records, paper values, table reporting."""
+
+from . import paper
+from .harness import (EXPERIMENT_SEED, RunRecord, clear_cache, run_method,
+                      speedup_over_baseline)
+from .reporting import emit, format_table
+
+__all__ = ["paper", "EXPERIMENT_SEED", "RunRecord", "clear_cache",
+           "run_method", "speedup_over_baseline", "emit", "format_table"]

@@ -1,0 +1,92 @@
+"""ASCII figure rendering for the reproduced paper charts.
+
+The benchmarks emit paper-style *tables*; the figures in the paper are
+bar/line charts, so this module renders the same series as aligned
+horizontal ASCII bars — enough to eyeball the paper's shapes (who
+wins, where the peak sits) straight from ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_chart"]
+
+_BAR = "#"
+_WIDTH = 48
+
+
+def _scaled(value, top, width):
+    if top <= 0 or value is None or value <= 0:
+        return 0
+    return max(1, int(round(width * value / top)))
+
+
+def bar_chart(title, labels, values, unit="x", width=_WIDTH):
+    """One horizontal bar per label.
+
+    >>> print(bar_chart("t", ["a", "b"], [1.0, 2.0]))  # doctest: +SKIP
+    """
+    top = max((v for v in values if v is not None), default=0)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title, "-" * len(title)]
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append("%s  %s" % (str(label).ljust(label_width), "(n/a)"))
+            continue
+        bar = _BAR * _scaled(value, top, width)
+        lines.append("%s  %s %.2f%s"
+                     % (str(label).ljust(label_width), bar, value, unit))
+    return "\n".join(lines) + "\n"
+
+
+def grouped_bar_chart(title, labels, series, unit="x", width=_WIDTH):
+    """Several named series per label (e.g. KNN-TI vs Sweet per
+    dataset, like Fig. 9).
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to a list of values aligned with
+        ``labels``.
+    """
+    top = max((v for values in series.values() for v in values
+               if v is not None), default=0)
+    label_width = max(len(str(label)) for label in labels)
+    name_width = max(len(name) for name in series)
+    lines = [title, "-" * len(title)]
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            prefix = (str(label).ljust(label_width) if j == 0
+                      else " " * label_width)
+            if value is None:
+                lines.append("%s %s  (n/a)"
+                             % (prefix, name.ljust(name_width)))
+                continue
+            bar = _BAR * _scaled(value, top, width)
+            lines.append("%s %s  %s %.2f%s"
+                         % (prefix, name.ljust(name_width), bar, value,
+                            unit))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def series_chart(title, x_labels, values, unit="x", width=_WIDTH,
+                 mark_peak=True):
+    """A parameter sweep (Figs. 10-12): one bar per x value, with the
+    peak marked — the shape the paper's line charts convey."""
+    top = max((v for v in values if v is not None), default=0)
+    label_width = max(len(str(x)) for x in x_labels)
+    peak = None
+    if mark_peak and top > 0:
+        peak = max(range(len(values)),
+                   key=lambda i: -1 if values[i] is None else values[i])
+    lines = [title, "-" * len(title)]
+    for i, (x, value) in enumerate(zip(x_labels, values)):
+        if value is None:
+            lines.append("%s  (n/a)" % str(x).ljust(label_width))
+            continue
+        bar = _BAR * _scaled(value, top, width)
+        marker = "  <- peak" if peak == i else ""
+        lines.append("%s  %s %.2f%s%s"
+                     % (str(x).ljust(label_width), bar, value, unit, marker))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""Experiment harness: run, cache and tabulate paper experiments.
+
+Every benchmark regenerates one of the paper's tables or figures.
+Several experiments share runs (Fig. 9 and Table IV profile the same
+k=20 joins), so runs are memoised per process by their full
+configuration.
+
+The central entry point is :func:`run_method`, which executes one
+(dataset, method, k, options) combination on the dataset's scaled
+device and returns a :class:`RunRecord` of everything the experiments
+report: simulated time, saved computations, level-2 warp efficiency
+and the adaptive decisions taken.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.cublas_knn import cublas_knn
+from ..core.basic_gpu import basic_ti_knn
+from ..core.sweet import sweet_knn
+from ..datasets import load
+
+__all__ = ["RunRecord", "run_method", "speedup_over_baseline",
+           "clear_cache"]
+
+_CACHE = {}
+_DATA_CACHE = {}
+
+#: Landmark-selection seed shared by all experiment runs.
+EXPERIMENT_SEED = 1
+
+
+@dataclass
+class RunRecord:
+    """Everything one experiment run reports."""
+
+    dataset: str
+    method: str
+    k: int
+    sim_time_s: float
+    wall_time_s: float
+    saved_fraction: float
+    warp_efficiency: float
+    decisions: dict = field(default_factory=dict)
+    result: object = None
+
+
+def _dataset(name):
+    if name not in _DATA_CACHE:
+        points, spec = load(name)
+        _DATA_CACHE[name] = (points, spec)
+    return _DATA_CACHE[name]
+
+
+def run_method(dataset, method, k, **options):
+    """Run one method on one stand-in; memoised per configuration.
+
+    Parameters
+    ----------
+    dataset:
+        Stand-in name from :func:`repro.datasets.names`.
+    method:
+        ``"cublas"``, ``"basic"`` or ``"sweet"``.
+    k:
+        Neighbours per query (self-join, like the paper).
+    options:
+        Extra engine options (``force_filter``, ``threads_per_query``,
+        ``mq``/``mt``, ``remap``, ``force_layout``, ...).
+
+    Returns
+    -------
+    RunRecord
+    """
+    key = (dataset, method, k, tuple(sorted(options.items())))
+    if key in _CACHE:
+        return _CACHE[key]
+
+    points, spec = _dataset(dataset)
+    device = spec.device()
+    rng = np.random.default_rng(EXPERIMENT_SEED)
+
+    start = time.perf_counter()
+    if method == "cublas":
+        result = cublas_knn(points, points, k, device=device, **options)
+    elif method == "basic":
+        result = basic_ti_knn(points, points, k, rng, device=device,
+                              **options)
+    elif method == "sweet":
+        result = sweet_knn(points, points, k, rng, device=device, **options)
+    else:
+        raise ValueError("unknown bench method: %r" % (method,))
+    wall = time.perf_counter() - start
+
+    record = RunRecord(
+        dataset=dataset, method=method, k=k,
+        sim_time_s=result.profile.sim_time_s,
+        wall_time_s=wall,
+        saved_fraction=result.stats.saved_fraction,
+        warp_efficiency=result.profile.filter_warp_efficiency(),
+        decisions=dict(result.stats.extra),
+        result=result,
+    )
+    _CACHE[key] = record
+    return record
+
+
+def speedup_over_baseline(dataset, method, k, **options):
+    """Simulated-time speedup of ``method`` over the CUBLAS baseline."""
+    baseline = run_method(dataset, "cublas", k)
+    contender = run_method(dataset, method, k, **options)
+    return baseline.sim_time_s / contender.sim_time_s
+
+
+def clear_cache():
+    """Drop memoised runs (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,92 @@
+"""The paper's reported numbers, for side-by-side bench output.
+
+Values transcribed from the evaluation section (Section V) of
+"Sweet KNN" (ICDE 2017).  Speedups are over the CUBLAS-style baseline
+with k=20 and query set = target set unless noted.  Figure values are
+read off the published charts, so they carry chart-reading precision.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG9_SPEEDUPS", "TABLE4_PROFILE", "FIG10_K_SWEEPS",
+    "TABLE5_FILTER_STRENGTH", "FIG11_LANDMARK_PEAK", "FIG12_TPQ_PEAK",
+    "DATASET_ORDER",
+]
+
+DATASET_ORDER = ["3dnet", "kegg", "keggd", "ipums", "skin", "arcene",
+                 "kdd", "dor", "blog"]
+
+#: Fig. 9 — overall speedups over the baseline (basic KNN-TI, Sweet).
+FIG9_SPEEDUPS = {
+    "3dnet": (22.0, 44.0),
+    "kegg": (1.7, 5.7),
+    "keggd": (2.1, 4.6),
+    "ipums": (1.2, 5.2),
+    "skin": (15.0, 24.0),
+    "arcene": (0.9, 9.2),
+    "kdd": (1.2, 4.2),
+    "dor": (0.9, 5.6),
+    "blog": (0.85, 2.3),
+}
+
+#: Table IV — (saved computations, warp efficiency) for KNN-TI / Sweet.
+TABLE4_PROFILE = {
+    "3dnet": {"basic": (0.997, 0.163), "sweet": (0.997, 0.294)},
+    "kegg": {"basic": (0.995, 0.087), "sweet": (0.995, 0.424)},
+    "keggd": {"basic": (0.995, 0.101), "sweet": (0.995, 0.355)},
+    "ipums": {"basic": (0.994, 0.118), "sweet": (0.994, 0.333)},
+    "skin": {"basic": (0.997, 0.196), "sweet": (0.997, 0.412)},
+    "arcene": {"basic": (0.269, 0.595), "sweet": (0.0182, 0.898)},
+    "kdd": {"basic": (0.996, 0.071), "sweet": (0.996, 0.574)},
+    "dor": {"basic": (0.915, 0.209), "sweet": (0.701, 0.786)},
+    "blog": {"basic": (0.995, 0.212), "sweet": (0.995, 0.353)},
+}
+
+#: Fig. 10 — Sweet KNN speedup per k (chart-read; notable callouts:
+#: 120x at k=1 on 3dnet, 77x and 52x on the other annotated bars;
+#: arcene has no k=512 point).
+FIG10_K_SWEEPS = {
+    "k_values": [1, 8, 20, 64, 512],
+    "3dnet": [120.0, 60.0, 44.0, 23.5, 35.3],
+    "kegg": [8.0, 6.5, 5.7, 1.3, 6.3],
+    "keggd": [6.0, 5.0, 4.6, 2.7, 5.8],
+    "ipums": [7.0, 6.0, 5.2, 10.9, 14.1],
+    "skin": [40.0, 30.0, 24.0, 10.3, 23.2],
+    "arcene": [10.0, 9.5, 9.2, 8.0, None],
+    "kdd": [6.0, 5.0, 4.2, 5.9, 30.5],
+    "dor": [6.5, 6.0, 5.6, 5.0, 4.0],
+    "blog": [3.0, 2.5, 2.3, 2.0, 3.5],
+}
+
+#: Table V — k=512 on the k/d>8 datasets: saved computations and
+#: speedup for the full vs the partial level-2 filter.
+TABLE5_FILTER_STRENGTH = {
+    "3dnet": {"full": (0.99, 23.5), "partial": (0.96, 35.3)},
+    "kegg": {"full": (0.98, 1.3), "partial": (0.97, 6.3)},
+    "keggd": {"full": (0.98, 2.7), "partial": (0.97, 5.8)},
+    "ipums": {"full": (0.98, 10.9), "partial": (0.95, 14.1)},
+    "skin": {"full": (0.99, 10.3), "partial": (0.96, 23.2)},
+    "kdd": {"full": (0.99, 5.9), "partial": (0.98, 30.5)},
+}
+
+#: Fig. 11 — the landmark-count sweep peaks near the 3*sqrt(N) rule
+#: (~745 for the ~60k-point datasets; scaled stand-ins peak near
+#: 3*sqrt(n) correspondingly).
+FIG11_LANDMARK_PEAK = {
+    "counts": [100, 200, 400, 800, 1600, 3200],
+    "paper_rule": "3*sqrt(N) ~= 745 for ~60k points",
+    "kegg_speedups": [2.8, 3.6, 4.4, 4.7, 3.9, 2.9],
+    "keggd_speedups": [2.5, 3.2, 3.9, 4.1, 3.4, 2.6],
+    "blog_speedups": [1.5, 1.8, 2.1, 2.2, 1.9, 1.5],
+}
+
+#: Fig. 12 — threads-per-query sweeps peak near the adaptive choice
+#: (~66 for arcene, ~4 for dor).
+FIG12_TPQ_PEAK = {
+    "tpq_values": [2, 4, 8, 16, 32, 64, 128, 256],
+    "arcene_adaptive_choice": 66,
+    "dor_adaptive_choice": 4,
+    "arcene_speedups": [2.0, 3.5, 5.5, 7.5, 8.8, 9.3, 7.0, 4.5],
+    "dor_speedups": [5.0, 5.6, 5.2, 4.5, 3.8, 3.0, 2.2, 1.5],
+}

@@ -1,0 +1,68 @@
+"""Plain-text tables for bench output, paper value beside measured."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["format_table", "emit"]
+
+#: Directory the benchmark suite writes its tables into.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def format_table(title, headers, rows, notes=()):
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    title:
+        Table caption (e.g. ``"Figure 9 — overall speedups"``).
+    headers:
+        Column names.
+    rows:
+        Sequence of row sequences; cells are str()-ed.
+    notes:
+        Footnote lines appended under the table.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts):
+        return "  ".join(part.ljust(width)
+                         for part, width in zip(parts, widths)).rstrip()
+
+    out = [title, "=" * len(title), line(headers),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    for note in notes:
+        out.append("  " + note)
+    return "\n".join(out) + "\n"
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return "%.0f" % cell
+        if abs(cell) >= 1:
+            return "%.2f" % cell
+        return "%.3f" % cell
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def emit(name, text):
+    """Print a table and persist it under ``benchmarks/results/``."""
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

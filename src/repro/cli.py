@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One KNN join on a dataset stand-in (or a synthetic mixture) with a
+    chosen engine; prints the result profile.
+``compare``
+    All three GPU engines on one dataset, side by side with speedups.
+``datasets``
+    The Table III stand-in registry with scales and device parameters.
+``adaptive``
+    What the Fig. 8 adaptive scheme decides for a problem shape,
+    without running the join.
+
+Examples
+--------
+::
+
+    python -m repro run --dataset kegg -k 20
+    python -m repro run --n 5000 --dim 32 -k 10 --method ti-gpu
+    python -m repro compare --dataset skin -k 20
+    python -m repro adaptive --n 100 --dim 10000 -k 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import knn_join
+from .bench.reporting import format_table
+from .core.adaptive import decide
+from .core.ti_knn import prepare_clusters
+from .datasets import DATASETS, load, names
+from .datasets.synthetic import gaussian_mixture
+from .gpu.device import tesla_k20c
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sweet KNN (ICDE 2017) reproduction on a simulated "
+                    "Tesla K20c")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one KNN join")
+    _data_args(run)
+    run.add_argument("--method", default="sweet",
+                     choices=["sweet", "ti-gpu", "ti-cpu", "cublas",
+                              "brute", "kdtree"])
+    run.add_argument("--check", action="store_true",
+                     help="also run brute force and verify exactness")
+
+    compare = sub.add_parser("compare",
+                             help="baseline vs KNN-TI vs Sweet KNN")
+    _data_args(compare)
+
+    sub.add_parser("datasets", help="list the Table III stand-ins")
+
+    adaptive = sub.add_parser(
+        "adaptive", help="show the Fig. 8 decisions for a problem shape")
+    _data_args(adaptive)
+
+    return parser
+
+
+def _data_args(parser):
+    parser.add_argument("--dataset", choices=names(),
+                        help="a Table III stand-in")
+    parser.add_argument("--n", type=int, default=2000,
+                        help="points for a synthetic mixture (no --dataset)")
+    parser.add_argument("--dim", type=int, default=16,
+                        help="dimensions for a synthetic mixture")
+    parser.add_argument("-k", type=int, default=20,
+                        help="neighbours per query")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="landmark-selection seed")
+
+
+def _load_points(args):
+    if args.dataset:
+        points, spec = load(args.dataset)
+        return points, spec.device(), args.dataset
+    rng = np.random.default_rng(args.seed)
+    points = gaussian_mixture(args.n, args.dim, rng,
+                              n_clusters=max(4, args.n // 100),
+                              intrinsic_dim=min(args.dim, 8))
+    return points, tesla_k20c(), "synthetic(n=%d,d=%d)" % (args.n, args.dim)
+
+
+def _profile_row(label, result, baseline=None):
+    speedup = (baseline.sim_time_s / result.sim_time_s
+               if baseline is not None else None)
+    return [label, result.sim_time_s * 1e3,
+            100 * result.stats.saved_fraction,
+            100 * result.profile.filter_warp_efficiency()
+            if result.profile else None,
+            speedup]
+
+
+def cmd_run(args, out):
+    points, device, name = _load_points(args)
+    result = knn_join(points, points, args.k, method=args.method,
+                      seed=args.seed, device=device
+                      if args.method in ("sweet", "ti-gpu", "cublas")
+                      else None)
+    out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
+    if result.sim_time_s is not None:
+        out.write("simulated K20c time: %.3f ms\n"
+                  % (result.sim_time_s * 1e3))
+    out.write("distance computations: %d (saved %.2f%%)\n" % (
+        result.stats.level2_distance_computations,
+        100 * result.stats.saved_fraction))
+    if result.stats.extra:
+        out.write("decisions: %s\n" % (result.stats.extra,))
+    if args.check:
+        oracle = knn_join(points, points, args.k, method="brute")
+        out.write("exact vs brute force: %s\n" % result.matches(oracle))
+    return 0
+
+
+def cmd_compare(args, out):
+    points, device, name = _load_points(args)
+    baseline = knn_join(points, points, args.k, method="cublas",
+                        device=device)
+    rows = [_profile_row("cublas baseline", baseline, baseline)]
+    for method, label in (("ti-gpu", "basic KNN-TI"), ("sweet", "Sweet KNN")):
+        result = knn_join(points, points, args.k, method=method,
+                          seed=args.seed, device=device)
+        if not result.matches(baseline):
+            out.write("WARNING: %s disagrees with the baseline\n" % label)
+        rows.append(_profile_row(label, result, baseline))
+    out.write(format_table(
+        "%s: k=%d (simulated Tesla K20c)" % (name, args.k),
+        ["engine", "sim ms", "saved %", "level-2 warp eff %",
+         "speedup(x)"], rows))
+    return 0
+
+
+def cmd_datasets(args, out):
+    rows = []
+    for dataset in names():
+        spec = DATASETS[dataset]
+        device = spec.device()
+        rows.append([dataset, "%dx%d" % (spec.paper_n, spec.paper_dim),
+                     "%dx%d" % (spec.n, spec.dim),
+                     "1/%.0f" % spec.scale,
+                     "%.1f MB" % (device.global_mem_bytes / 1e6)])
+    out.write(format_table(
+        "Table III dataset stand-ins",
+        ["name", "paper n x d", "stand-in n x d", "scale", "device mem"],
+        rows))
+    return 0
+
+
+def cmd_adaptive(args, out):
+    points, device, name = _load_points(args)
+    rng = np.random.default_rng(args.seed)
+    plan = prepare_clusters(points, points, rng,
+                            memory_budget_bytes=device.global_mem_bytes)
+    ct = plan.target_clusters
+    config = decide(len(points), len(points), args.k, points.shape[1],
+                    ct.n_points / max(1, ct.n_clusters), device)
+    out.write("adaptive decisions for %s, k=%d:\n" % (name, args.k))
+    out.write("  k/d = %.3f -> %s level-2 filtering\n"
+              % (args.k / points.shape[1], config.filter_strength))
+    out.write("  kNearests: %s\n" % config.placement.describe())
+    out.write("  threads per query: %d (inner %d x outer %d)\n" % (
+        config.parallel.threads_per_query, config.parallel.inner_factor,
+        config.parallel.outer_factor))
+    out.write("  landmarks: %d query / %d target clusters\n"
+              % (plan.mq, plan.mt))
+    return 0
+
+
+_COMMANDS = {"run": cmd_run, "compare": cmd_compare,
+             "datasets": cmd_datasets, "adaptive": cmd_adaptive}
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

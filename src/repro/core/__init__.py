@@ -1,0 +1,28 @@
+"""Core algorithms: TI bounds, filters, Sweet KNN and its GPU pipelines."""
+
+from .adaptive import ExecutionConfig, basic_config, decide
+from .api import METHODS, SweetKNN, knn_join
+from .basic_gpu import basic_ti_knn
+from .bounds import (euclidean, euclidean_many, lb_one_landmark,
+                     lb_two_landmarks, pairwise_distances, ub_one_landmark,
+                     ub_two_landmarks)
+from .clustering import ClusteredSet, center_distances, cluster_points
+from .landmarks import (determine_landmark_count, select_landmarks_maxmin,
+                        select_landmarks_random_spread)
+from .result import JoinStats, KNNResult
+from .sweet import sweet_knn
+from .ti_knn import JoinPlan, prepare_clusters, ti_knn_join
+
+__all__ = [
+    "ExecutionConfig", "basic_config", "decide",
+    "METHODS", "SweetKNN", "knn_join",
+    "basic_ti_knn", "sweet_knn",
+    "euclidean", "euclidean_many", "pairwise_distances",
+    "lb_one_landmark", "ub_one_landmark",
+    "lb_two_landmarks", "ub_two_landmarks",
+    "ClusteredSet", "center_distances", "cluster_points",
+    "determine_landmark_count", "select_landmarks_maxmin",
+    "select_landmarks_random_spread",
+    "JoinStats", "KNNResult",
+    "JoinPlan", "prepare_clusters", "ti_knn_join",
+]

@@ -1,0 +1,126 @@
+"""The adaptive scheme (Section IV-D, Fig. 8 of the paper).
+
+Given a problem instance (Q, T, k, d) and the device limits, the
+scheme configures Sweet KNN on the fly:
+
+* **filter strength** — ``k / d < 8`` → full level-2 filtering with an
+  updating bound; otherwise the partial filter (no ``kNearests``
+  maintenance, no bound updates);
+* **kNearests placement** — ``k*4 <= th1`` → shared memory,
+  ``<= th2`` → registers, else global memory (full filter only);
+* **parallelism** — query-level when ``|Q| >= r * max_cur``, else
+  multi-level with ``ceil(r * max_cur / |Q|)`` threads per query.
+
+:func:`basic_config` freezes the Section-III basic implementation
+(column-major layout, global-memory kNearests with the Fig. 6
+layout 2, no remapping, one thread per query, full filter), which is
+the "KNN-TI" series of Fig. 9 / Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layout import Layout
+from .parallelism import ParallelPlan, decide_parallelism
+from .placement import BASE_REGS_PER_THREAD, PlacementDecision, decide_placement
+
+__all__ = ["ExecutionConfig", "decide", "basic_config",
+           "FILTER_STRENGTH_RATIO"]
+
+#: Fig. 8's top decision: partial filtering pays off when k/d > 8.
+FILTER_STRENGTH_RATIO = 8.0
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """A fully resolved execution configuration for the GPU pipelines."""
+
+    filter_strength: str            # "full" | "partial"
+    layout: Layout
+    placement: PlacementDecision
+    remap: bool
+    parallel: ParallelPlan
+    knearests_coalesced: bool = True  # Fig. 6 layout 2 vs layout 1
+    block_size: int = 256
+
+    @property
+    def regs_per_thread(self):
+        return self.placement.regs_per_thread
+
+    @property
+    def shared_bytes_per_thread(self):
+        return self.placement.shared_bytes_per_thread
+
+    def describe(self):
+        return {
+            "filter": self.filter_strength,
+            "layout": self.layout.value,
+            "kNearests": self.placement.placement.value,
+            "remap": self.remap,
+            "threads_per_query": self.parallel.threads_per_query,
+        }
+
+
+def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
+           force_filter=None, force_placement=None, force_layout=None,
+           threads_per_query=None, remap=True, knearests_coalesced=True,
+           block_size=256):
+    """Run the Fig. 8 decision tree; ``force_*`` hooks feed the
+    sensitivity studies and ablations.
+
+    Returns
+    -------
+    ExecutionConfig
+    """
+    k = int(k)
+    dim = int(dim)
+
+    if force_filter is not None:
+        strength = force_filter
+    elif k / float(dim) <= FILTER_STRENGTH_RATIO:
+        # "the scenarios for the partial filtering to outperform the
+        # full filtering is when k/d > 8" — partial on strictly greater.
+        strength = "full"
+    else:
+        strength = "partial"
+    if strength not in ("full", "partial"):
+        raise ValueError("filter strength must be 'full' or 'partial'")
+
+    if strength == "full":
+        placement = decide_placement(k, device, force=force_placement)
+    else:
+        # The partial filter keeps no kNearests; only base registers.
+        placement = PlacementDecision(
+            placement=decide_placement(1, device).placement
+            if force_placement is None else
+            decide_placement(1, device, force=force_placement).placement,
+            knearests_bytes=0,
+            regs_per_thread=BASE_REGS_PER_THREAD,
+            shared_bytes_per_thread=0)
+
+    layout = Layout(force_layout) if force_layout else Layout.ROW_MAJOR
+
+    parallel = decide_parallelism(
+        n_queries, avg_cluster_size, device,
+        regs_per_thread=placement.regs_per_thread,
+        shared_bytes_per_thread=placement.shared_bytes_per_thread,
+        block_size=block_size, threads_per_query=threads_per_query)
+
+    return ExecutionConfig(
+        filter_strength=strength, layout=layout, placement=placement,
+        remap=remap, parallel=parallel,
+        knearests_coalesced=knearests_coalesced, block_size=block_size)
+
+
+def basic_config(n_queries, k, device, block_size=256):
+    """The Section-III basic KNN-TI configuration (no Sweet features)."""
+    placement = decide_placement(k, device, force="global")
+    return ExecutionConfig(
+        filter_strength="full",
+        layout=Layout.COLUMN_MAJOR,
+        placement=placement,
+        remap=False,
+        parallel=ParallelPlan(1, 1, 1, int(n_queries)),
+        knearests_coalesced=True,  # the basic impl already picks layout 2
+        block_size=block_size)

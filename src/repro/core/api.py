@@ -1,0 +1,139 @@
+"""Public API of the Sweet KNN reproduction.
+
+Most users need exactly one call::
+
+    import numpy as np
+    from repro import knn_join
+
+    result = knn_join(queries, targets, k=20, seed=0)
+    result.indices        # (|Q|, k) neighbour ids
+    result.distances      # (|Q|, k) ascending distances
+    result.sim_time_s     # simulated GPU time (method="sweet" etc.)
+
+``method`` selects the engine:
+
+=============  ========================================================
+``"sweet"``    Sweet KNN on the simulated GPU (the paper's system)
+``"ti-gpu"``   basic TI-based KNN on the simulated GPU (Section III)
+``"ti-cpu"``   sequential TI-based KNN (the Fig. 4 reference)
+``"cublas"``   CUBLAS-style brute-force GPU baseline
+``"brute"``    exact host-side brute force (the correctness oracle)
+``"kdtree"``   KD-tree baseline
+=============  ========================================================
+
+:class:`SweetKNN` offers the index-like object API: cluster the target
+set once, answer many query batches against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.brute_force import brute_force_knn
+from ..baselines.cublas_knn import cublas_knn
+from ..baselines.kdtree import kdtree_knn
+from ..errors import ValidationError
+from ..gpu.device import tesla_k20c
+from .basic_gpu import basic_ti_knn
+from .sweet import sweet_knn
+from .ti_knn import prepare_clusters, ti_knn_join
+
+__all__ = ["knn_join", "SweetKNN", "METHODS"]
+
+METHODS = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree")
+
+
+def _validate(queries, targets, k):
+    queries = np.asarray(queries, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if queries.ndim != 2 or targets.ndim != 2:
+        raise ValidationError("queries and targets must be 2-D arrays")
+    if queries.shape[0] == 0 or targets.shape[0] == 0:
+        raise ValidationError("queries and targets must be non-empty")
+    if queries.shape[1] != targets.shape[1]:
+        raise ValidationError(
+            "dimension mismatch: queries d=%d, targets d=%d"
+            % (queries.shape[1], targets.shape[1]))
+    k = int(k)
+    if k <= 0:
+        raise ValidationError("k must be positive")
+    if k > targets.shape[0]:
+        raise ValidationError(
+            "k=%d exceeds the %d target points" % (k, targets.shape[0]))
+    return queries, targets, k
+
+
+def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
+             **options):
+    """Find the k nearest targets of every query point.
+
+    Parameters
+    ----------
+    queries, targets:
+        (n, d) arrays; pass the same array twice for a self-join (the
+        paper's setting).
+    k:
+        Neighbours per query.
+    method:
+        One of :data:`METHODS` (default the paper's Sweet KNN).
+    seed:
+        Seed for landmark selection (ignored by the non-TI methods).
+    device:
+        Optional :class:`~repro.gpu.device.DeviceSpec` for the GPU
+        methods (defaults to the simulated Tesla K20c).
+    options:
+        Forwarded to the engine (e.g. ``force_filter=...``,
+        ``threads_per_query=...`` for ``"sweet"``).
+
+    Returns
+    -------
+    KNNResult
+    """
+    queries, targets, k = _validate(queries, targets, k)
+    rng = np.random.default_rng(seed)
+    if method == "sweet":
+        return sweet_knn(queries, targets, k, rng, device=device, **options)
+    if method == "ti-gpu":
+        return basic_ti_knn(queries, targets, k, rng, device=device,
+                            **options)
+    if method == "ti-cpu":
+        return ti_knn_join(queries, targets, k, rng, **options)
+    if method == "cublas":
+        return cublas_knn(queries, targets, k, device=device, **options)
+    if method == "brute":
+        return brute_force_knn(queries, targets, k, **options)
+    if method == "kdtree":
+        return kdtree_knn(queries, targets, k, **options)
+    raise ValidationError(
+        "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))
+
+
+class SweetKNN:
+    """Index-style interface: cluster targets once, query many times.
+
+    Example
+    -------
+    >>> index = SweetKNN(targets, seed=0)
+    >>> result = index.query(queries, k=10)
+    """
+
+    def __init__(self, targets, seed=0, device=None, mt=None):
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim != 2 or targets.shape[0] == 0:
+            raise ValidationError("targets must be a non-empty 2-D array")
+        self.targets = targets
+        self.device = device or tesla_k20c()
+        self._seed = seed
+        self._mt = mt
+        self._plans = {}
+
+    def query(self, queries, k, **options):
+        """k nearest targets of each query, via Sweet KNN."""
+        queries, targets, k = _validate(queries, self.targets, k)
+        rng = np.random.default_rng(self._seed)
+        return sweet_knn(queries, targets, k, rng, device=self.device,
+                         mt=self._mt, **options)
+
+    def self_join(self, k, **options):
+        """k nearest neighbours of every target within the target set."""
+        return self.query(self.targets, k, **options)

@@ -1,0 +1,83 @@
+"""Triangle-inequality distance bounds (Section II-B of the paper).
+
+One landmark L (Eqs. 1-2)::
+
+    LB(q, t) = |d(q, L) - d(t, L)|
+    UB(q, t) =  d(q, L) + d(t, L)
+
+Two landmarks L1 (near q) and L2 (near t) (Eqs. 3-4)::
+
+    LB(q, t) = d(L1, L2) - d(q, L1) - d(L2, t)
+    UB(q, t) = d(q, L1) + d(L1, L2) + d(L2, t)
+
+The two-landmark lower bound can be negative (when the clusters
+overlap); it is still a valid lower bound since distances are
+non-negative.  All functions accept scalars or numpy arrays and
+broadcast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "euclidean", "euclidean_many", "pairwise_distances",
+    "lb_one_landmark", "ub_one_landmark",
+    "lb_two_landmarks", "ub_two_landmarks",
+    "distance_flops",
+]
+
+
+def euclidean(a, b):
+    """Euclidean distance between two points (1-D arrays)."""
+    diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def euclidean_many(points, point):
+    """Distances from each row of ``points`` to a single ``point``.
+
+    Computed directly as sqrt(sum((x - y)^2)) — not via the expanded
+    |x|^2 + |y|^2 - 2xy GEMM form — so TI bound comparisons are not
+    perturbed by catastrophic cancellation.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    diff = points - np.asarray(point, dtype=np.float64)
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def pairwise_distances(a, b):
+    """Dense |A| x |B| Euclidean distance matrix (direct form)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distance_flops(d):
+    """Modelled arithmetic ops for one d-dimensional distance.
+
+    One subtract, one multiply and one add per dimension, plus the
+    square root.
+    """
+    return 3 * int(d) + 1
+
+
+def lb_one_landmark(d_q_l, d_t_l):
+    """Eq. 1: lower bound from one landmark."""
+    return np.abs(np.asarray(d_q_l) - np.asarray(d_t_l))
+
+
+def ub_one_landmark(d_q_l, d_t_l):
+    """Eq. 2: upper bound from one landmark."""
+    return np.asarray(d_q_l) + np.asarray(d_t_l)
+
+
+def lb_two_landmarks(d_l1_l2, d_q_l1, d_l2_t):
+    """Eq. 3: lower bound from two landmarks (may be negative)."""
+    return np.asarray(d_l1_l2) - np.asarray(d_q_l1) - np.asarray(d_l2_t)
+
+
+def ub_two_landmarks(d_l1_l2, d_q_l1, d_l2_t):
+    """Eq. 4: upper bound from two landmarks."""
+    return np.asarray(d_q_l1) + np.asarray(d_l1_l2) + np.asarray(d_l2_t)

@@ -1,0 +1,257 @@
+"""The two-level TI filters (Steps 2-3 of Fig. 4; Algorithms 1-2).
+
+This module holds the *algorithmic* filter logic, shared by the
+sequential CPU reference (:mod:`repro.core.ti_knn`) and re-implemented
+warp-vectorised by the GPU kernels (:mod:`repro.core.basic_gpu`,
+:mod:`repro.core.sweet`) — the test suite asserts the implementations
+make identical filtering decisions.
+
+Level-1 (cluster level)
+    :func:`cluster_upper_bounds` computes, per query cluster, an upper
+    bound ``UB`` on every member's k-th nearest-neighbour distance by
+    pooling two-landmark upper bounds over all target clusters
+    (``calUB``/``getUBs``).  :func:`level1_filter` then drops every
+    target cluster whose group-to-group lower bound (``getLB``) is not
+    below ``UB``.
+
+Level-2 (point level)
+    :func:`point_filter_full` scans the candidate clusters' members in
+    descending point-to-centre order, applying the one-landmark bound
+    ``l = d(q, c_t) - d(t, c_t)`` with an *updating* bound ``theta``
+    (Algorithm 2).  :func:`point_filter_partial` is Sweet KNN's
+    weakened filter (Section IV-B1): ``theta`` stays at the level-1
+    ``UB``, no ``kNearests`` is maintained during the scan, and the
+    surviving distances are k-selected afterwards.
+
+Deviation from the paper, documented: Algorithm 2 seeds ``kNearests``
+with the query cluster's k pooled upper bounds.  Seeding the heap with
+bounds whose (anonymous) witness targets may later also be inserted as
+computed distances can double-count a target and over-tighten
+``theta``; we instead use the scalar ``UB`` until k *computed*
+distances exist, which is provably exact and only marginally weaker
+early in the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kselect import KNearestHeap, select_k_from_pairs
+from .bounds import euclidean
+
+__all__ = [
+    "cluster_upper_bounds", "level1_filter", "point_filter_full",
+    "point_filter_partial", "ScanTrace", "tail_bound_matrix",
+]
+
+
+# ----------------------------------------------------------------------
+# Level-1 filtering
+# ----------------------------------------------------------------------
+def tail_bound_matrix(target_clusters, k):
+    """Per target cluster, the k smallest member-to-centre distances.
+
+    Returns a (|CT|, k) matrix padded with ``inf`` for clusters smaller
+    than k.  Because target members are stored in *descending* order,
+    the k smallest distances are the reversed tail — these are the
+    ``u, v, w`` points of the paper's Fig. 5.
+    """
+    ct = target_clusters
+    k = int(k)
+    tails = np.full((ct.n_clusters, k), np.inf, dtype=np.float64)
+    for cid, dists in enumerate(ct.member_dists):
+        take = min(k, dists.size)
+        if take:
+            tails[cid, :take] = dists[-take:][::-1]
+    return tails
+
+
+def cluster_upper_bounds(query_clusters, target_clusters, center_dists, k,
+                         tails=None):
+    """``calUB`` for every query cluster at once.
+
+    For query cluster i and target cluster j, ``getUBs`` returns
+    ``radius_q[i] + d(cq_i, ct_j) + tail_j`` (two-landmark UB, Eq. 4,
+    applied to the query farthest from its centre and the k targets
+    closest to theirs).  Pooling over j and taking the k-th smallest
+    gives a value no smaller than any member's k-th NN distance.
+
+    Returns
+    -------
+    ndarray
+        (|CQ|,) array of per-query-cluster upper bounds.
+    """
+    if tails is None:
+        tails = tail_bound_matrix(target_clusters, k)
+    k = int(k)
+    ubs = np.empty(query_clusters.n_clusters, dtype=np.float64)
+    radius_q = query_clusters.radius
+    for qc in range(query_clusters.n_clusters):
+        pooled = (radius_q[qc] + center_dists[qc][:, None] + tails).ravel()
+        if k < pooled.size:
+            ubs[qc] = np.partition(pooled, k - 1)[k - 1]
+        else:
+            ubs[qc] = pooled.max()
+    return ubs
+
+
+def level1_filter(query_clusters, target_clusters, center_dists, ubs):
+    """``groupFilter`` (Algorithm 1) for every query cluster.
+
+    A target cluster j survives for query cluster i when the
+    group-to-group lower bound
+    ``d(cq_i, ct_j) - radius_q[i] - radius_t[j]`` does not exceed
+    ``UB_i``.  (The paper's pseudo-code uses a strict ``<``; we keep
+    exact ties, which is required for exactness on degenerate inputs
+    where the bound and the k-th distance coincide, e.g. duplicated
+    points.)  Survivors are sorted by ascending centre distance (the
+    ``S.sort()`` of ``pointFilter``), which both tightens ``theta``
+    fast and is what the level-2 kernels expect.
+
+    Returns
+    -------
+    list of ndarray
+        Per query cluster, the candidate target-cluster ids.
+    """
+    radius_q = query_clusters.radius
+    radius_t = target_clusters.radius
+    sizes = target_clusters.cluster_sizes()
+    candidates = []
+    for qc in range(query_clusters.n_clusters):
+        lbs = center_dists[qc] - radius_q[qc] - radius_t
+        keep = np.flatnonzero((lbs <= ubs[qc]) & (sizes > 0))
+        order = np.argsort(center_dists[qc][keep], kind="stable")
+        candidates.append(keep[order])
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# Level-2 filtering (sequential reference scans)
+# ----------------------------------------------------------------------
+@dataclass
+class ScanTrace:
+    """Work counters for one query's level-2 scan."""
+
+    examined: int = 0
+    distance_computations: int = 0
+    center_distance_computations: int = 0
+    heap_updates: int = 0
+    breaks: int = 0
+    steps: int = 0  # lock-step-equivalent inner iterations
+
+    def merge(self, other):
+        self.examined += other.examined
+        self.distance_computations += other.distance_computations
+        self.center_distance_computations += other.center_distance_computations
+        self.heap_updates += other.heap_updates
+        self.breaks += other.breaks
+        self.steps += other.steps
+        return self
+
+
+def point_filter_full(query_point, query_index, target_clusters,
+                      candidate_ids, ub, k, center_dists_row=None):
+    """Algorithm 2 for one query point, with an updating ``theta``.
+
+    Parameters
+    ----------
+    query_point:
+        The query's coordinates.
+    query_index:
+        Its index (for the trace only).
+    target_clusters:
+        :class:`~repro.core.clustering.ClusteredSet` of the targets.
+    candidate_ids:
+        Level-1 survivors, ascending by centre distance.
+    ub:
+        The query cluster's level-1 upper bound (initial ``theta``).
+    center_dists_row:
+        Optional precomputed distances from this query to every target
+        centre; when absent they are computed (and counted) here, like
+        Algorithm 2 line 6.
+
+    Returns
+    -------
+    (heap, trace)
+        The filled :class:`KNearestHeap` and a :class:`ScanTrace`.
+    """
+    heap = KNearestHeap(k)
+    trace = ScanTrace()
+    theta = float(ub)
+    points = target_clusters.points
+
+    for tc in candidate_ids:
+        if center_dists_row is not None:
+            q2tc = center_dists_row[tc]
+        else:
+            q2tc = euclidean(query_point, target_clusters.centers[tc])
+        trace.center_distance_computations += 1
+        member_idx = target_clusters.members[tc]
+        member_dists = target_clusters.member_dists[tc]
+
+        for pos in range(member_idx.size):
+            trace.steps += 1
+            lb = q2tc - member_dists[pos]
+            if lb > theta:
+                trace.breaks += 1
+                break
+            if lb < -theta:
+                continue
+            trace.examined += 1
+            t = member_idx[pos]
+            dist = euclidean(query_point, points[t])
+            trace.distance_computations += 1
+            if heap.push(dist, t):
+                trace.heap_updates += 1
+                if heap.full:
+                    theta = min(float(ub), heap.max_distance)
+    return heap, trace
+
+
+def point_filter_partial(query_point, query_index, target_clusters,
+                         candidate_ids, ub, k, center_dists_row=None):
+    """Sweet KNN's weakened level-2 filter (Section IV-B1).
+
+    ``theta`` is the level-1 ``UB`` and is never updated; no
+    ``kNearests`` is consulted during the scan.  Every computed
+    distance is stored (modelling the write to global memory) and a
+    final k-selection recovers the answer — "a later launched GPU
+    kernel finds the k minimal distances".
+
+    Returns
+    -------
+    (distances, indices, trace)
+        The k nearest (ascending) and the scan trace.
+    """
+    theta = float(ub)
+    trace = ScanTrace()
+    survivors = []
+    points = target_clusters.points
+
+    for tc in candidate_ids:
+        if center_dists_row is not None:
+            q2tc = center_dists_row[tc]
+        else:
+            q2tc = euclidean(query_point, target_clusters.centers[tc])
+        trace.center_distance_computations += 1
+        member_idx = target_clusters.members[tc]
+        member_dists = target_clusters.member_dists[tc]
+
+        for pos in range(member_idx.size):
+            trace.steps += 1
+            lb = q2tc - member_dists[pos]
+            if lb > theta:
+                trace.breaks += 1
+                break
+            if lb < -theta:
+                continue
+            trace.examined += 1
+            t = member_idx[pos]
+            dist = euclidean(query_point, points[t])
+            trace.distance_computations += 1
+            survivors.append((dist, t))
+
+    dists, idx = select_k_from_pairs(survivors, k)
+    return dists, idx, trace

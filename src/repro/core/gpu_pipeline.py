@@ -1,0 +1,361 @@
+"""End-to-end TI-based KNN pipelines on the simulated GPU.
+
+:func:`run_ti_gpu` executes the three steps of Fig. 4 as a sequence of
+simulated kernels — init (landmarks, clustering, sort), level-1
+filtering (``calUB`` + Algorithm 1) and level-2 filtering
+(Algorithm 2 or its partial variant), plus the merge/selection kernels
+Sweet KNN adds — under an :class:`~repro.core.adaptive.ExecutionConfig`
+that encodes every basic-vs-Sweet difference:
+
+* thread-data remapping on/off,
+* point-matrix layout (row vs column major),
+* ``kNearests`` placement and Fig.-6 layout,
+* filter strength (full vs partial),
+* threads per query (elastic parallelism).
+
+Like the TI versions in the paper, the pipeline partitions the query
+set when its per-query working set exceeds device memory — but its
+per-query footprint is ``O(k)`` instead of the baseline's ``O(|T|)``,
+so partitions are rare and large ("fit the processing of more query
+points onto GPU in one kernel execution and hence more parallelism",
+Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.costmodel import default_cost_model
+from ..gpu.device import tesla_k20c
+from ..gpu.kernel import LaunchConfig, finalize_kernel
+from ..gpu.lanelog import account_ragged, fold_warp_logs
+from ..gpu.profiler import KernelProfile, PipelineProfile
+from ..kselect import merge_sorted_lists, select_k_from_pairs
+from .layout import point_load_transactions
+from .parallelism import subscan_specs
+from .remapping import identity_map, remap_by_cluster
+from .result import JoinStats, KNNResult
+from .scan import CODE_ENTER, scan_query_logged
+from .ti_knn import prepare_clusters
+from .landmarks import LANDMARK_TRIALS
+
+__all__ = ["run_ti_gpu"]
+
+_FLOAT = 4
+_WARP = 32
+
+
+def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
+               cost_model=None, mq=None, mt=None, plan=None, method="",
+               epsilon=0.0):
+    """Run a TI-based KNN join on the simulated device.
+
+    Parameters
+    ----------
+    queries, targets:
+        (n, d) host arrays (the same object for a self-join).
+    k:
+        Neighbours per query.
+    rng:
+        ``numpy.random.Generator`` for landmark selection.
+    config_for:
+        Callable ``(plan, device) -> ExecutionConfig`` invoked after
+        Step 1, when the cluster statistics the adaptive scheme needs
+        are known.  The basic pipeline passes a constant config.
+    device, cost_model:
+        Simulated device and cycle model.
+    mq, mt, plan:
+        Optional landmark-count overrides or a prebuilt Step-1 plan.
+    method:
+        Name recorded on the result.
+
+    Returns
+    -------
+    KNNResult
+        With ``profile`` set to the simulated :class:`PipelineProfile`.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    k = int(k)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > len(targets):
+        raise ValueError("k cannot exceed the number of target points")
+    device = device or tesla_k20c()
+    cost_model = cost_model or default_cost_model()
+
+    n_q, dim = queries.shape
+    n_t = targets.shape[0]
+
+    pipeline = PipelineProfile(name=method or "ti-gpu")
+
+    # ------------------------------------------------------------------
+    # Step 1: landmarks + clustering (init kernels)
+    # ------------------------------------------------------------------
+    if plan is None:
+        plan = prepare_clusters(queries, targets, rng, mq=mq, mt=mt,
+                                memory_budget_bytes=device.global_mem_bytes)
+    config = config_for(plan, device)
+    # Only the level-2 kernel carries the kNearests placement's
+    # register/shared-memory pressure; the other kernels launch with
+    # baseline resource usage.
+    launch = LaunchConfig(block_size=config.block_size)
+    level2_launch = LaunchConfig(
+        block_size=config.block_size,
+        regs_per_thread=config.regs_per_thread,
+        shared_bytes_per_thread=config.shared_bytes_per_thread)
+    point_txns = point_load_transactions(dim, config.layout)
+    dist_flops = 3.0 * dim + 1.0
+
+    _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
+                  launch, cost_model, config)
+
+    # ------------------------------------------------------------------
+    # Step 2: level-1 filtering (calUB + Algorithm 1)
+    # ------------------------------------------------------------------
+    plan.run_level1(k)
+    _account_level1(pipeline, plan, k, dim, point_txns, dist_flops, device,
+                    launch, cost_model)
+
+    # ------------------------------------------------------------------
+    # Step 3: level-2 filtering (Algorithm 2 / partial variant)
+    # ------------------------------------------------------------------
+    cq, ct = plan.query_clusters, plan.target_clusters
+    stats = JoinStats(
+        n_queries=n_q, n_targets=n_t, k=k, dim=dim,
+        mq=plan.mq, mt=plan.mt,
+        init_distance_computations=(cq.init_distance_computations +
+                                    ct.init_distance_computations),
+        candidate_cluster_pairs=plan.candidate_pairs(),
+    )
+
+    partitions = _plan_ti_partitions(n_q, n_t, dim, k, config, device)
+    # L2 hit fraction for scattered target-point loads (the point
+    # matrix competes with the rest of the working set for L2).
+    point_hit = device.l2_hit_rate(n_t * dim * _FLOAT)
+    qorder = remap_by_cluster(cq)[0] if config.remap else identity_map(n_q)
+    specs = subscan_specs(config.parallel)
+    tpq = config.parallel.threads_per_query
+    full = config.filter_strength == "full"
+
+    level2 = KernelProfile(name="level2_filter")
+    per_query = [None] * n_q
+
+    for part_start, part_stop in partitions:
+        part_queries = qorder[part_start:part_stop]
+        lane_specs = [(q, spec) for q in part_queries for spec in specs]
+        for first in range(0, len(lane_specs), _WARP):
+            warp_lanes = lane_specs[first:first + _WARP]
+            logs = []
+            for q, spec in warp_lanes:
+                qc = cq.assignment[q]
+                result, trace, log = scan_query_logged(
+                    queries[q], ct, plan.candidates[qc], plan.ubs[qc], k,
+                    config.layout, strength=config.filter_strength,
+                    spec=spec if tpq > 1 else None,
+                    point_hit_rate=point_hit, epsilon=epsilon)
+                logs.append(log)
+                _merge_trace(stats, trace)
+                _store_partial_result(per_query, q, result, full, tpq)
+            fold_warp_logs(logs, level2, cost_model,
+                           heap_placement=config.placement.placement.value,
+                           heap_coalesced=config.knearests_coalesced,
+                           reconverge_code=CODE_ENTER)
+        level2.n_threads += len(lane_specs)
+    finalize_kernel(level2, device, level2_launch, cost_model)
+    if len(partitions) > 1:
+        level2.sim_time_s += ((len(partitions) - 1)
+                              * cost_model.kernel_launch_cycles
+                              / device.clock_hz)
+    pipeline.add(level2)
+
+    # ------------------------------------------------------------------
+    # Final merge / selection kernels
+    # ------------------------------------------------------------------
+    results = _finalize_results(per_query, n_q, k, full, tpq, pipeline,
+                                device, launch, cost_model)
+    distances, indices = KNNResult.pack(results, k)
+
+    stats.extra.update({
+        "filter": config.filter_strength,
+        "placement": config.placement.placement.value,
+        "layout": config.layout.value,
+        "remap": config.remap,
+        "threads_per_query": tpq,
+        "partitions": len(partitions),
+    })
+    return KNNResult(distances=distances, indices=indices, stats=stats,
+                     profile=pipeline, method=method or "ti-gpu")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _merge_trace(stats, trace):
+    stats.level2_distance_computations += trace.distance_computations
+    stats.center_distance_computations += trace.center_distance_computations
+    stats.examined_points += trace.examined
+    stats.heap_updates += trace.heap_updates
+
+
+def _store_partial_result(per_query, q, result, full, tpq):
+    if tpq == 1:
+        per_query[q] = result.sorted_items() if full else result
+    else:
+        if per_query[q] is None:
+            per_query[q] = []
+        per_query[q].append(result.sorted_items() if full else result)
+
+
+def _finalize_results(per_query, n_q, k, full, tpq, pipeline, device, launch,
+                      cost_model):
+    """Resolve per-query outputs and account the merge/select kernels."""
+    results = [None] * n_q
+    if full and tpq == 1:
+        return per_query
+
+    if full:
+        # Merge kernel: |Q| threads, each merging tpq sorted heaps.
+        merge = KernelProfile(name="merge_heaps")
+        lane_steps = []
+        for q in range(n_q):
+            lists = per_query[q]
+            results[q] = merge_sorted_lists(lists, k)
+            lane_steps.append(sum(len(d) for d, _ in lists))
+        account_ragged(merge, lane_steps, flops_per_step=2.0,
+                       l2_per_warp_step=1.0, cost_model=cost_model)
+        finalize_kernel(merge, device, launch, cost_model)
+        pipeline.add(merge)
+        return results
+
+    # Partial filter: a selection kernel picks the k smallest of each
+    # query's surviving distances from global memory.
+    select = KernelProfile(name="select_k_partial")
+    lane_steps = []
+    for q in range(n_q):
+        survivors = per_query[q]
+        if tpq > 1:
+            survivors = [pair for sub in survivors for pair in sub]
+        results[q] = select_k_from_pairs(survivors, k)
+        lane_steps.append(max(1, len(survivors)))
+    log_k = np.ceil(np.log2(max(2, k)))
+    account_ragged(select, lane_steps, flops_per_step=1.0 + 0.25 * log_k,
+                   txns_per_warp_step=1.0, cost_model=cost_model)
+    finalize_kernel(select, device, launch, cost_model)
+    pipeline.add(select)
+    return results
+
+
+def _plan_ti_partitions(n_q, n_t, dim, k, config, device):
+    """Partition queries when the TI working set exceeds device memory.
+
+    Fixed footprint: both point matrices, cluster metadata and the
+    centre-distance table.  Per-query footprint: the kNearests slots
+    (or the partial filter's survivor buffer) for every sub-thread.
+    """
+    base = (n_q + n_t) * dim * _FLOAT          # point matrices
+    base += n_t * 2 * _FLOAT                   # member ids + distances
+    base += int(3 * np.sqrt(n_q)) ** 2 * _FLOAT  # bound tables (approx)
+    tpq = config.parallel.threads_per_query
+    if config.filter_strength == "full":
+        per_query = k * _FLOAT * tpq
+    else:
+        # Survivor buffer, conservatively 4k entries per query.
+        per_query = 4 * k * _FLOAT * tpq
+    per_query += 2 * _FLOAT                    # map + bookkeeping
+
+    usable = device.global_mem_bytes - base
+    if usable <= 0:
+        group = max(1, n_q // 8)
+    else:
+        group = max(1, min(n_q, usable // per_query))
+    return [(start, min(start + group, n_q))
+            for start in range(0, n_q, group)]
+
+
+def _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
+                  launch, cost_model, config):
+    """Account the Step-1 kernels (Section III-A).
+
+    * landmark selection: 10 trials of pairwise-distance sums on each
+      point set;
+    * query assignment: |Q| threads x mq centre distances + an atomic
+      max per query for the cluster radius;
+    * target assignment: |T| threads x mt centre distances + an
+      atomicAdd per target for the local-ID slot;
+    * target scatter: |T| threads, one store each (no atomics thanks
+      to the local IDs);
+    * per-cluster sort of the target members (ragged trip counts);
+    * with remapping on, the query-member copy that builds the
+      thread-to-query map.
+    """
+    cq, ct = plan.query_clusters, plan.target_clusters
+    n_q, n_t = cq.n_points, ct.n_points
+    mq, mt = cq.n_clusters, ct.n_clusters
+
+    init = KernelProfile(name="init_landmarks")
+    for m in (mq, mt):
+        # One thread per (trial, candidate pair); the candidate points
+        # are re-read by every pair and stay L2 resident.
+        pairs = LANDMARK_TRIALS * m * (m - 1) // 2
+        account_ragged(init, [1] * max(1, pairs),
+                       flops_per_step=dist_flops,
+                       l2_per_warp_step=2.0 * point_txns,
+                       cost_model=cost_model)
+    finalize_kernel(init, device, launch, cost_model)
+    pipeline.add(init)
+
+    assign = KernelProfile(name="init_assign")
+    account_ragged(assign, [mq] * n_q, flops_per_step=dist_flops,
+                   l2_per_warp_step=point_txns, atomics_total=n_q,
+                   cost_model=cost_model)
+    account_ragged(assign, [mt] * n_t, flops_per_step=dist_flops,
+                   l2_per_warp_step=point_txns, atomics_total=n_t,
+                   cost_model=cost_model)
+    account_ragged(assign, [1] * n_t, flops_per_step=0.0,
+                   txns_per_warp_step=32.0 * point_txns,
+                   cost_model=cost_model)
+    finalize_kernel(assign, device, launch, cost_model)
+    pipeline.add(assign)
+
+    sort = KernelProfile(name="init_sort_clusters")
+    sizes = ct.cluster_sizes()
+    lane_steps = [int(s * max(1, np.ceil(np.log2(max(2, s))))) for s in sizes]
+    account_ragged(sort, lane_steps, flops_per_step=2.0,
+                   l2_per_warp_step=1.0, cost_model=cost_model)
+    if config.remap:
+        member_copy = [int(s) for s in cq.cluster_sizes()]
+        account_ragged(sort, member_copy, flops_per_step=0.0,
+                       txns_per_warp_step=2.0, atomics_total=mq,
+                       cost_model=cost_model)
+    finalize_kernel(sort, device, launch, cost_model)
+    pipeline.add(sort)
+
+
+def _account_level1(pipeline, plan, k, dim, point_txns, dist_flops, device,
+                    launch, cost_model):
+    """Account the Step-2 kernels.
+
+    * ``calUB``: |CQ| threads, each pooling k bounds from every target
+      cluster (data dependence on the running UB keeps this at
+      cluster-level parallelism — Section III-B);
+    * Algorithm 1: |CQ| x |CT| threads, one pair each, recomputing the
+      centre distance and appending survivors with atomicAdd.
+    """
+    mq, mt = plan.mq, plan.mt
+    tail_txns = max(1, (k * _FLOAT) // 128 + 1)
+
+    calub = KernelProfile(name="level1_calub")
+    account_ragged(calub, [mt] * mq, flops_per_step=float(k + 2),
+                   l2_per_warp_step=float(tail_txns),
+                   cost_model=cost_model)
+    finalize_kernel(calub, device, launch, cost_model)
+    pipeline.add(calub)
+
+    group = KernelProfile(name="level1_groupfilter")
+    account_ragged(group, [1] * (mq * mt), flops_per_step=dist_flops + 4.0,
+                   l2_per_warp_step=float(point_txns + dim),
+                   atomics_total=plan.candidate_pairs(),
+                   cost_model=cost_model)
+    finalize_kernel(group, device, launch, cost_model)
+    pipeline.add(group)

@@ -1,0 +1,80 @@
+"""Point-matrix memory layouts (Section IV-C3, Fig. 7 of the paper).
+
+The CUBLAS-style baseline stores points **column-major** (all points'
+dimension 0, then dimension 1, ...) because its kernels make all lanes
+touch the same dimension of consecutive points — perfectly coalesced.
+
+TI-based KNN instead accesses *scattered* points (whichever targets
+survive filtering), where column-major is terrible: every dimension of
+a point is a separate far-apart 4-byte access.  Sweet KNN therefore
+uses a **row-major** layout read with ``float4`` vector loads: one
+point's ``d`` dimensions occupy ``ceil(4d / 128)`` 128-byte segments.
+
+This module quantifies exactly that: transactions per scattered
+point load under each layout, used by the scan kernels' lane logs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Layout", "point_load_transactions"]
+
+_FLOAT = 4
+_TRANSACTION = 128
+_VECTOR_WIDTH = 4  # float4
+
+
+class Layout(str, Enum):
+    """How the (n, d) point matrix is linearised in global memory."""
+
+    ROW_MAJOR = "row"     # Fig. 7(b): all dims of point 0, point 1, ...
+    COLUMN_MAJOR = "col"  # Fig. 7(a): dim 0 of all points, dim 1, ...
+
+    def describe(self):
+        if self is Layout.ROW_MAJOR:
+            return "row-major with float4 vector loads (Sweet KNN)"
+        return "column-major (basic GPU KNN layout)"
+
+
+#: A scattered sub-line load is issued as a 32-byte sector on Kepler,
+#: i.e. a quarter of a 128-byte transaction.
+_SECTOR_FRACTION = 32 / _TRANSACTION
+
+
+def point_load_transactions(dim, layout):
+    """Memory cost of one scattered point load, in 128-byte
+    transaction equivalents.
+
+    Row-major: the point is ``4 * dim`` contiguous bytes →
+    ``ceil(4 dim / 128)`` full transactions (float4 vector loads do
+    not add transactions, only reduce instruction count).
+
+    Column-major: each of the ``dim`` coordinates lives ``4 * n``
+    bytes from the next; every read is its own 32-byte sector, so the
+    cost is ``dim / 4`` transaction equivalents — Kepler's sectored
+    access is why column major wastes "only" 8x bandwidth on 4-byte
+    reads, not 32x.
+    """
+    dim = int(dim)
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    layout = Layout(layout)
+    if layout is Layout.ROW_MAJOR:
+        return (dim * _FLOAT + _TRANSACTION - 1) // _TRANSACTION
+    return dim * _SECTOR_FRACTION
+
+
+def point_load_instructions(dim, layout):
+    """Load instructions (steps) issued to read one point.
+
+    Row-major uses ``float4`` vector loads (``ceil(d / 4)``
+    instructions); column-major needs one scalar load per dimension.
+    Only used for instruction-count reporting; the scan kernels fold a
+    whole point access into its examining step.
+    """
+    dim = int(dim)
+    layout = Layout(layout)
+    if layout is Layout.ROW_MAJOR:
+        return (dim + _VECTOR_WIDTH - 1) // _VECTOR_WIDTH
+    return dim

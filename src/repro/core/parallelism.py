@@ -1,0 +1,114 @@
+"""Elastic multi-level parallelism (Sections IV-B2 and IV-D3).
+
+With one thread per query, parallelism equals |Q| — not enough to fill
+the device when the query set is small (*arcene* has 100 points).
+Sweet KNN then assigns ``r * max_cur / |Q|`` threads to each query
+(``max_cur`` = maximum concurrently resident threads, ``r = 0.25`` the
+cache-conflict factor the paper carries over from [21]) and splits the
+level-2 loop nest between them: the inner member loop by a factor of
+about the average cluster size ``|T| / |CT|``, the outer candidate
+loop by the rest.
+
+Each sub-thread keeps its own local heap (race-free); a final merge
+kernel combines the per-thread sorted heaps per query, "a technique
+similar to the one in merge sort".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ParallelPlan", "SubscanSpec", "decide_parallelism",
+           "subscan_specs", "CACHE_CONFLICT_FACTOR"]
+
+#: The paper's empirical r: "r = 0.25 consistently works well".
+CACHE_CONFLICT_FACTOR = 0.25
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """How the level-2 work of one query is split across threads."""
+
+    threads_per_query: int
+    outer_factor: int  # parallelisation of the candidate-cluster loop
+    inner_factor: int  # parallelisation of the member loop
+    total_threads: int
+
+    @property
+    def multi_threaded(self):
+        return self.threads_per_query > 1
+
+
+@dataclass(frozen=True)
+class SubscanSpec:
+    """One sub-thread's share: strided clusters and strided members."""
+
+    cluster_offset: int
+    cluster_stride: int
+    member_offset: int
+    member_stride: int
+
+
+def decide_parallelism(n_queries, avg_cluster_size, device,
+                       regs_per_thread=32, shared_bytes_per_thread=0,
+                       block_size=256, r=CACHE_CONFLICT_FACTOR,
+                       threads_per_query=None):
+    """Pick the thread budget and loop split for the level-2 kernel.
+
+    ``threads_per_query`` forces a specific value (the Fig. 12 sweep);
+    otherwise the paper's rule applies: query-level parallelism only
+    when ``|Q| >= r * max_cur``, else ``ceil(r * max_cur / |Q|)``
+    threads per query.
+    """
+    n_queries = int(n_queries)
+    max_cur = device.concurrent_threads(regs_per_thread,
+                                        shared_bytes_per_thread, block_size)
+    budget = r * max_cur
+
+    if threads_per_query is None:
+        if n_queries >= budget:
+            tpq = 1
+        else:
+            tpq = max(1, math.ceil(budget / n_queries))
+    else:
+        tpq = max(1, int(threads_per_query))
+
+    if tpq == 1:
+        return ParallelPlan(1, 1, 1, n_queries)
+
+    if threads_per_query is None:
+        inner = max(1, min(tpq, int(round(avg_cluster_size)) or 1))
+        outer = max(1, math.ceil(tpq / inner))
+        # The adaptive rule keeps the factor product (may round the
+        # budget up slightly, as the paper's formula does).
+        tpq = inner * outer
+    else:
+        # A forced sweep value (Fig. 12) must be honoured exactly:
+        # pick the largest divisor of tpq not exceeding the average
+        # cluster size as the inner factor.
+        inner = max(d for d in range(1, tpq + 1)
+                    if tpq % d == 0 and d <= max(1, avg_cluster_size))
+        outer = tpq // inner
+    return ParallelPlan(threads_per_query=tpq, outer_factor=outer,
+                        inner_factor=inner, total_threads=n_queries * tpq)
+
+
+def subscan_specs(plan):
+    """Enumerate the sub-thread work splits of a :class:`ParallelPlan`.
+
+    Sub-thread ``s`` handles candidate clusters
+    ``candidates[s // inner :: outer]`` and within each, members
+    ``members[s % inner :: inner]`` — a strided split that preserves
+    the descending member order each stride needs for the sound early
+    ``break``.
+    """
+    specs = []
+    for s in range(plan.threads_per_query):
+        specs.append(SubscanSpec(
+            cluster_offset=s // plan.inner_factor,
+            cluster_stride=plan.outer_factor,
+            member_offset=s % plan.inner_factor,
+            member_stride=plan.inner_factor,
+        ))
+    return specs

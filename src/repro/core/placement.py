@@ -1,0 +1,95 @@
+"""Data placement of the per-thread ``kNearests`` array (Sec. IV-C2/D2).
+
+When the full level-2 filter runs, every thread keeps a k-entry
+max-heap.  Where that heap lives matters:
+
+* **shared memory** — fast, but only ``th1 = shared_mem_per_SM /
+  max_threads_per_SM`` bytes per thread are available without hurting
+  residency (24 bytes on the K20c, i.e. k <= 6);
+* **registers** — fastest, up to ``th2 = max_regs_per_thread * 4``
+  bytes (1020 bytes, k <= 255), at the price of register pressure that
+  lowers occupancy;
+* **global memory** — unlimited but slow; the basic implementation
+  keeps it there using the interleaved layout 2 of Fig. 6 so that
+  simultaneous accesses by a warp coalesce.
+
+The paper gives shared memory priority over registers because the
+kernel's other register usage is the more likely occupancy limiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..gpu.lanelog import HEAP_IN_GLOBAL, HEAP_IN_REGISTERS, HEAP_IN_SHARED
+
+__all__ = ["Placement", "PlacementDecision", "decide_placement",
+           "BASE_REGS_PER_THREAD"]
+
+#: Registers the level-2 kernel uses besides kNearests (pointers,
+#: cursors, bounds); feeds the occupancy calculation.
+BASE_REGS_PER_THREAD = 32
+
+_FLOAT = 4
+
+
+class Placement(str, Enum):
+    GLOBAL = HEAP_IN_GLOBAL
+    SHARED = HEAP_IN_SHARED
+    REGISTERS = HEAP_IN_REGISTERS
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of the placement choice plus its occupancy inputs."""
+
+    placement: Placement
+    knearests_bytes: int
+    regs_per_thread: int
+    shared_bytes_per_thread: int
+
+    def describe(self):
+        return "kNearests in %s (%d bytes/thread, %d regs, %d shared B)" % (
+            self.placement.value, self.knearests_bytes,
+            self.regs_per_thread, self.shared_bytes_per_thread)
+
+
+def decide_placement(k, device, force=None):
+    """Choose where ``kNearests`` lives, per Fig. 8's middle band.
+
+    ``k * 4 <= th1`` → shared memory; ``th1 < k * 4 <= th2`` →
+    registers (local variable); otherwise global memory.  ``force``
+    overrides the choice for the placement ablation bench.
+
+    Returns
+    -------
+    PlacementDecision
+    """
+    k = int(k)
+    size = k * _FLOAT
+    th1 = device.shared_mem_threshold_th1
+    th2 = device.register_threshold_th2
+
+    if force is not None:
+        placement = Placement(force)
+    elif size <= th1:
+        placement = Placement.SHARED
+    elif size <= th2:
+        placement = Placement.REGISTERS
+    else:
+        placement = Placement.GLOBAL
+
+    regs = BASE_REGS_PER_THREAD
+    shared = 0
+    if placement is Placement.REGISTERS:
+        # Each float occupies one 4-byte register; cap at the hardware
+        # limit (beyond it the compiler would spill — modelled by the
+        # adaptive scheme never choosing registers past th2, but a
+        # forced ablation can get here).
+        regs = min(BASE_REGS_PER_THREAD + k, device.max_registers_per_thread)
+    elif placement is Placement.SHARED:
+        shared = size
+    return PlacementDecision(placement=placement, knearests_bytes=size,
+                             regs_per_thread=regs,
+                             shared_bytes_per_thread=shared)

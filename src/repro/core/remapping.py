@@ -1,0 +1,50 @@
+"""Thread-data remapping (Section IV-C1, Tables I/II of the paper).
+
+The basic implementation assigns thread ``i`` to query point ``i``.
+Queries of the same cluster share their candidate target clusters and
+scan lengths, but consecutive query *indices* usually belong to
+different clusters, so the 32 lanes of a warp end up with wildly
+different trip counts and candidate sets — heavy divergence.
+
+Sweet KNN builds a map from thread IDs to query IDs such that threads
+of the same warp work on queries of the same cluster: each query
+cluster copies its member IDs into a contiguous segment of the map
+(the segment start handed out by ``atomicAdd(&start_addr,
+memberSize)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.atomics import AtomicCounter
+
+__all__ = ["identity_map", "remap_by_cluster"]
+
+
+def identity_map(n_queries):
+    """The basic implementation's mapping: thread i → query i."""
+    return np.arange(int(n_queries), dtype=np.int64)
+
+
+def remap_by_cluster(query_clusters):
+    """Sweet KNN's map: warps see queries from the same cluster.
+
+    Mirrors the construction in the paper: every cluster reserves a
+    contiguous segment of the map with an atomic bump allocation and
+    copies its member IDs into it.
+
+    Returns
+    -------
+    (map, atomic_ops)
+        ``map[thread_id] = query_id`` and the number of atomic
+        operations spent building it (for the init-kernel accounting).
+    """
+    start_addr = AtomicCounter()
+    thread_to_query = np.empty(query_clusters.n_points, dtype=np.int64)
+    for members in query_clusters.members:
+        if members.size == 0:
+            continue
+        start = start_addr.fetch_add(members.size)
+        thread_to_query[start:start + members.size] = members
+    return thread_to_query, start_addr.operations

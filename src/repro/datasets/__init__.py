@@ -1,0 +1,6 @@
+"""Dataset stand-ins and synthetic generators (Table III of the paper)."""
+
+from .uci import DATASETS, DatasetSpec, load, names
+from . import synthetic
+
+__all__ = ["DATASETS", "DatasetSpec", "load", "names", "synthetic"]

@@ -1,0 +1,146 @@
+"""Stand-ins for the paper's nine UCI datasets (Table III).
+
+Each :class:`DatasetSpec` pairs a paper dataset with a synthetic
+generator matched to its clusterability regime, a scaled-down
+cardinality, and the matching device-memory scale.
+
+Scaling rule: cardinalities shrink by a per-dataset factor (the
+simulator executes every level-2 step in Python); the simulated
+device's global memory shrinks by the *square* of that factor so the
+baseline's distance matrix overflows memory on exactly the datasets
+the paper reports as partitioned (3DNet, skin, ipums, kdd).
+Dimensions are kept verbatim except *dorothea* (100 000 → 2 000, noted
+in DESIGN.md) because a 100 k-dim float matrix is host-side waste with
+no algorithmic effect beyond the per-distance cost, which 2 000
+already dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from . import synthetic
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "names"]
+
+_K20C_MEMORY = 5 * 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-III dataset stand-in."""
+
+    name: str
+    full_name: str
+    paper_n: int
+    paper_dim: int
+    n: int
+    dim: int
+    generator: object
+    seed: int
+
+    @property
+    def scale(self):
+        """Cardinality scale-down factor versus the paper."""
+        return self.paper_n / self.n
+
+    @property
+    def device_memory_bytes(self):
+        """Simulated global memory preserving the partitioning regime.
+
+        Memory scales with the square of the cardinality scale because
+        the baseline's dominant allocation is the |Q| x |T| distance
+        matrix.  A floor keeps the fixed working set (point matrices)
+        placeable.
+        """
+        scaled = _K20C_MEMORY / (self.scale ** 2)
+        floor = 4 * (2 * self.n * self.dim * 4)
+        return int(max(scaled, floor))
+
+    def device(self):
+        """The simulated K20c scaled to this stand-in.
+
+        Global memory shrinks by the squared cardinality scale (the
+        baseline's distance matrix) and the scheduler's concurrency by
+        the plain scale, so both the partitioning regime and the
+        parallelism-to-problem-size ratio match the paper's setup.
+        """
+        from ..gpu.device import tesla_k20c
+        device = tesla_k20c(self.device_memory_bytes)
+        device = device.with_concurrency_scale(1.0 / self.scale)
+        return device.with_l2(device.l2_bytes / self.scale)
+
+    def generate(self, rng=None):
+        """Materialise the stand-in point set (deterministic by seed)."""
+        rng = rng or np.random.default_rng(self.seed)
+        points = self.generator(rng)
+        if points.shape != (self.n, self.dim):
+            raise DatasetError(
+                "generator for %r produced %s, expected %s"
+                % (self.name, points.shape, (self.n, self.dim)))
+        return points
+
+
+def _spec(name, full_name, paper_n, paper_dim, n, dim, seed, generator):
+    return DatasetSpec(name=name, full_name=full_name, paper_n=paper_n,
+                       paper_dim=paper_dim, n=n, dim=dim, seed=seed,
+                       generator=generator)
+
+
+DATASETS = {
+    "3dnet": _spec(
+        "3dnet", "3D spatial network", 434874, 4, 10872, 4, 101,
+        lambda rng: synthetic.road_network_3d(10872, rng, dim=4, n_roads=64)),
+    "kegg": _spec(
+        "kegg", "KEGG Metabolic Reaction Network (Undirected)",
+        65554, 29, 4096, 29, 102,
+        lambda rng: synthetic.gaussian_mixture(
+            4096, 29, rng, n_clusters=40, separation=12.0,
+            intrinsic_dim=6)),
+    "keggd": _spec(
+        "keggd", "KEGG Metabolic Reaction Network (Directed)",
+        53414, 24, 3338, 24, 103,
+        lambda rng: synthetic.gaussian_mixture(
+            3338, 24, rng, n_clusters=36, separation=12.0,
+            intrinsic_dim=5)),
+    "ipums": _spec(
+        "ipums", "IPUMS Census Database", 256932, 61, 6021, 61, 104,
+        lambda rng: synthetic.gaussian_mixture(
+            6021, 61, rng, n_clusters=64, separation=9.0,
+            intrinsic_dim=8)),
+    "skin": _spec(
+        "skin", "Skin Segmentation", 245057, 4, 7658, 4, 105,
+        lambda rng: synthetic.color_clusters(7658, rng, dim=4)),
+    "arcene": _spec(
+        "arcene", "Arcene", 100, 10000, 100, 10000, 106,
+        lambda rng: synthetic.high_dim_weakly_clustered(
+            100, 10000, rng, intrinsic_dim=64)),
+    "kdd": _spec(
+        "kdd", "KDD Cup 1999 Data", 4000000, 42, 7812, 42, 107,
+        lambda rng: synthetic.repeated_records(7812, 42, rng)),
+    "dor": _spec(
+        "dor", "Dorothea Data", 1950, 100000, 1950, 2000, 108,
+        lambda rng: synthetic.sparse_high_dim(1950, 2000, rng)),
+    "blog": _spec(
+        "blog", "Blog Feedback", 60021, 281, 3751, 281, 109,
+        lambda rng: synthetic.skewed_features(3751, 281, rng)),
+}
+
+
+def names():
+    """The nine stand-in names in the paper's Table-III order."""
+    return ["3dnet", "kegg", "keggd", "ipums", "skin", "arcene", "kdd",
+            "dor", "blog"]
+
+
+def load(name, rng=None):
+    """Load a stand-in by name; returns ``(points, spec)``."""
+    try:
+        spec = DATASETS[name.lower()]
+    except KeyError:
+        raise DatasetError(
+            "unknown dataset %r; available: %s" % (name, ", ".join(names())))
+    return spec.generate(rng), spec

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Sweet KNN reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class OutOfDeviceMemory(ReproError):
+    """Raised when a simulated device allocation exceeds global memory.
+
+    The CUBLAS-style baseline catches this to trigger query-set
+    partitioning, mirroring the behaviour described in Section V-A of
+    the paper.
+    """
+
+    def __init__(self, requested, available, capacity):
+        self.requested = int(requested)
+        self.available = int(available)
+        self.capacity = int(capacity)
+        super().__init__(
+            "device allocation of %d bytes exceeds the %d bytes available "
+            "(capacity %d)" % (self.requested, self.available, self.capacity)
+        )
+
+
+class LaunchConfigError(ReproError):
+    """Raised for an invalid simulated kernel launch configuration."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset name or specification is invalid."""
+
+
+class ValidationError(ReproError):
+    """Raised when user-facing API inputs fail validation."""

@@ -1,0 +1,46 @@
+"""Simulated GPU substrate for the Sweet KNN reproduction.
+
+The paper runs on a Tesla K20c; this package replaces the hardware with
+a warp-level SIMT simulator that measures the quantities the paper's
+speedups hinge on — warp efficiency, divergence, memory coalescing,
+occupancy and memory-capacity pressure — from real executions of the
+real algorithms (see DESIGN.md, "Substitutions").
+
+Layers
+------
+:mod:`~repro.gpu.device`
+    Device specs (K20c factory) and occupancy.
+:mod:`~repro.gpu.memory`
+    Global-memory allocator with capacity enforcement, arrays with
+    event-producing accessors, coalescing model.
+:mod:`~repro.gpu.costmodel`
+    Cycle costs per event category.
+:mod:`~repro.gpu.warp`
+    Lane-level lock-step reference executor (generators).
+:mod:`~repro.gpu.executor`
+    Warp-vectorised production executor.
+:mod:`~repro.gpu.kernel`
+    Launch configs and warp scheduling into simulated time.
+:mod:`~repro.gpu.profiler`
+    nvprof-style counters (warp efficiency, transactions, ...).
+:mod:`~repro.gpu.atomics`
+    Models of atomicAdd/atomicMin used by the kernels.
+"""
+
+from .costmodel import CostModel, default_cost_model
+from .device import DeviceSpec, Occupancy, tesla_k20c
+from .executor import WarpExecutor, transactions_for
+from .kernel import LaunchConfig, finalize_kernel, makespan
+from .memory import (GlobalArray, GlobalMemory, RegisterArray, SharedArray,
+                     coalesced_transactions)
+from .profiler import KernelProfile, PipelineProfile
+
+__all__ = [
+    "CostModel", "default_cost_model",
+    "DeviceSpec", "Occupancy", "tesla_k20c",
+    "WarpExecutor", "transactions_for",
+    "LaunchConfig", "finalize_kernel", "makespan",
+    "GlobalArray", "GlobalMemory", "RegisterArray", "SharedArray",
+    "coalesced_transactions",
+    "KernelProfile", "PipelineProfile",
+]

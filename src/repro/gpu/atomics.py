@@ -1,0 +1,54 @@
+"""Host-visible models of the GPU atomic operations the paper relies on.
+
+The basic KNN-TI implementation uses ``atomicAdd`` to allocate cluster
+slots without synchronisation (Section III-A) and a user-defined
+floating-point atomic max for per-cluster radii; Sweet KNN's
+multi-thread-per-query mode shares the bound ``theta`` through
+``atomicMin`` (Section IV-B2).  On the simulator the operations execute
+sequentially (lock-step execution is deterministic), so these helpers
+exist to (a) document intent at call sites and (b) centralise the
+counting of atomic events for the cost model.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AtomicCounter", "AtomicScalar"]
+
+
+class AtomicCounter:
+    """An ``atomicAdd``-style integer slot allocator."""
+
+    def __init__(self, value=0):
+        self.value = int(value)
+        self.operations = 0
+
+    def fetch_add(self, n=1):
+        """Return the pre-increment value, as CUDA's atomicAdd does."""
+        old = self.value
+        self.value += int(n)
+        self.operations += 1
+        return old
+
+
+class AtomicScalar:
+    """A float cell supporting atomicMin/atomicMax semantics."""
+
+    def __init__(self, value):
+        self.value = float(value)
+        self.operations = 0
+
+    def fetch_min(self, candidate):
+        """Atomically lower the cell; returns the old value."""
+        old = self.value
+        if candidate < self.value:
+            self.value = float(candidate)
+        self.operations += 1
+        return old
+
+    def fetch_max(self, candidate):
+        """Atomically raise the cell; returns the old value."""
+        old = self.value
+        if candidate > self.value:
+            self.value = float(candidate)
+        self.operations += 1
+        return old

@@ -1,0 +1,76 @@
+"""Cycle cost model for the simulated GPU.
+
+The model assigns a cycle cost to each warp *step* (one lock-step
+instruction across the lanes of a warp) from the events the step
+issues.  It is a throughput model, not a latency model: latency hiding
+by warp over-subscription is folded into the per-event costs, and the
+kernel scheduler (:mod:`repro.gpu.kernel`) accounts for parallelism
+across warps separately.
+
+Approximations (documented per DESIGN.md):
+
+* A flop step costs ``flop_cycles`` per operation of the *widest* lane;
+  lanes with less work idle (SIMD).
+* A global-memory step costs ``global_txn_cycles`` per 128-byte
+  transaction after coalescing — this is what penalises the scattered
+  accesses of TI filtering and rewards the streaming accesses of the
+  CUBLAS-style baseline.
+* A divergent branch doubles its step's cost (two serialized passes),
+  on top of the idle-lane accounting that the lock-step executor
+  already performs for loop trip-count disparity — the dominant
+  irregularity in TI-based KNN (Section IV-A of the paper).
+* Atomics serialize across lanes: cost is per atomic, not per step.
+* GEMM-shaped kernels (the CUBLAS baseline) use ``gemm_flop_cycles``
+  per multiply-add, reflecting CUBLAS's near-peak FMA throughput that
+  plain scalar kernel code does not reach.
+
+The constants were calibrated once so that the reproduced experiments
+land in the paper's qualitative regime (see EXPERIMENTS.md); they are
+deliberately exposed as a dataclass so ablations can perturb them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "default_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs per event category."""
+
+    issue_cycles: float = 1.0          # per warp step (instruction issue)
+    flop_cycles: float = 0.5           # per op, widest lane (dual-issue ILP)
+    gemm_flop_cycles: float = 0.25     # per MAC in a CUBLAS-style GEMM
+    global_txn_cycles: float = 24.0    # per DRAM 128-byte transaction
+    l2_txn_cycles: float = 4.0         # per L2-resident transaction
+    shared_cycles: float = 2.0         # per shared-memory access, widest lane
+    atomic_cycles: float = 24.0        # per atomic op (serialized)
+    branch_cycles: float = 1.0         # per branch step
+    divergence_penalty: float = 2.0    # multiplier on a divergent step
+    kernel_launch_cycles: float = 7000.0  # ~10 us at 0.7 GHz
+
+    def step_cost(self, flops=0.0, transactions=0, l2_transactions=0,
+                  shared=0.0, atomics=0, branch=False, divergent=False):
+        """Cycle cost of one warp step issuing the given events."""
+        cost = self.issue_cycles
+        cost += self.flop_cycles * flops
+        cost += self.global_txn_cycles * transactions
+        cost += self.l2_txn_cycles * l2_transactions
+        cost += self.shared_cycles * shared
+        cost += self.atomic_cycles * atomics
+        if branch:
+            cost += self.branch_cycles
+        if divergent:
+            cost *= self.divergence_penalty
+        return cost
+
+    def with_(self, **overrides):
+        """Return a perturbed copy (for cost-model ablations)."""
+        return replace(self, **overrides)
+
+
+def default_cost_model():
+    """The calibrated cost model used by all experiments."""
+    return CostModel()

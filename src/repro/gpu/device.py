@@ -1,0 +1,241 @@
+"""Simulated GPU device specifications and occupancy calculation.
+
+The paper evaluates on an NVIDIA Tesla K20c (Kepler).  This module models
+the device attributes Sweet KNN's adaptive scheme reads through "query
+APIs" (Section IV-D2 of the paper): shared-memory size per SM, register
+file size, maximum concurrent threads, and the global-memory capacity that
+drives query-set partitioning in the CUBLAS baseline.
+
+A :class:`DeviceSpec` is immutable; experiments that need a scaled memory
+budget derive a new spec with :meth:`DeviceSpec.with_global_mem`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "Occupancy", "tesla_k20c"]
+
+#: Size in bytes of one coalesced memory transaction (Section II-A).
+TRANSACTION_BYTES = 128
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy computation for one kernel configuration.
+
+    Attributes
+    ----------
+    threads_per_sm:
+        Number of threads that can be concurrently resident on one SM
+        for the given kernel resource usage.
+    limiter:
+        Which resource bounds occupancy: ``"threads"``, ``"registers"``
+        or ``"shared"``.
+    """
+
+    threads_per_sm: int
+    limiter: str
+
+    def warps_per_sm(self, warp_size):
+        return self.threads_per_sm // warp_size
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a simulated GPU.
+
+    The defaults of :func:`tesla_k20c` match the Tesla K20c attributes
+    the paper uses when deriving its thresholds: 48 KB shared memory per
+    SM, a 64 K-entry register file per SM, and 2048 concurrently
+    resident threads per SM, which give ``th1 = 24`` bytes and
+    ``th2 = 1020`` bytes (Section IV-D2).
+    """
+
+    name: str
+    num_sms: int
+    warp_size: int = 32
+    cores_per_sm: int = 192
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 16
+    shared_mem_per_sm: int = 48 * 1024
+    registers_per_sm: int = 64 * 1024
+    max_registers_per_thread: int = 255
+    global_mem_bytes: int = 5 * 1024 ** 3
+    l2_bytes: int = 1280 * 1024
+    clock_hz: float = 706e6
+    transaction_bytes: int = TRANSACTION_BYTES
+    #: Scales the *scheduler's* concurrent-warp slots and the adaptive
+    #: scheme's ``max_cur`` (device-wide thread budget), without
+    #: touching per-SM resources (th1/th2).  Experiments on scaled-down
+    #: dataset stand-ins scale this by the same factor so the ratio of
+    #: device parallelism to problem size matches the paper's setup
+    #: (see DESIGN.md, "Substitutions").
+    concurrency_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.warp_size <= 0:
+            raise ValueError("warp_size must be positive")
+        if self.max_threads_per_sm % self.warp_size != 0:
+            raise ValueError("max_threads_per_sm must be a multiple of warp_size")
+        if self.global_mem_bytes <= 0:
+            raise ValueError("global_mem_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the adaptive scheme (Section IV-D)
+    # ------------------------------------------------------------------
+    @property
+    def max_concurrent_threads(self):
+        """Maximum threads concurrently resident on the whole device.
+
+        This is the ``max_cur`` quantity of Section IV-D3 before any
+        per-kernel resource limits are applied.
+        """
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def issue_warp_slots(self):
+        """Warp-throughput slots of the whole device.
+
+        Resident warps hide latency; *throughput* is bounded by the
+        execution cores: ``cores_per_sm / warp_size`` warps issue per
+        SM per cycle (6 on the K20c).  The scheduler uses
+        ``min(resident warps, issue slots)``, so occupancy only hurts
+        when residency drops below the issue width — matching real
+        behaviour, where halving occupancy rarely halves throughput.
+        Scaled by ``concurrency_scale`` like everything scheduler-side.
+        """
+        slots = (self.num_sms * self.cores_per_sm / self.warp_size
+                 * self.concurrency_scale)
+        return max(1, int(round(slots)))
+
+    @property
+    def shared_mem_threshold_th1(self):
+        """``th1`` of Section IV-D2, in bytes per thread.
+
+        ``th1 = shared_mem_size / max_currPerSM``; a per-thread
+        ``kNearests`` array is considered for shared memory only when
+        its size does not exceed this threshold.
+        """
+        return self.shared_mem_per_sm // self.max_threads_per_sm
+
+    @property
+    def register_threshold_th2(self):
+        """``th2`` of Section IV-D2, in bytes per thread.
+
+        ``th2 = max_regPerThread * 4`` bytes; ``kNearests`` arrays no
+        larger than this (and larger than ``th1``) are declared as local
+        variables so they may live in registers.
+        """
+        return self.max_registers_per_thread * 4
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    def occupancy(self, regs_per_thread=32, shared_bytes_per_thread=0,
+                  block_size=256):
+        """Compute how many threads fit concurrently on one SM.
+
+        Parameters mirror the CUDA occupancy calculator inputs the paper
+        cites [20]: per-thread register usage, per-thread shared-memory
+        usage and the thread-block size.
+
+        Returns
+        -------
+        Occupancy
+        """
+        if block_size <= 0 or block_size > self.max_threads_per_block:
+            raise ValueError(
+                "block_size must be in (0, %d]" % self.max_threads_per_block
+            )
+        regs_per_thread = max(1, int(regs_per_thread))
+        shared_bytes_per_thread = max(0, int(shared_bytes_per_thread))
+
+        limits = {"threads": self.max_threads_per_sm}
+        limits["registers"] = self.registers_per_sm // regs_per_thread
+        if shared_bytes_per_thread:
+            shared_per_block = shared_bytes_per_thread * block_size
+            blocks = self.shared_mem_per_sm // shared_per_block
+            limits["shared"] = blocks * block_size
+        limiter = min(limits, key=lambda name: limits[name])
+        threads = limits[limiter]
+        # Residency is granted in whole blocks, themselves whole warps.
+        threads = (threads // block_size) * block_size
+        threads = min(threads, self.max_blocks_per_sm * block_size,
+                      self.max_threads_per_sm)
+        threads = (threads // self.warp_size) * self.warp_size
+        if threads <= 0:
+            # A single block always runs, however oversubscribed.
+            threads = min(block_size, self.max_threads_per_sm)
+        return Occupancy(threads_per_sm=threads, limiter=limiter)
+
+    def concurrent_threads(self, regs_per_thread=32, shared_bytes_per_thread=0,
+                           block_size=256):
+        """Device-wide concurrent thread count for a kernel configuration.
+
+        This is the adaptive scheme's ``max_cur`` (Section IV-D3);
+        scaled by ``concurrency_scale`` for scaled-down experiments.
+        """
+        occ = self.occupancy(regs_per_thread, shared_bytes_per_thread,
+                             block_size)
+        total = occ.threads_per_sm * self.num_sms * self.concurrency_scale
+        return max(self.warp_size, int(total))
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_global_mem(self, global_mem_bytes):
+        """Return a copy of this spec with a different memory capacity.
+
+        Dataset stand-ins in this reproduction are scaled down from the
+        UCI originals; experiments scale the device memory by the same
+        factor so the baseline's partitioning behaviour is preserved
+        (see DESIGN.md Section 2).
+        """
+        return dataclasses.replace(self, global_mem_bytes=int(global_mem_bytes))
+
+    def scaled(self, factor):
+        """Return a copy with global memory scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return self.with_global_mem(max(1, int(self.global_mem_bytes * factor)))
+
+    def with_concurrency_scale(self, factor):
+        """Return a copy with the scheduler concurrency scaled."""
+        if factor <= 0:
+            raise ValueError("concurrency scale must be positive")
+        return dataclasses.replace(self, concurrency_scale=float(factor))
+
+    def with_l2(self, l2_bytes):
+        """Return a copy with a different L2 capacity (scaling)."""
+        return dataclasses.replace(self, l2_bytes=max(1024, int(l2_bytes)))
+
+    def l2_hit_rate(self, working_set_bytes):
+        """Fraction of repeated accesses to a structure served by L2.
+
+        A simple capacity model: a structure of ``s`` bytes re-read
+        under a uniform access pattern hits L2 with probability
+        ``min(1, l2 / s)``.
+        """
+        if working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, self.l2_bytes / float(working_set_bytes))
+
+
+def tesla_k20c(global_mem_bytes=None):
+    """Build the Tesla K20c spec used throughout the paper's evaluation.
+
+    Parameters
+    ----------
+    global_mem_bytes:
+        Optional override of the 5 GB global memory, used by experiments
+        that scale the capacity along with the scaled-down datasets.
+    """
+    spec = DeviceSpec(name="Tesla K20c (simulated)", num_sms=13)
+    if global_mem_bytes is not None:
+        spec = spec.with_global_mem(global_mem_bytes)
+    return spec

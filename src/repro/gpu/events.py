@@ -1,0 +1,90 @@
+"""Instruction events yielded by simulated GPU threads.
+
+A simulated kernel is a Python generator run once per thread (lane).
+Each ``yield`` produces one *event* — one lock-step warp instruction —
+represented as a small tuple whose first element is the event kind.
+The warp executor (:mod:`repro.gpu.warp`) advances all lanes of a warp
+one event at a time, which is what lets it measure warp efficiency,
+divergence and memory coalescing.
+
+Event kinds
+-----------
+``FLOP``
+    ``(FLOP, n)`` — ``n`` arithmetic operations (e.g. one Euclidean
+    distance in ``d`` dimensions costs ``3 d`` flops).
+``GLOAD`` / ``GSTORE``
+    ``(GLOAD, addr, nbytes)`` — a global-memory access starting at byte
+    address ``addr``.  Accesses issued by the lanes of a warp in the
+    same step are coalesced into 128-byte transactions.
+``SHARED``
+    ``(SHARED, n)`` — ``n`` shared-memory accesses (banked, on-chip).
+``REG``
+    ``(REG, n)`` — ``n`` register-file accesses (free in the cost
+    model; register pressure instead affects occupancy).
+``ATOMIC``
+    ``(ATOMIC, space)`` — one atomic read-modify-write in ``space``
+    (``"global"`` or ``"shared"``).
+``BRANCH``
+    ``(BRANCH, taken)`` — a conditional branch outcome.  Mixed outcomes
+    within a warp step are recorded as a divergent branch and serialise
+    the step (Section II-A of the paper).
+``COUNT``
+    ``(COUNT, name, n)`` — a free profiling counter increment, used for
+    the paper's "saved computations" statistic (Table IV).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FLOP", "GLOAD", "GSTORE", "SHARED", "REG", "ATOMIC", "BRANCH", "COUNT",
+    "flop", "gload", "gstore", "shared", "reg", "atomic", "branch", "count",
+]
+
+FLOP = "flop"
+GLOAD = "gload"
+GSTORE = "gstore"
+SHARED = "shared"
+REG = "reg"
+ATOMIC = "atomic"
+BRANCH = "branch"
+COUNT = "count"
+
+
+def flop(n=1):
+    """``n`` arithmetic operations executed by this lane in one step."""
+    return (FLOP, n)
+
+
+def gload(addr, nbytes):
+    """A global-memory load of ``nbytes`` at byte address ``addr``."""
+    return (GLOAD, addr, nbytes)
+
+
+def gstore(addr, nbytes):
+    """A global-memory store of ``nbytes`` at byte address ``addr``."""
+    return (GSTORE, addr, nbytes)
+
+
+def shared(n=1):
+    """``n`` shared-memory accesses."""
+    return (SHARED, n)
+
+
+def reg(n=1):
+    """``n`` register accesses (free; affects occupancy only)."""
+    return (REG, n)
+
+
+def atomic(space="global"):
+    """One atomic operation in ``space`` (``"global"``/``"shared"``)."""
+    return (ATOMIC, space)
+
+
+def branch(taken):
+    """A conditional branch outcome for divergence accounting."""
+    return (BRANCH, bool(taken))
+
+
+def count(name, n=1):
+    """A free profiling-counter increment (e.g. distance computations)."""
+    return (COUNT, name, n)

@@ -1,0 +1,196 @@
+"""Warp-vectorised SIMT executor — the workhorse of the simulator.
+
+Production kernels in this reproduction are written warp-by-warp: one
+Python iteration per warp *step*, with the (up to) 32 lanes of the warp
+handled together through numpy.  A :class:`WarpExecutor` instance
+accounts one warp; each :meth:`WarpExecutor.step` call is one lock-step
+instruction and updates the owning :class:`KernelProfile` exactly the
+way the lane-level reference executor (:mod:`repro.gpu.warp`) would —
+the test suite asserts the two agree.
+
+The semantics of a step:
+
+* ``active`` lanes execute; the rest idle (warp efficiency accounting);
+* a flop step costs the *widest* lane (SIMD);
+* global accesses are coalesced into 128-byte segments;
+* mixed branch outcomes serialize the step (divergence penalty);
+* atomics serialize across lanes.
+
+For long regular phases (every lane does ``n`` identical steps, as in
+the clustering kernels or the GEMM baseline) :meth:`uniform_steps`
+accounts the whole phase in O(1), which is what makes simulating the
+baseline's |Q|x|T| work feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .costmodel import default_cost_model
+from .profiler import KernelProfile
+
+__all__ = ["WarpExecutor", "transactions_for"]
+
+
+def transactions_for(addrs, nbytes, transaction_bytes=128):
+    """Coalesced transaction count for one warp step's global accesses.
+
+    Parameters
+    ----------
+    addrs:
+        Array of starting byte addresses, one per accessing lane.
+    nbytes:
+        Scalar or per-lane array of access widths in bytes.
+
+    Returns
+    -------
+    int
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if addrs.size == 0:
+        return 0
+    nbytes = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), addrs.shape)
+    first = addrs // transaction_bytes
+    last = (addrs + nbytes - 1) // transaction_bytes
+    spans = last - first
+    if not spans.any():
+        return int(np.unique(first).size)
+    segments = np.concatenate(
+        [np.arange(f, l + 1) for f, l in zip(first, last)])
+    return int(np.unique(segments).size)
+
+
+class WarpExecutor:
+    """Accounts the execution of one warp, step by step."""
+
+    def __init__(self, profile, cost_model=None, transaction_bytes=128,
+                 warp_size=32):
+        self.profile = profile
+        self.cost_model = cost_model or default_cost_model()
+        self.transaction_bytes = transaction_bytes
+        self.warp_size = warp_size
+        self.cycles = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def step(self, active, flops_max=0.0, flops_total=None, gl_addrs=None,
+             gl_nbytes=4, shared_max=0, shared_total=None, atomics=0,
+             branch=False, divergent=False, flop_cycles=None):
+        """Account one lock-step warp instruction.
+
+        Parameters
+        ----------
+        active:
+            Number of lanes executing this step (1..warp_size).
+        flops_max:
+            Arithmetic ops of the widest lane (the step's SIMD cost).
+        flops_total:
+            Total ops across lanes (defaults to ``flops_max * active``).
+        gl_addrs / gl_nbytes:
+            Global accesses issued this step, for coalescing.
+        shared_max / shared_total:
+            Shared-memory accesses (widest lane / across lanes).
+        atomics:
+            Number of atomic operations issued (serialized).
+        branch:
+            Whether this step ends in a conditional branch.
+        divergent:
+            Whether the branch outcomes were mixed across lanes.
+        flop_cycles:
+            Optional per-op cost override (the GEMM baseline passes the
+            cost model's ``gemm_flop_cycles``).
+        """
+        active = int(active)
+        if active <= 0:
+            return
+        if active > self.warp_size:
+            raise ValueError("active lanes exceed warp size")
+        prof = self.profile
+        prof.warp_steps += 1
+        prof.lane_steps += active
+        if flops_total is None:
+            flops_total = flops_max * active
+        prof.flops += flops_total
+
+        transactions = 0
+        if gl_addrs is not None:
+            transactions = transactions_for(gl_addrs, gl_nbytes,
+                                            self.transaction_bytes)
+            prof.gl_transactions += transactions
+            prof.gl_requests += int(np.asarray(gl_addrs).size)
+
+        if shared_total is None:
+            shared_total = shared_max * active
+        prof.shared_accesses += int(shared_total)
+        prof.atomics += int(atomics)
+        if branch:
+            prof.branches += 1
+            if divergent:
+                prof.divergent_branches += 1
+
+        model = self.cost_model
+        cost = model.issue_cycles
+        per_flop = model.flop_cycles if flop_cycles is None else flop_cycles
+        cost += per_flop * flops_max
+        cost += model.global_txn_cycles * transactions
+        cost += model.shared_cycles * shared_max
+        cost += model.atomic_cycles * atomics
+        if branch:
+            cost += model.branch_cycles
+        if divergent:
+            cost *= model.divergence_penalty
+        self.cycles += cost
+
+    # ------------------------------------------------------------------
+    def uniform_steps(self, n_steps, active, flops_max=0.0,
+                      transactions_per_step=0, shared_max=0, branch=False,
+                      flop_cycles=None):
+        """Account ``n_steps`` identical fully-regular steps in O(1).
+
+        Used for regular phases where every active lane does the same
+        thing every step — no divergence by construction.
+        """
+        n_steps = int(n_steps)
+        if n_steps <= 0 or active <= 0:
+            return
+        active = int(active)
+        prof = self.profile
+        prof.warp_steps += n_steps
+        prof.lane_steps += n_steps * active
+        prof.flops += n_steps * flops_max * active
+        prof.gl_transactions += n_steps * transactions_per_step
+        if transactions_per_step:
+            prof.gl_requests += n_steps * active
+        prof.shared_accesses += n_steps * shared_max * active
+        if branch:
+            prof.branches += n_steps
+
+        model = self.cost_model
+        per_flop = model.flop_cycles if flop_cycles is None else flop_cycles
+        cost = model.issue_cycles
+        cost += per_flop * flops_max
+        cost += model.global_txn_cycles * transactions_per_step
+        cost += model.shared_cycles * shared_max
+        if branch:
+            cost += model.branch_cycles
+        self.cycles += n_steps * cost
+
+    def count(self, name, n=1):
+        """Increment a free profiling counter (no cycle cost)."""
+        self.profile.count(name, int(n))
+
+    # ------------------------------------------------------------------
+    def end_warp(self):
+        """Close out this warp and record its total cycles."""
+        if self._closed:
+            raise RuntimeError("warp already ended")
+        self._closed = True
+        self.profile.cycles += self.cycles
+        self.profile.warp_cycles.append(self.cycles)
+        self.profile.n_warps += 1
+        return self.cycles
+
+
+def new_profile(name, n_threads):
+    """Create a :class:`KernelProfile` for a warp-vectorised kernel."""
+    return KernelProfile(name=name, n_threads=int(n_threads))

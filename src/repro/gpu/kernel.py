@@ -1,0 +1,94 @@
+"""Kernel launch configuration and simulated-time scheduling.
+
+A kernel's simulated wall time is derived from its per-warp cycle
+totals by list-scheduling the warps onto the device's concurrent warp
+slots (occupancy-limited), plus a fixed launch overhead:
+
+``sim_time = (makespan(warp_cycles, slots) + launch_overhead) / clock``
+
+Occupancy comes from :meth:`repro.gpu.device.DeviceSpec.occupancy` with
+the kernel's block size, register and shared-memory usage — this is how
+the ``kNearests`` placement decision (Section IV-C2 of the paper) feeds
+back into performance: register or shared-memory placement speeds up
+accesses but can lower the number of resident warps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .costmodel import default_cost_model
+from .profiler import KernelProfile
+
+__all__ = ["LaunchConfig", "finalize_kernel", "makespan"]
+
+#: Thread-block size used by the paper's evaluation (Section V-A).
+DEFAULT_BLOCK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Resource usage of one kernel launch, for occupancy purposes."""
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    regs_per_thread: int = 32
+    shared_bytes_per_thread: int = 0
+
+    def concurrent_warps(self, device):
+        """Scheduler throughput slots: min(resident warps, issue slots).
+
+        Residency comes from occupancy (registers/shared usage); the
+        issue width bounds how many warps can make progress per cycle
+        regardless of how many are resident.
+        """
+        occ = device.occupancy(self.regs_per_thread,
+                               self.shared_bytes_per_thread,
+                               self.block_size)
+        per_sm = max(1, occ.threads_per_sm // device.warp_size)
+        resident = per_sm * device.num_sms * device.concurrency_scale
+        resident = max(1, int(resident))
+        return min(resident, device.issue_warp_slots)
+
+
+def makespan(warp_cycles, slots):
+    """Longest-processing-time list-scheduling makespan.
+
+    Models the SM schedulers executing ``len(warp_cycles)`` warps on
+    ``slots`` concurrent warp contexts.
+    """
+    slots = max(1, int(slots))
+    if not warp_cycles:
+        return 0.0
+    if slots == 1:
+        return float(sum(warp_cycles))
+    if len(warp_cycles) <= slots:
+        return float(max(warp_cycles))
+    loads = [0.0] * slots
+    heapq.heapify(loads)
+    for cycles in sorted(warp_cycles, reverse=True):
+        least = heapq.heappop(loads)
+        heapq.heappush(loads, least + cycles)
+    return max(loads)
+
+
+def finalize_kernel(profile, device, config=None, cost_model=None):
+    """Fill in a kernel profile's simulated time; returns the profile.
+
+    Call after all the kernel's warps have been executed/accounted.
+    """
+    config = config or LaunchConfig()
+    cost_model = cost_model or default_cost_model()
+    slots = config.concurrent_warps(device)
+    span = makespan(profile.warp_cycles, slots)
+    span += cost_model.kernel_launch_cycles
+    profile.sim_time_s = span / device.clock_hz
+    return profile
+
+
+def empty_kernel(name, device, cost_model=None):
+    """Profile of a kernel that launches but does no work (overhead only)."""
+    cost_model = cost_model or default_cost_model()
+    profile = KernelProfile(name=name)
+    profile.sim_time_s = cost_model.kernel_launch_cycles / device.clock_hz
+    return profile

@@ -1,0 +1,303 @@
+"""Per-lane step logs and warp folding.
+
+The TI filtering kernels are *data-dependent*: each thread's loop trip
+counts and branch outcomes depend on its query.  Because one thread's
+scan is independent of the others (threads only share read-only data
+and, in multi-thread-per-query mode, a monotone bound), the simulator
+can execute each lane's scan sequentially, record a compact per-step
+log, and then *fold* the 32 logs of every warp into lock-step warp
+accounting — mathematically identical to interleaved execution under
+the lock-step model, but vectorisable.
+
+A :class:`LaneLog` records, per warp step the lane executes:
+
+* ``flops`` — arithmetic ops (3d+1 for a distance, ~3 for a bound);
+* ``txns`` — DRAM transactions issued (layout-dependent);
+* ``l2`` — transactions served by the L2 cache (small hot structures:
+  cluster centres, member-distance arrays, and the L2-resident share
+  of the point matrix);
+* ``heap_ops`` — accesses to the lane's ``kNearests`` structure, whose
+  cost is resolved at fold time from the placement decision
+  (global / shared / registers — Section IV-C2 of the paper);
+* ``atomics`` — atomic operations issued;
+* ``code`` — a small integer describing the step's branch outcome
+  (enter-cluster / break / skip / compute ...); a warp step whose
+  active lanes disagree is a divergent branch.
+
+Cross-lane coalescing note: the level-2 kernels access scattered
+target rows, whose segments essentially never coincide across lanes,
+so the fold counts transactions per lane without cross-lane merging —
+the lane-level reference executor is configured identically in the
+cross-validation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .costmodel import default_cost_model
+
+__all__ = ["LaneLog", "fold_warp_logs", "account_ragged",
+            "HEAP_IN_GLOBAL", "HEAP_IN_SHARED", "HEAP_IN_REGISTERS"]
+
+HEAP_IN_GLOBAL = "global"
+HEAP_IN_SHARED = "shared"
+HEAP_IN_REGISTERS = "registers"
+
+
+class LaneLog:
+    """Compact per-step execution log of one simulated thread."""
+
+    __slots__ = ("flops", "txns", "l2", "heap_ops", "atomics", "code")
+
+    def __init__(self):
+        self.flops = []
+        self.txns = []
+        self.l2 = []
+        self.heap_ops = []
+        self.atomics = []
+        self.code = []
+
+    def step(self, flops=0.0, txns=0, l2=0, heap_ops=0, atomics=0, code=0):
+        """Record one warp step executed by this lane."""
+        self.flops.append(flops)
+        self.txns.append(txns)
+        self.l2.append(l2)
+        self.heap_ops.append(heap_ops)
+        self.atomics.append(atomics)
+        self.code.append(code)
+
+    def bulk(self, count, flops=0.0, txns=0, l2=0, heap_ops=0, atomics=0,
+             code=0):
+        """Record ``count`` identical steps (e.g. a run of skips)."""
+        count = int(count)
+        if count <= 0:
+            return
+        self.flops.extend([flops] * count)
+        self.txns.extend([txns] * count)
+        self.l2.extend([l2] * count)
+        self.heap_ops.extend([heap_ops] * count)
+        self.atomics.extend([atomics] * count)
+        self.code.extend([code] * count)
+
+    def __len__(self):
+        return len(self.flops)
+
+    def as_arrays(self):
+        return (np.asarray(self.flops, dtype=np.float64),
+                np.asarray(self.txns, dtype=np.float64),
+                np.asarray(self.l2, dtype=np.float64),
+                np.asarray(self.heap_ops, dtype=np.float64),
+                np.asarray(self.atomics, dtype=np.int64),
+                np.asarray(self.code, dtype=np.int64))
+
+
+def _segment_positions(code, marker):
+    """Aligned-timeline positions of one lane's steps.
+
+    Returns ``(seg_ids, within)``: for each step, which reconvergence
+    segment it belongs to (a new segment starts at every ``marker``
+    step) and its offset within that segment.
+    """
+    starts = code == marker
+    seg_ids = np.cumsum(starts)  # steps before the first marker: segment 0
+    boundaries = np.flatnonzero(starts)
+    seg_start_of = np.zeros(seg_ids.max() + 1, dtype=np.int64)
+    seg_start_of[seg_ids[boundaries]] = boundaries
+    within = np.arange(code.size) - seg_start_of[seg_ids]
+    return seg_ids, within
+
+
+def fold_warp_logs(logs, profile, cost_model=None,
+                   heap_placement=HEAP_IN_GLOBAL, heap_coalesced=True,
+                   reconverge_code=None):
+    """Fold up to 32 lane logs into one warp's lock-step accounting.
+
+    Parameters
+    ----------
+    logs:
+        The warp's :class:`LaneLog` objects (shorter lanes idle once
+        finished — that is the warp-efficiency loss of trip-count
+        disparity the paper battles with thread-data remapping).
+    profile:
+        :class:`~repro.gpu.profiler.KernelProfile` updated in place.
+    heap_placement:
+        Where ``kNearests`` lives; resolves the cost of ``heap_ops``:
+        global memory (transactions), shared memory, or registers
+        (free).
+    heap_coalesced:
+        For global placement: ``True`` models the paper's Fig. 6
+        layout 2 (per-lane slots interleaved so simultaneous accesses
+        coalesce); ``False`` models layout 1 (each access its own
+        transaction).
+    reconverge_code:
+        SIMT loop reconvergence: when set, a step with this code opens
+        a new *segment* (the level-2 kernel passes the enter-cluster
+        code), and the warp reconverges at every segment boundary —
+        lanes that finish a candidate cluster early idle until the
+        warp's slowest lane finishes it.  This is what collapses warp
+        efficiency when the lanes of a warp scan different candidate
+        lists (Table I of the paper) and what thread-data remapping
+        repairs (Table II).
+
+    Returns
+    -------
+    float
+        The warp's total cycles (also appended to the profile).
+    """
+    cost_model = cost_model or default_cost_model()
+    logs = [log for log in logs if len(log)]
+    if not logs:
+        return 0.0
+    if len(logs) > 32:
+        raise ValueError("a warp folds at most 32 lanes")
+
+    lanes = len(logs)
+    lengths = np.asarray([len(log) for log in logs], dtype=np.int64)
+    raw = [log.as_arrays() for log in logs]
+
+    if reconverge_code is None:
+        positions = [np.arange(length) for length in lengths]
+        steps = int(lengths.max())
+    else:
+        seg_info = [_segment_positions(arrays[5], reconverge_code)
+                    for arrays in raw]
+        n_segments = max(int(seg.max()) + 1 for seg, _ in seg_info)
+        seg_max = np.zeros(n_segments, dtype=np.int64)
+        for seg_ids, within in seg_info:
+            np.maximum.at(seg_max, seg_ids, within + 1)
+        offsets = np.concatenate([[0], np.cumsum(seg_max)[:-1]])
+        positions = [offsets[seg_ids] + within
+                     for seg_ids, within in seg_info]
+        steps = int(seg_max.sum())
+
+    flops = np.zeros((lanes, steps))
+    txns = np.zeros((lanes, steps), dtype=np.float64)
+    l2 = np.zeros((lanes, steps), dtype=np.float64)
+    heap_ops = np.zeros((lanes, steps), dtype=np.float64)
+    atomics = np.zeros((lanes, steps), dtype=np.int64)
+    codes = np.full((lanes, steps), -1, dtype=np.int64)
+    for row, (arrays, pos) in enumerate(zip(raw, positions)):
+        f, t, l, h, a, c = arrays
+        flops[row, pos] = f
+        txns[row, pos] = t
+        l2[row, pos] = l
+        heap_ops[row, pos] = h
+        atomics[row, pos] = a
+        codes[row, pos] = c
+
+    active = codes >= 0
+    active_count = active.sum(axis=0)
+
+    flops_max = flops.max(axis=0)
+    txn_sum = txns.sum(axis=0)
+    l2_sum = l2.sum(axis=0)
+    heap_sum = heap_ops.sum(axis=0)
+    heap_max = heap_ops.max(axis=0)
+    atomic_sum = atomics.sum(axis=0)
+
+    # Divergence: active lanes disagree on the step's branch outcome.
+    code_max = codes.max(axis=0)
+    code_min = np.where(active, codes, np.iinfo(np.int64).max).min(axis=0)
+    divergent = code_max != code_min
+
+    # Resolve kNearests placement into resource costs.
+    shared_max = np.zeros(steps)
+    if heap_placement == HEAP_IN_SHARED:
+        shared_max = heap_max.astype(np.float64)
+        profile.shared_accesses += int(heap_sum.sum())
+    elif heap_placement == HEAP_IN_REGISTERS:
+        profile.reg_accesses += int(heap_sum.sum())
+    elif heap_placement == HEAP_IN_GLOBAL:
+        # Two access patterns: the root compare (slot 0, every lane at
+        # the same index — coalesced under Fig. 6's layout 2), and the
+        # sift walk of an update (lanes diverge through different heap
+        # levels — scattered 4-byte reads issued as 32-byte sectors in
+        # either layout).  This sift traffic is what makes large-k
+        # kNearests maintenance so expensive (Section IV-B1).
+        heap_lanes = (heap_ops > 0).sum(axis=0)
+        sift = np.maximum(heap_ops - 1.0, 0.0).sum(axis=0)
+        if heap_coalesced:
+            # Layout 2: root compares coalesce across the warp.
+            extra = np.ceil(heap_lanes / 32.0) + 0.25 * sift
+        else:
+            # Layout 1: even the root compares are scattered.
+            extra = 0.25 * (heap_lanes + sift)
+        txn_sum = txn_sum + extra
+    else:
+        raise ValueError("unknown heap placement: %r" % (heap_placement,))
+
+    model = cost_model
+    # Divergence serializes instruction issue and arithmetic (the two
+    # branch paths replay), but memory transactions are issued once.
+    compute = (model.issue_cycles
+               + model.flop_cycles * flops_max
+               + model.shared_cycles * shared_max
+               + model.branch_cycles)
+    compute = np.where(divergent, compute * model.divergence_penalty, compute)
+    cycles = (compute
+              + model.global_txn_cycles * txn_sum
+              + model.l2_txn_cycles * l2_sum
+              + model.atomic_cycles * atomic_sum)
+    warp_cycles = float(cycles.sum())
+
+    profile.warp_steps += steps
+    profile.lane_steps += int(lengths.sum())
+    profile.flops += float(flops.sum())
+    profile.gl_transactions += float(txn_sum.sum())
+    profile.l2_transactions += float(l2_sum.sum())
+    profile.gl_requests += int((txns > 0).sum())
+    profile.atomics += int(atomic_sum.sum())
+    profile.branches += steps
+    profile.divergent_branches += int(divergent.sum())
+    profile.cycles += warp_cycles
+    profile.warp_cycles.append(warp_cycles)
+    profile.n_warps += 1
+    return warp_cycles
+
+
+def account_ragged(profile, lane_steps, flops_per_step=0.0,
+                   txns_per_warp_step=0.0, l2_per_warp_step=0.0,
+                   atomics_total=0, cost_model=None, warp_size=32):
+    """Closed-form fold for ragged but per-step-homogeneous kernels.
+
+    Used for kernels where every lane executes ``lane_steps[i]``
+    identical steps (e.g. the per-cluster sort whose trip count is the
+    cluster size): warp steps are the per-warp maxima, lane steps the
+    sum, with no divergence beyond early lane exit.
+
+    ``txns_per_warp_step`` is the warp-aggregate transaction count of
+    one step — 1 for a broadcast or a fully coalesced access, up to 32
+    (or more) for scattered per-lane accesses; it may be fractional
+    when per-lane sequential streams amortise over the 128-byte
+    segment (32 floats per transaction).
+    """
+    cost_model = cost_model or default_cost_model()
+    lane_steps = np.asarray(lane_steps, dtype=np.int64)
+    if lane_steps.size == 0:
+        return
+    pad = (-lane_steps.size) % warp_size
+    padded = np.concatenate([lane_steps, np.zeros(pad, dtype=np.int64)])
+    per_warp = padded.reshape(-1, warp_size)
+    warp_max = per_warp.max(axis=1)
+
+    step_cost = (cost_model.issue_cycles
+                 + cost_model.flop_cycles * flops_per_step
+                 + cost_model.global_txn_cycles * txns_per_warp_step
+                 + cost_model.l2_txn_cycles * l2_per_warp_step)
+    warp_cycles = warp_max.astype(np.float64) * step_cost
+    if atomics_total:
+        # Atomics serialize; spread their cost across the warps.
+        warp_cycles += (cost_model.atomic_cycles * atomics_total
+                        / warp_cycles.size)
+        profile.atomics += int(atomics_total)
+
+    profile.n_threads += int(lane_steps.size)
+    profile.n_warps += int(per_warp.shape[0])
+    profile.warp_steps += int(warp_max.sum())
+    profile.lane_steps += int(lane_steps.sum())
+    profile.flops += float(flops_per_step * lane_steps.sum())
+    profile.gl_transactions += float(txns_per_warp_step * warp_max.sum())
+    profile.l2_transactions += float(l2_per_warp_step * warp_max.sum())
+    profile.cycles += float(warp_cycles.sum())
+    profile.warp_cycles.extend(warp_cycles.tolist())

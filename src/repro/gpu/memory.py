@@ -1,0 +1,244 @@
+"""Simulated device memory: allocator, arrays, and coalescing accounting.
+
+:class:`GlobalMemory` is a bump allocator over the device's global
+memory with capacity enforcement — exceeding it raises
+:class:`~repro.errors.OutOfDeviceMemory`, which is what forces the
+CUBLAS-style baseline to partition large query sets exactly as the
+paper describes for *3DNet*, *skin*, *ipums* and *kdd*.
+
+:class:`GlobalArray` wraps a numpy array placed in simulated global
+memory.  Simulated kernels access it through generator helpers
+(:meth:`GlobalArray.load` / :meth:`GlobalArray.store`) that yield the
+memory event *and* perform the actual read/write, so accounting can
+never drift from behaviour::
+
+    value = yield from arr.load(i)          # one element
+    point = yield from arr.vload(i, 4)      # float4-style vector load
+
+Coalescing follows the paper's Section II-A model: the accesses issued
+by the lanes of a warp in one lock-step instruction are merged into the
+minimal set of 128-byte segments they touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OutOfDeviceMemory
+from . import events as ev
+
+__all__ = [
+    "GlobalMemory", "GlobalArray", "SharedArray", "RegisterArray",
+    "coalesced_transactions",
+]
+
+_ALIGNMENT = 256
+
+
+def coalesced_transactions(accesses, transaction_bytes=128):
+    """Number of memory transactions for one warp step's accesses.
+
+    Parameters
+    ----------
+    accesses:
+        Iterable of ``(addr, nbytes)`` pairs issued by the lanes of a
+        warp in the same lock-step instruction.
+    transaction_bytes:
+        Size of one transaction segment (128 bytes on Kepler).
+
+    Returns
+    -------
+    int
+        The number of distinct ``transaction_bytes``-sized segments
+        touched — 1 when the warp's accesses fall into one segment
+        (fully coalesced), up to one-plus per lane otherwise.
+    """
+    segments = set()
+    for addr, nbytes in accesses:
+        if nbytes <= 0:
+            continue
+        first = addr // transaction_bytes
+        last = (addr + nbytes - 1) // transaction_bytes
+        segments.update(range(first, last + 1))
+    return len(segments)
+
+
+class GlobalMemory:
+    """Bump allocator over a device's simulated global memory."""
+
+    def __init__(self, device):
+        self.device = device
+        self.capacity = device.global_mem_bytes
+        self._next_addr = _ALIGNMENT
+        self._live_bytes = 0
+        self.peak_bytes = 0
+
+    @property
+    def allocated_bytes(self):
+        return self._live_bytes
+
+    @property
+    def available_bytes(self):
+        return self.capacity - self._live_bytes
+
+    def alloc(self, shape, dtype=np.float32, name=None):
+        """Allocate a zero-initialised :class:`GlobalArray`."""
+        data = np.zeros(shape, dtype=dtype)
+        return self.place(data, name=name, copy=False)
+
+    def place(self, array, name=None, copy=True):
+        """Place an existing host array into simulated global memory."""
+        data = np.array(array, copy=copy)
+        nbytes = int(data.nbytes)
+        if nbytes > self.available_bytes:
+            raise OutOfDeviceMemory(nbytes, self.available_bytes, self.capacity)
+        base = self._next_addr
+        self._next_addr += _round_up(nbytes)
+        self._live_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self._live_bytes)
+        return GlobalArray(data, base, self, name=name)
+
+    def free(self, array):
+        """Release an array's bytes (bump allocator: space not reused)."""
+        if array._memory is not self:
+            raise ValueError("array was not allocated from this memory")
+        if not array._freed:
+            array._freed = True
+            self._live_bytes -= int(array.data.nbytes)
+
+    def reset(self):
+        """Free everything (between independent kernel pipelines)."""
+        self._next_addr = _ALIGNMENT
+        self._live_bytes = 0
+
+
+def _round_up(nbytes):
+    return ((nbytes + _ALIGNMENT - 1) // _ALIGNMENT) * _ALIGNMENT
+
+
+class GlobalArray:
+    """A numpy array living at a base address in simulated global memory.
+
+    Host code may index ``arr.data`` freely; *simulated kernels* go
+    through the generator accessors so every access produces a memory
+    event for the warp executor.
+    """
+
+    def __init__(self, data, base_addr, memory, name=None):
+        self.data = data
+        self.base_addr = int(base_addr)
+        self.name = name or "global"
+        self._memory = memory
+        self._freed = False
+        # Row-major element strides in *bytes* for address computation.
+        self.itemsize = int(data.dtype.itemsize)
+
+    # -- addressing ----------------------------------------------------
+    def addr(self, index):
+        """Byte address of the element at a (possibly multi-d) index."""
+        flat = np.ravel_multi_index(index, self.data.shape) if isinstance(
+            index, tuple) else int(index)
+        return self.base_addr + flat * self.itemsize
+
+    # -- kernel-side accessors (generators) -----------------------------
+    def load(self, index):
+        """Yield the load event for one element, then return its value."""
+        yield ev.gload(self.addr(index), self.itemsize)
+        return self.data[index]
+
+    def store(self, index, value):
+        """Yield the store event for one element and write it."""
+        yield ev.gstore(self.addr(index), self.itemsize)
+        self.data[index] = value
+
+    def vload(self, start, n):
+        """Vector load of ``n`` consecutive elements (float4-style).
+
+        Sweet KNN's row-major layout reads points with ``float4``
+        vector loads to maximise bandwidth efficiency (Section IV-C3);
+        one vector load is one access event covering ``n`` elements.
+        """
+        flat = start if not isinstance(start, tuple) else int(
+            np.ravel_multi_index(start, self.data.shape))
+        yield ev.gload(self.base_addr + flat * self.itemsize,
+                       n * self.itemsize)
+        return self.data.reshape(-1)[flat:flat + n]
+
+    def row_load(self, i, vector_width=4):
+        """Load row ``i`` of a 2-D array using vector loads.
+
+        Returns the row; yields ``ceil(d / vector_width)`` access
+        events, matching the paper's float4 loading of a point stored
+        row-major.
+        """
+        d = self.data.shape[1]
+        row_addr = self.base_addr + i * d * self.itemsize
+        chunk = vector_width * self.itemsize
+        for off in range(0, d * self.itemsize, chunk):
+            yield ev.gload(row_addr + off, min(chunk, d * self.itemsize - off))
+        return self.data[i]
+
+    def col_element_load(self, i, dim):
+        """Load dimension ``dim`` of point ``i`` from a column-major array.
+
+        The array is stored as ``data[dim, i]`` (Fig. 7(a) of the
+        paper); consecutive lanes loading consecutive ``i`` for the same
+        ``dim`` coalesce perfectly, which is why the baseline prefers
+        this layout.
+        """
+        d, n = self.data.shape
+        flat = dim * n + i
+        yield ev.gload(self.base_addr + flat * self.itemsize, self.itemsize)
+        return self.data[dim, i]
+
+    @property
+    def nbytes(self):
+        return int(self.data.nbytes)
+
+    def __repr__(self):
+        return "GlobalArray(%s, shape=%s, base=0x%x)" % (
+            self.name, self.data.shape, self.base_addr)
+
+
+class SharedArray:
+    """Per-thread scratch placed in shared memory.
+
+    Used for the ``kNearests`` array when the adaptive scheme chooses
+    shared-memory placement (``k * 4 <= th1``).  Accesses cost one
+    shared-memory event each; capacity pressure is reflected through
+    the kernel's ``shared_bytes_per_thread`` occupancy input, not here.
+    """
+
+    space = "shared"
+
+    def __init__(self, length, fill=np.inf):
+        self.values = np.full(int(length), fill, dtype=np.float64)
+
+    def access(self, n=1):
+        yield ev.shared(n)
+
+    @property
+    def nbytes_per_thread(self):
+        # Modelled as float32 on device, like the paper's sizeof(float)*k.
+        return len(self.values) * 4
+
+
+class RegisterArray:
+    """Per-thread scratch placed in the register file.
+
+    Register accesses are free in the cost model; the cost of this
+    placement is the register pressure that lowers occupancy
+    (Section IV-C2).
+    """
+
+    space = "registers"
+
+    def __init__(self, length, fill=np.inf):
+        self.values = np.full(int(length), fill, dtype=np.float64)
+
+    def access(self, n=1):
+        yield ev.reg(n)
+
+    @property
+    def nbytes_per_thread(self):
+        return len(self.values) * 4

@@ -1,0 +1,168 @@
+"""nvprof-style profiling counters for simulated kernels.
+
+:class:`KernelProfile` aggregates, per kernel launch, the quantities the
+paper reports or reasons about:
+
+* **warp efficiency** — "the ratio of the average active threads per
+  warp to the maximum number of threads per warp" (Section V-B,
+  Table IV), measured here as total lane-steps over ``32 ×`` warp-steps;
+* **memory transactions** after coalescing;
+* **divergent branches**;
+* free-form counters such as ``"distance_computations"``, from which the
+  *saved computations* column of Table IV is derived.
+
+:class:`PipelineProfile` strings multiple kernel launches together into
+one end-to-end run (init + level-1 + level-2 + merge for Sweet KNN, or
+GEMM + select per partition for the baseline) with a total simulated
+time, which is what the speedup figures compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelProfile", "PipelineProfile"]
+
+
+@dataclass
+class KernelProfile:
+    """Counters for one simulated kernel launch."""
+
+    name: str
+    n_threads: int = 0
+    n_warps: int = 0
+    warp_steps: int = 0
+    lane_steps: int = 0
+    flops: float = 0.0
+    gl_transactions: int = 0
+    l2_transactions: int = 0
+    gl_requests: int = 0
+    shared_accesses: int = 0
+    reg_accesses: int = 0
+    atomics: int = 0
+    branches: int = 0
+    divergent_branches: int = 0
+    cycles: float = 0.0
+    sim_time_s: float = 0.0
+    warp_cycles: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def warp_size(self):
+        return 32
+
+    @property
+    def warp_efficiency(self):
+        """Average active lanes per warp step, as a fraction of 32."""
+        if self.warp_steps == 0:
+            return 1.0
+        return self.lane_steps / (self.warp_size * self.warp_steps)
+
+    @property
+    def coalescing_efficiency(self):
+        """Requests per transaction, normalised to 1.0 = fully coalesced."""
+        if self.gl_transactions == 0:
+            return 1.0
+        return min(1.0, self.gl_requests / (self.gl_transactions * 32.0))
+
+    def count(self, name, n=1):
+        """Increment a free-form profiling counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get_count(self, name):
+        return self.counters.get(name, 0)
+
+    def merge_from(self, other):
+        """Fold another launch of the same logical kernel into this one."""
+        self.n_threads += other.n_threads
+        self.n_warps += other.n_warps
+        self.warp_steps += other.warp_steps
+        self.lane_steps += other.lane_steps
+        self.flops += other.flops
+        self.gl_transactions += other.gl_transactions
+        self.l2_transactions += other.l2_transactions
+        self.gl_requests += other.gl_requests
+        self.shared_accesses += other.shared_accesses
+        self.reg_accesses += other.reg_accesses
+        self.atomics += other.atomics
+        self.branches += other.branches
+        self.divergent_branches += other.divergent_branches
+        self.cycles += other.cycles
+        self.sim_time_s += other.sim_time_s
+        self.warp_cycles.extend(other.warp_cycles)
+        for key, val in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + val
+        return self
+
+    def summary(self):
+        return {
+            "kernel": self.name,
+            "threads": self.n_threads,
+            "warps": self.n_warps,
+            "warp_efficiency": round(self.warp_efficiency, 4),
+            "flops": self.flops,
+            "gl_transactions": self.gl_transactions,
+            "l2_transactions": self.l2_transactions,
+            "divergent_branches": self.divergent_branches,
+            "cycles": round(self.cycles, 1),
+            "sim_time_s": self.sim_time_s,
+            **self.counters,
+        }
+
+
+@dataclass
+class PipelineProfile:
+    """An end-to-end simulated run composed of several kernel launches."""
+
+    name: str
+    kernels: list = field(default_factory=list)
+    host_time_s: float = 0.0
+
+    def add(self, profile):
+        self.kernels.append(profile)
+        return profile
+
+    @property
+    def sim_time_s(self):
+        """Total simulated time including modelled host-side overhead."""
+        return sum(k.sim_time_s for k in self.kernels) + self.host_time_s
+
+    @property
+    def total_flops(self):
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_transactions(self):
+        return sum(k.gl_transactions for k in self.kernels)
+
+    def counter(self, name):
+        return sum(k.get_count(name) for k in self.kernels)
+
+    @property
+    def warp_efficiency(self):
+        """Lane-step-weighted warp efficiency across all kernels."""
+        steps = sum(k.warp_steps for k in self.kernels)
+        lanes = sum(k.lane_steps for k in self.kernels)
+        if steps == 0:
+            return 1.0
+        return lanes / (32.0 * steps)
+
+    def filter_warp_efficiency(self, substring="level2"):
+        """Warp efficiency of the kernels whose name contains a substring.
+
+        Table IV profiles the level-2 filtering kernel specifically; the
+        default selects it.
+        """
+        selected = [k for k in self.kernels if substring in k.name]
+        steps = sum(k.warp_steps for k in selected)
+        lanes = sum(k.lane_steps for k in selected)
+        if steps == 0:
+            return 1.0
+        return lanes / (32.0 * steps)
+
+    def summary(self):
+        return {
+            "pipeline": self.name,
+            "sim_time_s": self.sim_time_s,
+            "kernels": [k.summary() for k in self.kernels],
+        }

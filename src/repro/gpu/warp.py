@@ -1,0 +1,157 @@
+"""Lane-level lock-step warp execution (reference executor).
+
+This is the *reference* SIMT executor: every thread of a warp is a
+Python generator yielding :mod:`repro.gpu.events` events, and the warp
+advances all unfinished lanes one event per step.  It is precise but
+slow, so production kernels use the warp-vectorised executor in
+:mod:`repro.gpu.executor`; the test suite cross-validates the two on
+small kernels (same warp efficiency, transactions and cycles).
+
+The lock-step model captures the paper's two GPU performance factors
+(Section II-A) directly:
+
+* **thread divergence** — lanes whose loops run longer keep the warp
+  alive while shorter lanes idle, lowering warp efficiency; mixed
+  branch outcomes within a step serialize it;
+* **memory coalescing** — the global accesses of one step are merged
+  into distinct 128-byte segments.
+"""
+
+from __future__ import annotations
+
+from .costmodel import default_cost_model
+from .memory import coalesced_transactions
+from .profiler import KernelProfile
+from . import events as ev
+
+__all__ = ["run_warp_lanes", "run_lanes"]
+
+
+def run_warp_lanes(lane_generators, profile, cost_model=None,
+                   transaction_bytes=128, warp_size=32):
+    """Execute one warp of lane generators in lock-step.
+
+    Parameters
+    ----------
+    lane_generators:
+        Up to ``warp_size`` generators, one per lane; each yields
+        events from :mod:`repro.gpu.events`.
+    profile:
+        :class:`~repro.gpu.profiler.KernelProfile` updated in place.
+    cost_model:
+        Optional :class:`~repro.gpu.costmodel.CostModel`.
+
+    Returns
+    -------
+    float
+        Total cycles consumed by this warp.
+    """
+    if len(lane_generators) > warp_size:
+        raise ValueError("a warp holds at most %d lanes" % warp_size)
+    cost_model = cost_model or default_cost_model()
+    lanes = list(lane_generators)
+    finished = [False] * len(lanes)
+    warp_cycles = 0.0
+
+    while True:
+        step_events = []
+        for i, lane in enumerate(lanes):
+            if finished[i]:
+                continue
+            try:
+                event = next(lane)
+            except StopIteration:
+                finished[i] = True
+                continue
+            step_events.append(event)
+        if not step_events:
+            break
+        warp_cycles += _account_step(step_events, profile, cost_model,
+                                     transaction_bytes)
+    profile.cycles += warp_cycles
+    profile.warp_cycles.append(warp_cycles)
+    profile.n_warps += 1
+    return warp_cycles
+
+
+def _account_step(step_events, profile, cost_model, transaction_bytes):
+    """Fold one step's lane events into the profile; return its cycles."""
+    max_flops = 0
+    total_flops = 0
+    accesses = []
+    max_shared = 0
+    atomics = 0
+    branch_outcomes = set()
+    has_branch = False
+    countable = 0
+
+    for event in step_events:
+        kind = event[0]
+        if kind == ev.FLOP:
+            n = event[1]
+            total_flops += n
+            if n > max_flops:
+                max_flops = n
+        elif kind == ev.GLOAD or kind == ev.GSTORE:
+            accesses.append((event[1], event[2]))
+        elif kind == ev.SHARED:
+            n = event[1]
+            profile.shared_accesses += n
+            if n > max_shared:
+                max_shared = n
+        elif kind == ev.REG:
+            profile.reg_accesses += event[1]
+        elif kind == ev.ATOMIC:
+            atomics += 1
+        elif kind == ev.BRANCH:
+            has_branch = True
+            branch_outcomes.add(event[1])
+        elif kind == ev.COUNT:
+            profile.count(event[1], event[2])
+            countable += 1
+        else:
+            raise ValueError("unknown event kind: %r" % (kind,))
+
+    # A step made only of COUNT events is free bookkeeping, not an
+    # instruction: it does not advance the warp clock.
+    if countable == len(step_events):
+        return 0.0
+
+    profile.warp_steps += 1
+    profile.lane_steps += len(step_events)
+    profile.flops += total_flops
+
+    transactions = 0
+    if accesses:
+        transactions = coalesced_transactions(accesses, transaction_bytes)
+        profile.gl_transactions += transactions
+        profile.gl_requests += len(accesses)
+
+    divergent = False
+    if has_branch:
+        profile.branches += 1
+        if len(branch_outcomes) > 1:
+            divergent = True
+            profile.divergent_branches += 1
+
+    return cost_model.step_cost(
+        flops=max_flops, transactions=transactions, shared=max_shared,
+        atomics=atomics, branch=has_branch, divergent=divergent)
+
+
+def run_lanes(kernel_fn, n_threads, args=(), name="kernel", cost_model=None,
+              warp_size=32, transaction_bytes=128):
+    """Run ``kernel_fn(tid, *args)`` for every thread, warp by warp.
+
+    Convenience wrapper used by tests and small kernels; returns the
+    populated :class:`KernelProfile` (without scheduling — see
+    :func:`repro.gpu.kernel.launch` for simulated time).
+    """
+    profile = KernelProfile(name=name, n_threads=n_threads)
+    cost_model = cost_model or default_cost_model()
+    for first in range(0, n_threads, warp_size):
+        tids = range(first, min(first + warp_size, n_threads))
+        generators = [kernel_fn(tid, *args) for tid in tids]
+        run_warp_lanes(generators, profile, cost_model, transaction_bytes,
+                       warp_size)
+    return profile

@@ -1,0 +1,109 @@
+"""Bounded max-heap tracking the k nearest distances ("kNearests").
+
+This is the data structure each GPU thread keeps in Algorithm 2 of the
+paper: a fixed-capacity max-heap whose root is the current k-th nearest
+distance (the filtering bound ``theta``).  Inserting a closer neighbour
+evicts the root, exactly the "evict kNearests.max, and put q2t into
+kNearests" step of Algorithm 2 line 16.
+
+The heap stores ``(distance, index)`` pairs; slots not yet filled with a
+real neighbour hold ``(inf, -1)`` so ``max_distance`` is usable as a
+bound from the first insertion attempt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNearestHeap"]
+
+
+class KNearestHeap:
+    """Fixed-capacity max-heap of the k smallest distances seen so far."""
+
+    __slots__ = ("k", "_dists", "_idx", "_count")
+
+    def __init__(self, k, bound=np.inf):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._dists = np.full(self.k, float(bound), dtype=np.float64)
+        self._idx = np.full(self.k, -1, dtype=np.int64)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_distance(self):
+        """The current k-th nearest distance bound (heap root)."""
+        return self._dists[0]
+
+    @property
+    def count(self):
+        """Number of real neighbours inserted (excludes bound slots)."""
+        return self._count
+
+    @property
+    def full(self):
+        return self._count >= self.k
+
+    def push(self, distance, index):
+        """Offer a neighbour; keep it only if it beats the current root.
+
+        Returns True when the neighbour was kept (the bound tightened
+        or a free slot was filled).
+        """
+        if distance >= self._dists[0]:
+            return False
+        if self._idx[0] == -1:
+            self._count += 1
+        self._replace_root(distance, index)
+        return True
+
+    def _replace_root(self, distance, index):
+        dists, idx = self._dists, self._idx
+        dists[0] = distance
+        idx[0] = index
+        pos = 0
+        k = self.k
+        while True:
+            left = 2 * pos + 1
+            right = left + 1
+            largest = pos
+            if left < k and dists[left] > dists[largest]:
+                largest = left
+            if right < k and dists[right] > dists[largest]:
+                largest = right
+            if largest == pos:
+                break
+            dists[pos], dists[largest] = dists[largest], dists[pos]
+            idx[pos], idx[largest] = idx[largest], idx[pos]
+            pos = largest
+
+    # ------------------------------------------------------------------
+    def sorted_items(self):
+        """Neighbours as ``(distances, indices)`` sorted ascending.
+
+        Bound-only slots (no real neighbour inserted) are excluded.
+        """
+        mask = self._idx >= 0
+        order = np.argsort(self._dists[mask], kind="stable")
+        return self._dists[mask][order], self._idx[mask][order]
+
+    def raw(self):
+        """The underlying ``(distances, indices)`` arrays (heap order)."""
+        return self._dists, self._idx
+
+    def check_invariant(self):
+        """True when every parent is >= its children (max-heap)."""
+        for pos in range(self.k):
+            for child in (2 * pos + 1, 2 * pos + 2):
+                if child < self.k and self._dists[child] > self._dists[pos]:
+                    return False
+        return True
+
+    def __len__(self):
+        return self._count
+
+    def __repr__(self):
+        return "KNearestHeap(k=%d, count=%d, theta=%g)" % (
+            self.k, self._count, self.max_distance)

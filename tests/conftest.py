@@ -1,0 +1,38 @@
+"""Shared fixtures for the Sweet KNN reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import tesla_k20c
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    return tesla_k20c()
+
+
+@pytest.fixture
+def small_device():
+    """A tiny device that forces memory partitioning."""
+    return tesla_k20c(global_mem_bytes=512 * 1024)
+
+
+@pytest.fixture
+def clustered_points(rng):
+    """A clearly clusterable 2-blob point set (shuffled)."""
+    a = rng.normal(size=(150, 8))
+    b = rng.normal(size=(150, 8)) + 6.0
+    points = np.concatenate([a, b])
+    rng.shuffle(points)
+    return points
+
+
+@pytest.fixture
+def uniform_points(rng):
+    """A weakly clusterable uniform point set."""
+    return rng.uniform(-1, 1, size=(200, 6))

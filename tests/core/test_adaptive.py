@@ -1,0 +1,155 @@
+"""Tests for the Fig. 8 adaptive scheme and its sub-decisions."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (FILTER_STRENGTH_RATIO, basic_config, decide)
+from repro.core.layout import Layout
+from repro.core.parallelism import decide_parallelism, subscan_specs
+from repro.core.placement import Placement, decide_placement
+from repro.gpu.device import tesla_k20c
+
+
+class TestFilterStrengthDecision:
+    def test_small_k_over_d_uses_full(self, device):
+        config = decide(10000, 10000, k=20, dim=29, avg_cluster_size=50,
+                        device=device)
+        assert config.filter_strength == "full"
+
+    def test_large_k_over_d_uses_partial(self, device):
+        """k=512, d=4: k/d = 128 > 8 -> partial (Table V datasets)."""
+        config = decide(10000, 10000, k=512, dim=4, avg_cluster_size=50,
+                        device=device)
+        assert config.filter_strength == "partial"
+
+    def test_threshold_boundary(self, device):
+        at = decide(1000, 1000, k=8 * 29, dim=29, avg_cluster_size=10,
+                    device=device)
+        assert at.filter_strength == "full"  # ratio == 8 is not > 8
+        above = decide(1000, 1000, k=8 * 29 + 29, dim=29,
+                       avg_cluster_size=10, device=device)
+        assert above.filter_strength == "partial"
+
+    def test_force_filter(self, device):
+        config = decide(1000, 1000, k=512, dim=4, avg_cluster_size=10,
+                        device=device, force_filter="full")
+        assert config.filter_strength == "full"
+
+    def test_invalid_force(self, device):
+        with pytest.raises(ValueError):
+            decide(100, 100, 5, 4, 10, device, force_filter="medium")
+
+
+class TestPlacementDecision:
+    def test_tiny_k_in_shared(self, device):
+        """k*4 <= th1 = 24 -> shared memory (k <= 6 on the K20c)."""
+        assert decide_placement(6, device).placement is Placement.SHARED
+
+    def test_moderate_k_in_registers(self, device):
+        """th1 < k*4 <= th2 = 1020 -> registers (k <= 255)."""
+        assert decide_placement(20, device).placement is Placement.REGISTERS
+        assert decide_placement(255, device).placement is Placement.REGISTERS
+
+    def test_large_k_in_global(self, device):
+        assert decide_placement(512, device).placement is Placement.GLOBAL
+
+    def test_paper_k20c_thresholds(self, device):
+        """Section IV-D2's worked example: th1 = 24, th2 = 1020."""
+        assert decide_placement(7, device).placement is Placement.REGISTERS
+        assert decide_placement(256, device).placement is Placement.GLOBAL
+
+    def test_register_placement_raises_pressure(self, device):
+        light = decide_placement(6, device)
+        heavy = decide_placement(100, device)
+        assert heavy.regs_per_thread > light.regs_per_thread
+
+    def test_shared_placement_reserves_bytes(self, device):
+        decision = decide_placement(5, device)
+        assert decision.shared_bytes_per_thread == 20
+
+    def test_force(self, device):
+        decision = decide_placement(20, device, force="shared")
+        assert decision.placement is Placement.SHARED
+
+
+class TestParallelismDecision:
+    def test_large_q_query_level(self, device):
+        plan = decide_parallelism(100000, 50, device)
+        assert plan.threads_per_query == 1
+
+    def test_paper_arcene_example(self):
+        """|Q|=100 on the K20c with r=0.25: ~2048*13/(4*100) = 66.56
+        threads per query (the paper quotes 66; we ceil to 67 before
+        the factor split)."""
+        device = tesla_k20c()
+        plan = decide_parallelism(100, avg_cluster_size=100 / 30,
+                                  device=device, regs_per_thread=16)
+        assert plan.threads_per_query >= 66
+        assert plan.multi_threaded
+
+    def test_paper_dor_example(self):
+        """|Q|=1950: 2048*13/(4*1950) = 3.4 -> 4 (paper rounds to 4)."""
+        device = tesla_k20c()
+        plan = decide_parallelism(1950, avg_cluster_size=1950 / 132,
+                                  device=device, regs_per_thread=16)
+        assert plan.threads_per_query == 4
+
+    def test_forced_threads_per_query(self, device):
+        plan = decide_parallelism(100, 10, device, threads_per_query=16)
+        assert plan.threads_per_query == 16
+        assert plan.inner_factor * plan.outer_factor == 16
+
+    def test_split_factors(self, device):
+        plan = decide_parallelism(10, avg_cluster_size=4, device=device,
+                                  threads_per_query=8)
+        assert plan.inner_factor == 4
+        assert plan.outer_factor == 2
+
+    def test_subscan_specs_cover_all_work(self, device):
+        plan = decide_parallelism(10, avg_cluster_size=3, device=device,
+                                  threads_per_query=6)
+        specs = subscan_specs(plan)
+        assert len(specs) == plan.threads_per_query
+        # Every (cluster slot, member slot) pair is covered exactly once.
+        covered = set()
+        for spec in specs:
+            for cluster in range(spec.cluster_offset, 12,
+                                 spec.cluster_stride):
+                for member in range(spec.member_offset, 9,
+                                    spec.member_stride):
+                    assert (cluster, member) not in covered
+                    covered.add((cluster, member))
+        assert len(covered) == 12 * 9
+
+    def test_single_thread_spec(self, device):
+        plan = decide_parallelism(100000, 10, device)
+        specs = subscan_specs(plan)
+        assert len(specs) == 1
+        assert specs[0].cluster_stride == 1
+        assert specs[0].member_stride == 1
+
+
+class TestConfigs:
+    def test_basic_config_freezes_section3_choices(self, device):
+        config = basic_config(5000, 20, device)
+        assert config.filter_strength == "full"
+        assert config.layout is Layout.COLUMN_MAJOR
+        assert config.placement.placement is Placement.GLOBAL
+        assert not config.remap
+        assert config.parallel.threads_per_query == 1
+
+    def test_sweet_defaults(self, device):
+        config = decide(5000, 5000, 20, 29, 50, device)
+        assert config.layout is Layout.ROW_MAJOR
+        assert config.remap
+        assert config.knearests_coalesced
+
+    def test_partial_filter_has_no_knearests(self, device):
+        config = decide(5000, 5000, 512, 4, 50, device)
+        assert config.placement.knearests_bytes == 0
+        assert config.regs_per_thread == 32
+
+    def test_describe(self, device):
+        desc = decide(5000, 5000, 20, 29, 50, device).describe()
+        assert desc["filter"] == "full"
+        assert desc["layout"] == "row"

@@ -1,0 +1,92 @@
+"""Property tests for the triangle-inequality bounds (Eqs. 1-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (distance_flops, euclidean, euclidean_many,
+                               lb_one_landmark, lb_two_landmarks,
+                               pairwise_distances, ub_one_landmark,
+                               ub_two_landmarks)
+
+_coords = st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                             allow_nan=False), min_size=2, max_size=6)
+
+
+def _points(draw_list):
+    return [np.asarray(p, dtype=np.float64) for p in draw_list]
+
+
+class TestDistances:
+    def test_euclidean_basic(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_euclidean_zero(self):
+        assert euclidean([1.5, -2.0], [1.5, -2.0]) == 0.0
+
+    def test_euclidean_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 5))
+        q = rng.normal(size=5)
+        dists = euclidean_many(points, q)
+        for i in range(20):
+            assert dists[i] == pytest.approx(euclidean(points[i], q))
+
+    def test_pairwise_shape_and_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(7, 3))
+        mat = pairwise_distances(a, a)
+        assert mat.shape == (7, 7)
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), 0.0, atol=1e-12)
+
+    def test_distance_flops(self):
+        assert distance_flops(4) == 13
+        assert distance_flops(1) == 4
+
+
+@given(q=_coords, t=_coords, lm=_coords)
+@settings(max_examples=200, deadline=None)
+def test_one_landmark_bounds_are_valid(q, t, lm):
+    """LB(q,t) <= d(q,t) <= UB(q,t) for any landmark (Eqs. 1-2)."""
+    size = min(len(q), len(t), len(lm))
+    q, t, lm = (np.asarray(v[:size]) for v in (q, t, lm))
+    d_qt = euclidean(q, t)
+    d_ql = euclidean(q, lm)
+    d_tl = euclidean(t, lm)
+    eps = 1e-7 * (1 + d_qt + d_ql + d_tl)
+    assert lb_one_landmark(d_ql, d_tl) <= d_qt + eps
+    assert ub_one_landmark(d_ql, d_tl) >= d_qt - eps
+
+
+@given(q=_coords, t=_coords, l1=_coords, l2=_coords)
+@settings(max_examples=200, deadline=None)
+def test_two_landmark_bounds_are_valid(q, t, l1, l2):
+    """LB(q,t) <= d(q,t) <= UB(q,t) for any landmark pair (Eqs. 3-4)."""
+    size = min(len(q), len(t), len(l1), len(l2))
+    q, t, l1, l2 = (np.asarray(v[:size]) for v in (q, t, l1, l2))
+    d_qt = euclidean(q, t)
+    d_l1l2 = euclidean(l1, l2)
+    d_ql1 = euclidean(q, l1)
+    d_l2t = euclidean(l2, t)
+    eps = 1e-7 * (1 + d_qt + d_l1l2 + d_ql1 + d_l2t)
+    assert lb_two_landmarks(d_l1l2, d_ql1, d_l2t) <= d_qt + eps
+    assert ub_two_landmarks(d_l1l2, d_ql1, d_l2t) >= d_qt - eps
+
+
+@given(q=_coords, t=_coords, lm=_coords)
+@settings(max_examples=100, deadline=None)
+def test_bounds_bracket(q, t, lm):
+    size = min(len(q), len(t), len(lm))
+    q, t, lm = (np.asarray(v[:size]) for v in (q, t, lm))
+    d_ql = euclidean(q, lm)
+    d_tl = euclidean(t, lm)
+    assert lb_one_landmark(d_ql, d_tl) <= ub_one_landmark(d_ql, d_tl) + 1e-9
+
+
+def test_bounds_broadcast():
+    d_ql = np.asarray([1.0, 2.0])
+    d_tl = np.asarray([0.5, 5.0])
+    np.testing.assert_allclose(lb_one_landmark(d_ql, d_tl), [0.5, 3.0])
+    np.testing.assert_allclose(ub_one_landmark(d_ql, d_tl), [1.5, 7.0])

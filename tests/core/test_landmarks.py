@@ -1,0 +1,95 @@
+"""Tests for landmark count and selection (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.landmarks import (determine_landmark_count,
+                                  select_landmarks_maxmin,
+                                  select_landmarks_random_spread)
+from repro.core.bounds import pairwise_distances
+
+
+class TestDetermineLandmarkCount:
+    def test_paper_rule(self):
+        """detLmNum sets 3 * sqrt(n)."""
+        assert determine_landmark_count(10000) == 300
+        assert determine_landmark_count(65554) == pytest.approx(
+            3 * np.sqrt(65554), abs=1)
+
+    def test_clamped_to_n(self):
+        assert determine_landmark_count(4) == 4
+
+    def test_memory_cap(self):
+        """Insufficient memory caps the count (m^2 floats must fit)."""
+        unlimited = determine_landmark_count(100000)
+        capped = determine_landmark_count(100000,
+                                          memory_budget_bytes=100 * 100 * 4)
+        assert capped == 100
+        assert capped < unlimited
+
+    def test_at_least_one(self):
+        assert determine_landmark_count(1) == 1
+        assert determine_landmark_count(100, memory_budget_bytes=1) == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            determine_landmark_count(0)
+
+
+class TestRandomSpread:
+    def test_returns_m_distinct_indices(self, rng, clustered_points):
+        idx = select_landmarks_random_spread(clustered_points, 10, rng)
+        assert idx.size == 10
+        assert np.unique(idx).size == 10
+
+    def test_m_equals_n_returns_all(self, rng):
+        points = rng.normal(size=(5, 2))
+        idx = select_landmarks_random_spread(points, 5, rng)
+        np.testing.assert_array_equal(np.sort(idx), np.arange(5))
+
+    def test_m_clamped(self, rng):
+        points = rng.normal(size=(5, 2))
+        idx = select_landmarks_random_spread(points, 50, rng)
+        assert idx.size == 5
+
+    def test_invalid_m(self, rng):
+        with pytest.raises(ValueError):
+            select_landmarks_random_spread(rng.normal(size=(5, 2)), 0, rng)
+
+    def test_deterministic_given_rng(self, clustered_points):
+        a = select_landmarks_random_spread(
+            clustered_points, 8, np.random.default_rng(7))
+        b = select_landmarks_random_spread(
+            clustered_points, 8, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_spread_beats_single_trial_on_average(self, clustered_points):
+        """10 trials pick a set at least as spread as 1 trial (same seed
+        stream prefix makes trial 1 a candidate of the 10)."""
+        def spread_of(idx):
+            sub = clustered_points[idx]
+            return pairwise_distances(sub, sub).sum() / 2
+
+        many = select_landmarks_random_spread(
+            clustered_points, 12, np.random.default_rng(3), trials=10)
+        one = select_landmarks_random_spread(
+            clustered_points, 12, np.random.default_rng(3), trials=1)
+        assert spread_of(many) >= spread_of(one)
+
+
+class TestMaxMin:
+    def test_covers_far_cluster(self, rng):
+        """Farthest-point traversal must pick points from both blobs."""
+        a = rng.normal(size=(50, 3))
+        b = rng.normal(size=(50, 3)) + 100.0
+        points = np.concatenate([a, b])
+        idx = select_landmarks_maxmin(points, 4, rng)
+        assert (idx < 50).any() and (idx >= 50).any()
+
+    def test_distinct(self, rng, clustered_points):
+        idx = select_landmarks_maxmin(clustered_points, 20, rng)
+        assert np.unique(idx).size == 20
+
+    def test_invalid_m(self, rng):
+        with pytest.raises(ValueError):
+            select_landmarks_maxmin(rng.normal(size=(5, 2)), 0, rng)

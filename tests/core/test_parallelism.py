@@ -1,0 +1,85 @@
+"""Dedicated tests for the elastic-parallelism module."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallelism import (CACHE_CONFLICT_FACTOR, ParallelPlan,
+                                    decide_parallelism, subscan_specs)
+from repro.gpu.device import tesla_k20c
+
+
+class TestDecideParallelism:
+    def test_cache_conflict_factor_is_papers(self):
+        assert CACHE_CONFLICT_FACTOR == 0.25
+
+    def test_budget_threshold(self):
+        """Exactly at |Q| = r * max_cur the plan stays query-level."""
+        dev = tesla_k20c()
+        budget = int(CACHE_CONFLICT_FACTOR
+                     * dev.concurrent_threads(regs_per_thread=16))
+        at = decide_parallelism(budget, 10, dev, regs_per_thread=16)
+        below = decide_parallelism(budget // 2, 10, dev,
+                                   regs_per_thread=16)
+        assert at.threads_per_query == 1
+        assert below.threads_per_query >= 2
+
+    def test_total_threads(self):
+        dev = tesla_k20c()
+        plan = decide_parallelism(50, 10, dev, threads_per_query=6)
+        assert plan.total_threads == 300
+
+    def test_inner_bounded_by_cluster_size(self):
+        dev = tesla_k20c()
+        plan = decide_parallelism(10, avg_cluster_size=3, device=dev,
+                                  threads_per_query=12)
+        assert plan.inner_factor <= 3
+        assert plan.inner_factor * plan.outer_factor == 12
+
+    def test_adaptive_rounds_budget_to_factor_product(self):
+        """The unforced rule may round the budget up to inner*outer,
+        as the paper's formula implies."""
+        dev = tesla_k20c()
+        plan = decide_parallelism(100, avg_cluster_size=7, device=dev,
+                                  regs_per_thread=16)
+        assert plan.threads_per_query == (plan.inner_factor
+                                          * plan.outer_factor)
+        assert plan.multi_threaded
+
+    def test_single_thread_plan_flags(self):
+        plan = ParallelPlan(1, 1, 1, 100)
+        assert not plan.multi_threaded
+
+    def test_tiny_cluster_size_floor(self):
+        dev = tesla_k20c()
+        plan = decide_parallelism(10, avg_cluster_size=0.2, device=dev,
+                                  threads_per_query=8)
+        assert plan.inner_factor == 1
+        assert plan.outer_factor == 8
+
+
+class TestSubscanSpecs:
+    @pytest.mark.parametrize("inner,outer", [(1, 1), (2, 3), (4, 4),
+                                             (1, 8), (8, 1)])
+    def test_specs_partition_everything(self, inner, outer):
+        plan = ParallelPlan(inner * outer, outer, inner, 0)
+        specs = subscan_specs(plan)
+        n_clusters, n_members = 9, 13
+        covered = set()
+        for spec in specs:
+            for c in range(spec.cluster_offset, n_clusters,
+                           spec.cluster_stride):
+                for m in range(spec.member_offset, n_members,
+                               spec.member_stride):
+                    key = (c, m)
+                    assert key not in covered, "double coverage"
+                    covered.add(key)
+        assert len(covered) == n_clusters * n_members
+
+    def test_spec_strides_match_plan(self):
+        plan = ParallelPlan(6, 3, 2, 0)
+        specs = subscan_specs(plan)
+        assert {s.member_stride for s in specs} == {2}
+        assert {s.cluster_stride for s in specs} == {3}
+        assert {(s.cluster_offset, s.member_offset)
+                for s in specs} == {(c, m) for c in range(3)
+                                    for m in range(2)}

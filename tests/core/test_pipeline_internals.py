@@ -1,0 +1,106 @@
+"""Tests for pipeline internals: partition planning, kernel accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import basic_config, decide
+from repro.core.gpu_pipeline import _plan_ti_partitions
+from repro.core.sweet import sweet_knn
+from repro.core.basic_gpu import basic_ti_knn
+from repro.gpu.device import tesla_k20c
+
+
+class TestTiPartitionPlanning:
+    def _config(self, n_q, k, device):
+        return basic_config(n_q, k, device)
+
+    def test_no_partition_with_ample_memory(self, device):
+        config = self._config(1000, 10, device)
+        parts = _plan_ti_partitions(1000, 1000, 8, 10, config, device)
+        assert parts == [(0, 1000)]
+
+    def test_partitions_cover_queries(self):
+        tiny = tesla_k20c(global_mem_bytes=96 * 1024)
+        config = self._config(2000, 10, tiny)
+        parts = _plan_ti_partitions(2000, 2000, 8, 10, config, tiny)
+        assert parts[0][0] == 0
+        assert parts[-1][1] == 2000
+        for (a, b), (c, d) in zip(parts, parts[1:]):
+            assert b == c
+
+    def test_ti_partitions_far_fewer_than_baseline(self):
+        """The TI working set is O(k) per query vs the baseline's
+        O(|T|): TI partitions must be far coarser (Section V-B)."""
+        from repro.baselines.cublas_knn import plan_partitions
+        dev = tesla_k20c(global_mem_bytes=2 * 1024 * 1024)
+        config = self._config(4000, 10, dev)
+        ti = _plan_ti_partitions(4000, 4000, 8, 10, config, dev)
+        baseline = plan_partitions(4000, 4000, 8, dev)
+        assert len(ti) < len(baseline)
+
+    def test_multi_thread_raises_footprint(self, device):
+        tiny = tesla_k20c(global_mem_bytes=120 * 1024)
+        one = decide(2000, 2000, 16, 8, 20, tiny, threads_per_query=1)
+        many = decide(2000, 2000, 16, 8, 20, tiny, threads_per_query=8)
+        parts_one = _plan_ti_partitions(2000, 2000, 8, 16, one, tiny)
+        parts_many = _plan_ti_partitions(2000, 2000, 8, 16, many, tiny)
+        assert len(parts_many) >= len(parts_one)
+
+
+class TestKernelAccounting:
+    def test_pipeline_kernel_inventory(self, clustered_points):
+        res = sweet_knn(clustered_points, clustered_points, 6,
+                        np.random.default_rng(0), threads_per_query=4)
+        names = [k.name for k in res.profile.kernels]
+        assert names == ["init_landmarks", "init_assign",
+                         "init_sort_clusters", "level1_calub",
+                         "level1_groupfilter", "level2_filter",
+                         "merge_heaps"]
+
+    def test_partial_filter_appends_select_kernel(self, clustered_points):
+        res = sweet_knn(clustered_points, clustered_points, 6,
+                        np.random.default_rng(0), force_filter="partial")
+        assert res.profile.kernels[-1].name == "select_k_partial"
+
+    def test_all_kernels_have_positive_time(self, clustered_points):
+        res = sweet_knn(clustered_points, clustered_points, 6,
+                        np.random.default_rng(0))
+        for kernel in res.profile.kernels:
+            assert kernel.sim_time_s > 0
+
+    def test_pipeline_time_is_sum_of_kernels(self, clustered_points):
+        res = sweet_knn(clustered_points, clustered_points, 6,
+                        np.random.default_rng(0))
+        total = sum(k.sim_time_s for k in res.profile.kernels)
+        assert res.sim_time_s == pytest.approx(total)
+
+    def test_level2_dominates_on_clustered_data(self, clustered_points):
+        """For basic KNN-TI the level-2 filter is the hot kernel."""
+        res = basic_ti_knn(clustered_points, clustered_points, 6,
+                           np.random.default_rng(0))
+        level2 = next(k for k in res.profile.kernels
+                      if k.name == "level2_filter")
+        assert level2.cycles >= max(
+            k.cycles for k in res.profile.kernels if k is not level2) * 0.3
+
+    def test_saved_computation_invariant(self, clustered_points):
+        """computed + saved == |Q| * |T| (the Table IV identity)."""
+        res = sweet_knn(clustered_points, clustered_points, 6,
+                        np.random.default_rng(0))
+        n = len(clustered_points)
+        computed = res.stats.level2_distance_computations
+        assert 0 < computed <= n * n
+        assert res.stats.saved_fraction == pytest.approx(
+            (n * n - computed) / (n * n))
+
+    def test_multi_thread_weakens_filter_but_adds_parallelism(
+            self, clustered_points):
+        solo = sweet_knn(clustered_points, clustered_points, 6,
+                         np.random.default_rng(0), threads_per_query=1)
+        multi = sweet_knn(clustered_points, clustered_points, 6,
+                          np.random.default_rng(0), threads_per_query=8)
+        assert (multi.stats.level2_distance_computations
+                >= solo.stats.level2_distance_computations)
+        level2 = next(k for k in multi.profile.kernels
+                      if k.name == "level2_filter")
+        assert level2.n_threads == 8 * len(clustered_points)

@@ -1,0 +1,71 @@
+"""Tests for thread-data remapping, layouts and placement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_points
+from repro.core.landmarks import select_landmarks_random_spread
+from repro.core.layout import (Layout, point_load_instructions,
+                               point_load_transactions)
+from repro.core.remapping import identity_map, remap_by_cluster
+
+
+class TestRemapping:
+    def _clusters(self, points, m=8, seed=0):
+        rng = np.random.default_rng(seed)
+        return cluster_points(
+            points, select_landmarks_random_spread(points, m, rng))
+
+    def test_identity(self):
+        np.testing.assert_array_equal(identity_map(5), [0, 1, 2, 3, 4])
+
+    def test_remap_is_permutation(self, clustered_points):
+        cq = self._clusters(clustered_points)
+        mapping, _ = remap_by_cluster(cq)
+        np.testing.assert_array_equal(np.sort(mapping),
+                                      np.arange(cq.n_points))
+
+    def test_remap_groups_clusters_contiguously(self, clustered_points):
+        cq = self._clusters(clustered_points)
+        mapping, _ = remap_by_cluster(cq)
+        labels = cq.assignment[mapping]
+        # Each cluster id appears in exactly one contiguous run.
+        changes = int((np.diff(labels) != 0).sum())
+        non_empty = int((cq.cluster_sizes() > 0).sum())
+        assert changes == non_empty - 1
+
+    def test_remap_counts_atomics(self, clustered_points):
+        cq = self._clusters(clustered_points)
+        _, atomic_ops = remap_by_cluster(cq)
+        assert atomic_ops == int((cq.cluster_sizes() > 0).sum())
+
+
+class TestLayout:
+    def test_row_major_transactions(self):
+        # 29 dims * 4 B = 116 B -> one 128-byte transaction.
+        assert point_load_transactions(29, Layout.ROW_MAJOR) == 1
+        # 61 dims * 4 B = 244 B -> two transactions.
+        assert point_load_transactions(61, Layout.ROW_MAJOR) == 2
+
+    def test_column_major_sectored(self):
+        # Each scattered 4-byte read is a 32-byte sector = 1/4 txn.
+        assert point_load_transactions(4, Layout.COLUMN_MAJOR) == 1.0
+        assert point_load_transactions(40, Layout.COLUMN_MAJOR) == 10.0
+
+    def test_row_cheaper_beyond_8_dims(self):
+        for dim in (9, 29, 61, 281, 2000):
+            assert (point_load_transactions(dim, Layout.ROW_MAJOR)
+                    < point_load_transactions(dim, Layout.COLUMN_MAJOR))
+
+    def test_instruction_counts(self):
+        assert point_load_instructions(8, Layout.ROW_MAJOR) == 2  # float4
+        assert point_load_instructions(8, Layout.COLUMN_MAJOR) == 8
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            point_load_transactions(0, Layout.ROW_MAJOR)
+
+    def test_layout_from_string(self):
+        assert Layout("row") is Layout.ROW_MAJOR
+        assert Layout("col") is Layout.COLUMN_MAJOR
+        assert "row-major" in Layout.ROW_MAJOR.describe()

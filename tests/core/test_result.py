@@ -1,0 +1,65 @@
+"""Tests for the result/stats containers and the errors module."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import JoinStats, KNNResult
+from repro.errors import (DatasetError, LaunchConfigError, OutOfDeviceMemory,
+                          ReproError, ValidationError)
+
+
+class TestJoinStats:
+    def test_saved_fraction_empty(self):
+        assert JoinStats().saved_fraction == 0.0
+
+    def test_saved_fraction_bounds(self):
+        stats = JoinStats(n_queries=4, n_targets=4,
+                          level2_distance_computations=16)
+        assert stats.saved_fraction == 0.0
+        stats.level2_distance_computations = 0
+        assert stats.saved_fraction == 1.0
+
+    def test_total_pairs(self):
+        assert JoinStats(n_queries=3, n_targets=7).total_pairs == 21
+
+    def test_extra_merges_into_summary(self):
+        stats = JoinStats(extra={"partitions": 4})
+        assert stats.summary()["partitions"] == 4
+
+
+class TestKNNResult:
+    def _result(self, distances):
+        distances = np.asarray(distances, dtype=np.float64)
+        indices = np.zeros_like(distances, dtype=np.int64)
+        return KNNResult(distances, indices, JoinStats())
+
+    def test_k_property(self):
+        assert self._result([[1.0, 2.0, 3.0]]).k == 3
+
+    def test_sim_time_none_without_profile(self):
+        assert self._result([[1.0]]).sim_time_s is None
+
+    def test_pack_full_rows(self):
+        rows = [(np.asarray([1.0, 2.0]), np.asarray([5, 6]))]
+        distances, indices = KNNResult.pack(rows, 2)
+        np.testing.assert_array_equal(distances, [[1.0, 2.0]])
+        np.testing.assert_array_equal(indices, [[5, 6]])
+
+    def test_matches_rejects_distant(self):
+        a = self._result([[1.0, 2.0]])
+        b = self._result([[1.0, 2.1]])
+        assert not a.matches(b)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for err in (OutOfDeviceMemory(1, 0, 0), LaunchConfigError(),
+                    DatasetError(), ValidationError()):
+            assert isinstance(err, ReproError)
+
+    def test_out_of_memory_message(self):
+        err = OutOfDeviceMemory(2048, 1024, 4096)
+        assert err.requested == 2048
+        assert err.available == 1024
+        assert err.capacity == 4096
+        assert "2048" in str(err)

@@ -1,0 +1,122 @@
+"""Tests for the dataset stand-ins and generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, load, names
+from repro.datasets import synthetic
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_nine_datasets_in_paper_order(self):
+        assert names() == ["3dnet", "kegg", "keggd", "ipums", "skin",
+                           "arcene", "kdd", "dor", "blog"]
+        assert set(names()) == set(DATASETS)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load("mnist")
+
+    def test_load_is_case_insensitive(self):
+        _, spec = load("KEGG")
+        assert spec.name == "kegg"
+
+    @pytest.mark.parametrize("name", names())
+    def test_shapes_and_determinism(self, name):
+        spec = DATASETS[name]
+        points = spec.generate()
+        assert points.shape == (spec.n, spec.dim)
+        assert points.dtype == np.float64
+        assert np.isfinite(points).all()
+        again = spec.generate()
+        np.testing.assert_array_equal(points, again)
+
+    @pytest.mark.parametrize("name", names())
+    def test_paper_dimensions_kept(self, name):
+        """Dimensions match Table III verbatim, except the documented
+        dorothea substitution."""
+        spec = DATASETS[name]
+        if name == "dor":
+            assert spec.paper_dim == 100000 and spec.dim == 2000
+        else:
+            assert spec.dim == spec.paper_dim
+
+    @pytest.mark.parametrize("name", names())
+    def test_cardinality_scales(self, name):
+        spec = DATASETS[name]
+        assert spec.n <= spec.paper_n
+        assert spec.scale >= 1.0
+        if name in ("arcene", "dor"):
+            assert spec.n == spec.paper_n  # small enough to keep
+
+    def test_device_memory_partitions_match_paper_regime(self):
+        """The baseline must overflow device memory on exactly the
+        datasets the paper reports as partitioned."""
+        from repro.baselines.cublas_knn import plan_partitions
+        partitioned = set()
+        for name in names():
+            spec = DATASETS[name]
+            parts = plan_partitions(spec.n, spec.n, spec.dim,
+                                    spec.device())
+            if len(parts) > 1:
+                partitioned.add(name)
+        assert {"3dnet", "skin", "ipums", "kdd"} <= partitioned
+        assert "arcene" not in partitioned
+        assert "dor" not in partitioned
+
+    def test_device_concurrency_scales_with_n(self):
+        big = DATASETS["kdd"].device()
+        small = DATASETS["arcene"].device()
+        assert big.concurrency_scale < small.concurrency_scale
+        assert small.concurrency_scale == pytest.approx(1.0)
+
+    def test_points_are_shuffled(self):
+        """Consecutive rows must not be cluster-sorted (that would
+        hand the basic implementation warp-uniform work for free)."""
+        points, _ = load("kegg")
+        consecutive = np.linalg.norm(np.diff(points[:200], axis=0), axis=1)
+        spread = np.linalg.norm(points[:200] - points[200:400], axis=1)
+        # Shuffled data: consecutive gaps look like random-pair gaps.
+        assert consecutive.mean() > 0.3 * spread.mean()
+
+
+class TestGenerators:
+    def test_gaussian_mixture_intrinsic_dim(self, rng):
+        points = synthetic.gaussian_mixture(500, 40, rng, intrinsic_dim=4)
+        # Rank-revealing check: variance concentrates in ~4 directions.
+        _, s, _ = np.linalg.svd(points - points.mean(axis=0),
+                                full_matrices=False)
+        energy = np.cumsum(s ** 2) / np.sum(s ** 2)
+        assert energy[5] > 0.95
+
+    def test_road_network_is_locally_linear(self, rng):
+        points = synthetic.road_network_3d(600, rng, n_roads=6)
+        assert points.shape == (600, 4)
+
+    def test_color_clusters_in_range(self, rng):
+        points = synthetic.color_clusters(500, rng)
+        assert points.min() >= 0 and points.max() <= 255
+
+    def test_high_dim_weakly_clustered_is_high_rank(self, rng):
+        points = synthetic.high_dim_weakly_clustered(
+            80, 500, rng, intrinsic_dim=64)
+        _, s, _ = np.linalg.svd(points - points.mean(axis=0),
+                                full_matrices=False)
+        energy = np.cumsum(s ** 2) / np.sum(s ** 2)
+        assert energy[5] < 0.5  # not low-rank
+
+    def test_repeated_records_have_duplicated_patterns(self, rng):
+        points = synthetic.repeated_records(400, 10, rng, n_patterns=20)
+        # Nearest-neighbour distances are tiny inside a pattern.
+        d = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        assert np.median(d.min(axis=1)) < 0.2
+
+    def test_skewed_features_positive(self, rng):
+        points = synthetic.skewed_features(300, 20, rng)
+        assert (points > 0).all()
+
+    def test_sparse_high_dim_groups(self, rng):
+        points = synthetic.sparse_high_dim(200, 400, rng, n_groups=4)
+        assert points.shape == (200, 400)

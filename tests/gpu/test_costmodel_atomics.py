@@ -1,0 +1,64 @@
+"""Tests for the cost model and atomic-operation helpers."""
+
+import pytest
+
+from repro.gpu.atomics import AtomicCounter, AtomicScalar
+from repro.gpu.costmodel import CostModel, default_cost_model
+
+
+class TestCostModel:
+    def test_default_is_frozen_dataclass(self):
+        model = default_cost_model()
+        with pytest.raises(Exception):
+            model.flop_cycles = 9.0
+
+    def test_step_cost_components(self):
+        model = CostModel(issue_cycles=1, flop_cycles=2,
+                          global_txn_cycles=10, l2_txn_cycles=3,
+                          shared_cycles=4, atomic_cycles=5,
+                          branch_cycles=6, divergence_penalty=2)
+        cost = model.step_cost(flops=3, transactions=2, l2_transactions=1,
+                               shared=1, atomics=1, branch=True)
+        assert cost == 1 + 6 + 20 + 3 + 4 + 5 + 6
+
+    def test_divergence_doubles(self):
+        model = CostModel(divergence_penalty=2.0)
+        straight = model.step_cost(flops=10, branch=True)
+        diverged = model.step_cost(flops=10, branch=True, divergent=True)
+        assert diverged == pytest.approx(2 * straight)
+
+    def test_with_override(self):
+        model = default_cost_model().with_(global_txn_cycles=99.0)
+        assert model.global_txn_cycles == 99.0
+        assert default_cost_model().global_txn_cycles != 99.0
+
+    def test_l2_cheaper_than_dram(self):
+        model = default_cost_model()
+        assert model.l2_txn_cycles < model.global_txn_cycles
+
+    def test_gemm_flops_cheaper_than_scalar(self):
+        model = default_cost_model()
+        assert model.gemm_flop_cycles < model.flop_cycles
+
+
+class TestAtomics:
+    def test_counter_fetch_add_returns_old(self):
+        counter = AtomicCounter()
+        assert counter.fetch_add(5) == 0
+        assert counter.fetch_add(2) == 5
+        assert counter.value == 7
+        assert counter.operations == 2
+
+    def test_scalar_fetch_min(self):
+        cell = AtomicScalar(10.0)
+        assert cell.fetch_min(3.0) == 10.0
+        assert cell.value == 3.0
+        assert cell.fetch_min(7.0) == 3.0
+        assert cell.value == 3.0
+
+    def test_scalar_fetch_max(self):
+        cell = AtomicScalar(1.0)
+        cell.fetch_max(4.0)
+        cell.fetch_max(2.0)
+        assert cell.value == 4.0
+        assert cell.operations == 2

@@ -1,0 +1,118 @@
+"""Tests for the simulated device spec and occupancy model."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.device import DeviceSpec, tesla_k20c
+
+
+class TestDeviceSpec:
+    def test_k20c_defaults(self):
+        dev = tesla_k20c()
+        assert dev.num_sms == 13
+        assert dev.warp_size == 32
+        assert dev.max_threads_per_sm == 2048
+        assert dev.shared_mem_per_sm == 48 * 1024
+
+    def test_paper_thresholds(self):
+        """Section IV-D2: th1 = 24 bytes, th2 = 1020 bytes on the K20c."""
+        dev = tesla_k20c()
+        assert dev.shared_mem_threshold_th1 == 24
+        assert dev.register_threshold_th2 == 255 * 4
+
+    def test_max_concurrent_threads(self):
+        dev = tesla_k20c()
+        assert dev.max_concurrent_threads == 13 * 2048
+
+    def test_invalid_num_sms(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", num_sms=0)
+
+    def test_invalid_warp_multiple(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", num_sms=1, max_threads_per_sm=100)
+
+    def test_with_global_mem_is_copy(self):
+        dev = tesla_k20c()
+        shrunk = dev.with_global_mem(1024)
+        assert shrunk.global_mem_bytes == 1024
+        assert dev.global_mem_bytes != 1024
+        assert shrunk.num_sms == dev.num_sms
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tesla_k20c().scaled(0)
+
+    def test_concurrency_scale(self):
+        dev = tesla_k20c().with_concurrency_scale(0.5)
+        full = tesla_k20c().concurrent_threads()
+        assert dev.concurrent_threads() == full // 2
+
+    def test_concurrency_scale_floors_at_warp(self):
+        dev = tesla_k20c().with_concurrency_scale(1e-9)
+        assert dev.concurrent_threads() == dev.warp_size
+
+    def test_l2_hit_rate_bounds(self):
+        dev = tesla_k20c()
+        assert dev.l2_hit_rate(0) == 1.0
+        assert dev.l2_hit_rate(dev.l2_bytes) == 1.0
+        assert dev.l2_hit_rate(2 * dev.l2_bytes) == pytest.approx(0.5)
+
+    def test_spec_is_frozen(self):
+        dev = tesla_k20c()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            dev.num_sms = 1
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=16, block_size=256)
+        assert occ.threads_per_sm == 2048
+        assert occ.limiter == "threads"
+
+    def test_register_limited(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=64, block_size=256)
+        # 64K registers / 64 per thread = 1024 threads.
+        assert occ.threads_per_sm == 1024
+        assert occ.limiter == "registers"
+
+    def test_shared_limited(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=16,
+                            shared_bytes_per_thread=96, block_size=256)
+        # 48KB / (96 * 256) = 2 blocks -> 512 threads.
+        assert occ.threads_per_sm == 512
+        assert occ.limiter == "shared"
+
+    def test_block_granularity(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=40, block_size=256)
+        # 64K/40 = 1638 -> floor to whole 256-blocks = 1536.
+        assert occ.threads_per_sm == 1536
+
+    def test_oversubscribed_single_block_still_runs(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=100000, block_size=256)
+        assert occ.threads_per_sm >= 256
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            tesla_k20c().occupancy(block_size=0)
+        with pytest.raises(ValueError):
+            tesla_k20c().occupancy(block_size=4096)
+
+    def test_warps_per_sm(self):
+        dev = tesla_k20c()
+        occ = dev.occupancy(regs_per_thread=16)
+        assert occ.warps_per_sm(32) == occ.threads_per_sm // 32
+
+    def test_register_placement_lowers_occupancy(self):
+        """Large kNearests in registers must reduce residency —
+        the occupancy cost of register placement (Section IV-C2)."""
+        dev = tesla_k20c()
+        light = dev.occupancy(regs_per_thread=32)
+        heavy = dev.occupancy(regs_per_thread=32 + 128)
+        assert heavy.threads_per_sm < light.threads_per_sm

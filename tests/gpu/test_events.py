@@ -1,0 +1,34 @@
+"""Tests for the event constructors of the reference lane API."""
+
+from repro.gpu import events as ev
+
+
+class TestEventConstructors:
+    def test_flop(self):
+        assert ev.flop(3) == (ev.FLOP, 3)
+        assert ev.flop() == (ev.FLOP, 1)
+
+    def test_gload_gstore(self):
+        assert ev.gload(128, 4) == (ev.GLOAD, 128, 4)
+        assert ev.gstore(0, 16) == (ev.GSTORE, 0, 16)
+
+    def test_shared_reg(self):
+        assert ev.shared(2) == (ev.SHARED, 2)
+        assert ev.reg() == (ev.REG, 1)
+
+    def test_atomic_default_space(self):
+        assert ev.atomic() == (ev.ATOMIC, "global")
+        assert ev.atomic("shared") == (ev.ATOMIC, "shared")
+
+    def test_branch_coerces_bool(self):
+        assert ev.branch(1) == (ev.BRANCH, True)
+        assert ev.branch(0) == (ev.BRANCH, False)
+
+    def test_count(self):
+        assert ev.count("distance_computations", 7) == (
+            ev.COUNT, "distance_computations", 7)
+
+    def test_kind_constants_distinct(self):
+        kinds = {ev.FLOP, ev.GLOAD, ev.GSTORE, ev.SHARED, ev.REG,
+                 ev.ATOMIC, ev.BRANCH, ev.COUNT}
+        assert len(kinds) == 8

@@ -1,0 +1,99 @@
+"""Tests for launch configs, makespan scheduling and simulated time."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.costmodel import CostModel, default_cost_model
+from repro.gpu.kernel import LaunchConfig, finalize_kernel, makespan
+from repro.gpu.profiler import KernelProfile
+from repro.gpu.device import tesla_k20c
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_slot_sums(self):
+        assert makespan([5, 3, 2], 1) == 10.0
+
+    def test_enough_slots_takes_max(self):
+        assert makespan([5, 3, 2], 8) == 5.0
+
+    def test_lpt_balances(self):
+        # 6 unit warps on 3 slots -> 2 each.
+        assert makespan([1] * 6, 3) == 2.0
+
+    def test_lpt_on_mixed_loads(self):
+        # LPT: [9] | [7, 2] | [5, 4] -> 9.
+        assert makespan([9, 7, 5, 4, 2], 3) == 9.0
+
+    def test_slots_clamped_to_one(self):
+        assert makespan([4, 4], 0) == 8.0
+
+    def test_more_work_never_faster(self):
+        base = makespan([3, 3, 3, 3], 2)
+        more = makespan([3, 3, 3, 3, 3], 2)
+        assert more >= base
+
+
+class TestLaunchConfig:
+    def test_concurrent_warps_capped_by_issue_slots(self):
+        """Residency (832 warps) exceeds the K20c's issue width (78
+        warps), so throughput slots equal the issue slots."""
+        dev = tesla_k20c()
+        config = LaunchConfig(regs_per_thread=16)
+        assert config.concurrent_warps(dev) == dev.issue_warp_slots == 78
+
+    def test_register_pressure_absorbed_by_surplus_residency(self):
+        """Halving occupancy does not halve throughput while residency
+        stays above the issue width — the reason kNearests-in-registers
+        wins despite its occupancy cost."""
+        dev = tesla_k20c()
+        light = LaunchConfig(regs_per_thread=32).concurrent_warps(dev)
+        heavy = LaunchConfig(regs_per_thread=160).concurrent_warps(dev)
+        assert heavy == light == dev.issue_warp_slots
+
+    def test_residency_limits_when_below_issue_width(self):
+        """On a device with surplus issue width, occupancy is the
+        binding constraint again."""
+        dev = tesla_k20c()
+        wide = dataclasses.replace(dev, cores_per_sm=2048,
+                                   max_blocks_per_sm=2)
+        light = LaunchConfig(regs_per_thread=16,
+                             block_size=256).concurrent_warps(wide)
+        # Two 256-thread blocks per SM -> 16 warps per SM resident.
+        assert light == 16 * 13
+
+    def test_concurrency_scale_applies(self):
+        dev = tesla_k20c().with_concurrency_scale(0.25)
+        config = LaunchConfig(regs_per_thread=16)
+        scaled = config.concurrent_warps(dev)
+        assert scaled == dev.issue_warp_slots
+        assert scaled == pytest.approx(78 / 4, abs=1)
+
+
+class TestFinalizeKernel:
+    def test_sim_time_includes_launch_overhead(self):
+        dev = tesla_k20c()
+        model = default_cost_model()
+        profile = KernelProfile(name="empty")
+        finalize_kernel(profile, dev, cost_model=model)
+        assert profile.sim_time_s == pytest.approx(
+            model.kernel_launch_cycles / dev.clock_hz)
+
+    def test_sim_time_scales_with_work(self):
+        dev = tesla_k20c()
+        p1 = KernelProfile(name="a", warp_cycles=[1e6] * 10)
+        p2 = KernelProfile(name="b", warp_cycles=[1e6] * 100000)
+        finalize_kernel(p1, dev)
+        finalize_kernel(p2, dev)
+        assert p2.sim_time_s > p1.sim_time_s
+
+    def test_latency_bound_kernel(self):
+        """Fewer warps than slots: time is the longest warp."""
+        dev = tesla_k20c()
+        model = CostModel(kernel_launch_cycles=0.0)
+        profile = KernelProfile(name="a", warp_cycles=[100.0, 700.0])
+        finalize_kernel(profile, dev, cost_model=model)
+        assert profile.sim_time_s == pytest.approx(700.0 / dev.clock_hz)

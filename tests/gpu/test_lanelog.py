@@ -1,0 +1,162 @@
+"""Tests for lane logs, warp folding and ragged accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.lanelog import (HEAP_IN_GLOBAL, HEAP_IN_REGISTERS,
+                               HEAP_IN_SHARED, LaneLog, account_ragged,
+                               fold_warp_logs)
+from repro.gpu.profiler import KernelProfile
+
+
+def _log(steps, flops=1.0, txns=0.0, l2=0.0, heap_ops=0.0, code=3):
+    log = LaneLog()
+    for _ in range(steps):
+        log.step(flops=flops, txns=txns, l2=l2, heap_ops=heap_ops, code=code)
+    return log
+
+
+class TestFoldWarpLogs:
+    def test_uniform_logs_full_efficiency(self):
+        profile = KernelProfile(name="k")
+        fold_warp_logs([_log(5) for _ in range(32)], profile)
+        assert profile.warp_steps == 5
+        assert profile.lane_steps == 160
+        assert profile.warp_efficiency == 1.0
+        assert profile.divergent_branches == 0
+
+    def test_ragged_logs_reduce_efficiency(self):
+        profile = KernelProfile(name="k")
+        fold_warp_logs([_log(1), _log(9)], profile)
+        assert profile.warp_steps == 9
+        assert profile.lane_steps == 10
+        assert profile.warp_efficiency == pytest.approx(10 / (32 * 9))
+
+    def test_code_disagreement_is_divergence(self):
+        profile = KernelProfile(name="k")
+        a = LaneLog()
+        a.step(code=3)
+        b = LaneLog()
+        b.step(code=2)
+        fold_warp_logs([a, b], profile)
+        assert profile.divergent_branches == 1
+
+    def test_divergence_penalty_on_compute_only(self):
+        model = CostModel(issue_cycles=10.0, branch_cycles=0.0,
+                          global_txn_cycles=100.0, divergence_penalty=2.0)
+        agree = KernelProfile(name="a")
+        a1, a2 = LaneLog(), LaneLog()
+        a1.step(txns=1, code=3)
+        a2.step(txns=1, code=3)
+        fold_warp_logs([a1, a2], agree, model)
+
+        disagree = KernelProfile(name="d")
+        d1, d2 = LaneLog(), LaneLog()
+        d1.step(txns=1, code=3)
+        d2.step(txns=1, code=2)
+        fold_warp_logs([d1, d2], disagree, model)
+
+        # Only the 10-cycle issue part doubles; memory (200) does not.
+        assert agree.cycles == pytest.approx(10 + 200)
+        assert disagree.cycles == pytest.approx(20 + 200)
+
+    def test_flops_cost_is_max_lane(self):
+        model = CostModel(issue_cycles=0.0, branch_cycles=0.0,
+                          flop_cycles=1.0)
+        profile = KernelProfile(name="k")
+        a = _log(1, flops=100.0)
+        b = _log(1, flops=1.0)
+        fold_warp_logs([a, b], profile, model)
+        assert profile.cycles == pytest.approx(100.0)
+        assert profile.flops == pytest.approx(101.0)
+
+    def test_l2_cheaper_than_dram(self):
+        model = CostModel(issue_cycles=0.0, branch_cycles=0.0)
+        dram = KernelProfile(name="dram")
+        fold_warp_logs([_log(4, txns=1.0)], dram, model)
+        cached = KernelProfile(name="l2")
+        fold_warp_logs([_log(4, l2=1.0)], cached, model)
+        assert cached.cycles < dram.cycles
+        assert cached.l2_transactions == 4
+        assert dram.gl_transactions == 4
+
+    def test_heap_placement_costs_ordered(self):
+        """registers <= shared <= global-coalesced <= global-layout1."""
+        model = CostModel()
+        logs = lambda: [_log(6, heap_ops=4.0) for _ in range(32)]
+        cycles = {}
+        for placement, coalesced in ((HEAP_IN_REGISTERS, True),
+                                     (HEAP_IN_SHARED, True),
+                                     (HEAP_IN_GLOBAL, True),
+                                     (HEAP_IN_GLOBAL, False)):
+            profile = KernelProfile(name="k")
+            fold_warp_logs(logs(), profile, model, heap_placement=placement,
+                           heap_coalesced=coalesced)
+            cycles[(placement, coalesced)] = profile.cycles
+        assert (cycles[(HEAP_IN_REGISTERS, True)]
+                <= cycles[(HEAP_IN_SHARED, True)]
+                <= cycles[(HEAP_IN_GLOBAL, True)]
+                <= cycles[(HEAP_IN_GLOBAL, False)])
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            fold_warp_logs([_log(1)], KernelProfile(name="k"),
+                           heap_placement="l3")
+
+    def test_empty_logs_noop(self):
+        profile = KernelProfile(name="k")
+        assert fold_warp_logs([], profile) == 0.0
+        assert fold_warp_logs([LaneLog()], profile) == 0.0
+        assert profile.n_warps == 0
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            fold_warp_logs([_log(1)] * 33, KernelProfile(name="k"))
+
+    def test_warp_cycles_recorded(self):
+        profile = KernelProfile(name="k")
+        fold_warp_logs([_log(2)], profile)
+        fold_warp_logs([_log(2)], profile)
+        assert profile.n_warps == 2
+        assert len(profile.warp_cycles) == 2
+        assert sum(profile.warp_cycles) == pytest.approx(profile.cycles)
+
+
+class TestAccountRagged:
+    def test_counts(self):
+        profile = KernelProfile(name="k")
+        account_ragged(profile, [4, 2, 6], flops_per_step=3.0)
+        assert profile.n_threads == 3
+        assert profile.warp_steps == 6   # one warp, max trip 6
+        assert profile.lane_steps == 12
+        assert profile.flops == pytest.approx(36.0)
+
+    def test_multiple_warps(self):
+        profile = KernelProfile(name="k")
+        account_ragged(profile, [2] * 64)
+        assert profile.n_warps == 2
+        assert profile.warp_steps == 4
+
+    def test_empty_noop(self):
+        profile = KernelProfile(name="k")
+        account_ragged(profile, [])
+        assert profile.n_warps == 0
+
+    def test_atomics_counted_and_charged(self):
+        model = CostModel()
+        with_atomics = KernelProfile(name="a")
+        account_ragged(with_atomics, [1] * 32, atomics_total=10,
+                       cost_model=model)
+        without = KernelProfile(name="b")
+        account_ragged(without, [1] * 32, cost_model=model)
+        assert with_atomics.atomics == 10
+        assert with_atomics.cycles == pytest.approx(
+            without.cycles + 10 * model.atomic_cycles)
+
+    def test_txn_accounting(self):
+        profile = KernelProfile(name="k")
+        account_ragged(profile, [5] * 32, txns_per_warp_step=2.0,
+                       l2_per_warp_step=3.0)
+        assert profile.gl_transactions == pytest.approx(10.0)
+        assert profile.l2_transactions == pytest.approx(15.0)

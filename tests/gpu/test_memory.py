@@ -1,0 +1,157 @@
+"""Tests for the simulated memory: allocator, arrays, coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfDeviceMemory
+from repro.gpu.memory import (GlobalMemory, RegisterArray, SharedArray,
+                              coalesced_transactions)
+from repro.gpu.device import tesla_k20c
+
+
+class TestCoalescing:
+    def test_single_access_one_transaction(self):
+        assert coalesced_transactions([(0, 4)]) == 1
+
+    def test_warp_of_consecutive_floats_coalesces(self):
+        accesses = [(i * 4, 4) for i in range(32)]
+        assert coalesced_transactions(accesses) == 1
+
+    def test_strided_accesses_do_not_coalesce(self):
+        accesses = [(i * 1024, 4) for i in range(32)]
+        assert coalesced_transactions(accesses) == 32
+
+    def test_access_spanning_segments(self):
+        assert coalesced_transactions([(120, 16)]) == 2
+
+    def test_duplicate_addresses_merge(self):
+        accesses = [(64, 4)] * 32
+        assert coalesced_transactions(accesses) == 1
+
+    def test_empty(self):
+        assert coalesced_transactions([]) == 0
+
+    def test_zero_length_access_ignored(self):
+        assert coalesced_transactions([(0, 0)]) == 0
+
+    def test_two_groups(self):
+        accesses = [(0, 4), (4, 4), (1000, 4)]
+        assert coalesced_transactions(accesses) == 2
+
+
+class TestGlobalMemory:
+    def test_alloc_and_capacity(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=4096))
+        arr = mem.alloc(256, dtype=np.float32)
+        assert arr.nbytes == 1024
+        assert mem.allocated_bytes == 1024
+
+    def test_out_of_memory_raises(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=1024))
+        with pytest.raises(OutOfDeviceMemory) as err:
+            mem.alloc(1024, dtype=np.float32)
+        assert err.value.requested == 4096
+        assert err.value.capacity == 1024
+
+    def test_free_returns_bytes(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=8192))
+        arr = mem.alloc(1024, dtype=np.float32)
+        mem.free(arr)
+        assert mem.allocated_bytes == 0
+
+    def test_double_free_is_idempotent(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=8192))
+        arr = mem.alloc(16, dtype=np.float32)
+        mem.free(arr)
+        mem.free(arr)
+        assert mem.allocated_bytes == 0
+
+    def test_free_foreign_array_rejected(self):
+        mem_a = GlobalMemory(tesla_k20c(global_mem_bytes=8192))
+        mem_b = GlobalMemory(tesla_k20c(global_mem_bytes=8192))
+        arr = mem_a.alloc(16)
+        with pytest.raises(ValueError):
+            mem_b.free(arr)
+
+    def test_peak_tracking(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=8192))
+        a = mem.alloc(512, dtype=np.float32)
+        mem.free(a)
+        mem.alloc(128, dtype=np.float32)
+        assert mem.peak_bytes == 2048
+
+    def test_addresses_are_aligned_and_disjoint(self):
+        mem = GlobalMemory(tesla_k20c(global_mem_bytes=1 << 20))
+        a = mem.alloc(100, dtype=np.float32)
+        b = mem.alloc(100, dtype=np.float32)
+        assert a.base_addr % 256 == 0
+        assert b.base_addr >= a.base_addr + a.nbytes
+
+
+class TestGlobalArray:
+    def _array(self, shape, dtype=np.float32):
+        mem = GlobalMemory(tesla_k20c())
+        data = np.arange(np.prod(shape), dtype=dtype).reshape(shape)
+        return mem.place(data)
+
+    def test_load_yields_event_then_value(self):
+        arr = self._array((8,))
+        gen = arr.load(3)
+        event = next(gen)
+        assert event[0] == "gload"
+        assert event[1] == arr.base_addr + 3 * 4
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value == 3.0
+
+    def test_store_writes(self):
+        arr = self._array((8,))
+        gen = arr.store(2, 99.0)
+        next(gen)
+        with pytest.raises(StopIteration):
+            next(gen)
+        assert arr.data[2] == 99.0
+
+    def test_vload_returns_slice(self):
+        arr = self._array((16,))
+        gen = arr.vload(4, 4)
+        event = next(gen)
+        assert event[2] == 16  # 4 floats
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        np.testing.assert_array_equal(stop.value.value, [4, 5, 6, 7])
+
+    def test_row_load_event_count_matches_float4(self):
+        arr = self._array((4, 10))
+        gen = arr.row_load(1)
+        events = []
+        try:
+            while True:
+                events.append(next(gen))
+        except StopIteration as stop:
+            row = stop.value
+        # 10 floats = 40 bytes -> 3 float4 chunks (16+16+8).
+        assert len(events) == 3
+        np.testing.assert_array_equal(row, np.arange(10, 20))
+
+    def test_2d_addressing(self):
+        arr = self._array((4, 5))
+        assert arr.addr((2, 3)) == arr.base_addr + (2 * 5 + 3) * 4
+
+
+class TestScratchArrays:
+    def test_shared_array_size(self):
+        arr = SharedArray(20)
+        assert arr.nbytes_per_thread == 80
+        assert np.all(np.isinf(arr.values))
+
+    def test_register_array_size(self):
+        arr = RegisterArray(5, fill=0.0)
+        assert arr.nbytes_per_thread == 20
+        assert np.all(arr.values == 0.0)
+
+    def test_access_events(self):
+        shared_event = next(SharedArray(4).access(3))
+        assert shared_event == ("shared", 3)
+        reg_event = next(RegisterArray(4).access(2))
+        assert reg_event == ("reg", 2)

@@ -1,0 +1,108 @@
+"""Tests for profiler containers and remaining device/memory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import tesla_k20c
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.profiler import KernelProfile, PipelineProfile
+
+
+class TestKernelProfile:
+    def test_counters(self):
+        profile = KernelProfile(name="k")
+        profile.count("distance_computations", 5)
+        profile.count("distance_computations", 2)
+        assert profile.get_count("distance_computations") == 7
+        assert profile.get_count("missing") == 0
+
+    def test_merge_from(self):
+        a = KernelProfile(name="k", warp_steps=10, lane_steps=100,
+                          flops=50.0, cycles=200.0)
+        a.count("x", 1)
+        b = KernelProfile(name="k", warp_steps=5, lane_steps=40,
+                          flops=10.0, cycles=100.0)
+        b.count("x", 2)
+        a.merge_from(b)
+        assert a.warp_steps == 15
+        assert a.flops == 60.0
+        assert a.get_count("x") == 3
+
+    def test_warp_efficiency_empty(self):
+        assert KernelProfile(name="k").warp_efficiency == 1.0
+
+    def test_summary_contains_key_metrics(self):
+        profile = KernelProfile(name="level2", warp_steps=4, lane_steps=64)
+        summary = profile.summary()
+        assert summary["kernel"] == "level2"
+        assert summary["warp_efficiency"] == 0.5
+
+
+class TestPipelineProfile:
+    def _pipeline(self):
+        pipe = PipelineProfile(name="p")
+        a = KernelProfile(name="init", warp_steps=10, lane_steps=320,
+                          sim_time_s=0.5, flops=10)
+        b = KernelProfile(name="level2_filter", warp_steps=10,
+                          lane_steps=160, sim_time_s=1.5, flops=30)
+        b.count("distance_computations", 9)
+        pipe.add(a)
+        pipe.add(b)
+        return pipe
+
+    def test_total_time(self):
+        assert self._pipeline().sim_time_s == 2.0
+
+    def test_host_time_added(self):
+        pipe = self._pipeline()
+        pipe.host_time_s = 0.25
+        assert pipe.sim_time_s == 2.25
+
+    def test_counter_aggregation(self):
+        assert self._pipeline().counter("distance_computations") == 9
+
+    def test_overall_warp_efficiency(self):
+        pipe = self._pipeline()
+        assert pipe.warp_efficiency == pytest.approx(480 / (32 * 20))
+
+    def test_filter_warp_efficiency_selects_kernel(self):
+        pipe = self._pipeline()
+        assert pipe.filter_warp_efficiency() == pytest.approx(
+            160 / (32 * 10))
+
+    def test_filter_efficiency_no_match_is_one(self):
+        pipe = PipelineProfile(name="p")
+        assert pipe.filter_warp_efficiency("level2") == 1.0
+
+    def test_summary(self):
+        summary = self._pipeline().summary()
+        assert summary["pipeline"] == "p"
+        assert len(summary["kernels"]) == 2
+
+
+class TestIssueSlots:
+    def test_k20c_issue_slots(self):
+        # 13 SMs * 192 cores / 32 lanes = 78 warps in flight.
+        assert tesla_k20c().issue_warp_slots == 78
+
+    def test_scales_with_concurrency(self):
+        dev = tesla_k20c().with_concurrency_scale(1 / 39)
+        assert dev.issue_warp_slots == 2
+
+    def test_never_below_one(self):
+        dev = tesla_k20c().with_concurrency_scale(1e-9)
+        assert dev.issue_warp_slots == 1
+
+
+class TestColumnMajorAccess:
+    def test_col_element_load(self):
+        mem = GlobalMemory(tesla_k20c())
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)  # (d, n)
+        arr = mem.place(data)
+        gen = arr.col_element_load(i=1, dim=2)
+        event = next(gen)
+        assert event[0] == "gload"
+        assert event[1] == arr.base_addr + (2 * 4 + 1) * 4
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value == 9.0

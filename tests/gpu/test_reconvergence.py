@@ -1,0 +1,88 @@
+"""Tests for SIMT segment reconvergence in the warp fold."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.lanelog import LaneLog, fold_warp_logs
+from repro.gpu.profiler import KernelProfile
+
+ENTER = 0
+BODY = 3
+
+
+def _lane(segment_lengths):
+    """A lane whose scan visits clusters of the given body lengths."""
+    log = LaneLog()
+    for length in segment_lengths:
+        log.step(code=ENTER)
+        for _ in range(length):
+            log.step(code=BODY)
+    return log
+
+
+class TestReconvergence:
+    def test_identical_lanes_unchanged(self):
+        with_reconv = KernelProfile(name="a")
+        fold_warp_logs([_lane([3, 2]), _lane([3, 2])], with_reconv,
+                       reconverge_code=ENTER)
+        without = KernelProfile(name="b")
+        fold_warp_logs([_lane([3, 2]), _lane([3, 2])], without)
+        assert with_reconv.warp_steps == without.warp_steps
+        assert with_reconv.warp_efficiency == without.warp_efficiency
+
+    def test_mismatched_segments_serialize(self):
+        """Lane A: clusters of 1 and 9 steps; lane B: 9 and 1.  Without
+        reconvergence the timeline is max(12, 12) = 12 steps; with it
+        the warp waits at each boundary: (1+max) + ... = 20 steps."""
+        profile = KernelProfile(name="k")
+        fold_warp_logs([_lane([1, 9]), _lane([9, 1])], profile,
+                       reconverge_code=ENTER)
+        assert profile.warp_steps == (1 + 9) + (1 + 9)
+        assert profile.lane_steps == 24
+        assert profile.warp_efficiency == pytest.approx(24 / (32 * 20))
+
+        flat = KernelProfile(name="flat")
+        fold_warp_logs([_lane([1, 9]), _lane([9, 1])], flat)
+        assert flat.warp_steps == 12
+
+    def test_different_segment_counts(self):
+        """A lane with fewer clusters idles through the extra ones."""
+        profile = KernelProfile(name="k")
+        fold_warp_logs([_lane([2]), _lane([2, 4])], profile,
+                       reconverge_code=ENTER)
+        assert profile.warp_steps == (1 + 2) + (1 + 4)
+
+    def test_reconvergence_never_reduces_steps(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            lanes = [_lane(rng.integers(0, 6, size=rng.integers(1, 5)))
+                     for _ in range(rng.integers(2, 8))]
+            flat = KernelProfile(name="flat")
+            fold_warp_logs(lanes, flat)
+            reconv = KernelProfile(name="reconv")
+            lanes2 = [_lane_copy(l) for l in lanes]
+            fold_warp_logs(lanes2, reconv, reconverge_code=ENTER)
+            assert reconv.warp_steps >= flat.warp_steps
+            assert reconv.lane_steps == flat.lane_steps
+
+    def test_counters_preserved_under_alignment(self):
+        """Reconvergence moves steps in time but must not change
+        flop/transaction totals."""
+        a = _lane([2, 5])
+        for i in range(len(a)):
+            a.flops[i] = 2.0
+            a.txns[i] = 1.0
+        b = _lane([5, 2])
+        profile = KernelProfile(name="k")
+        fold_warp_logs([a, b], profile, reconverge_code=ENTER)
+        assert profile.flops == pytest.approx(2.0 * len(a.flops))
+        assert profile.gl_transactions == pytest.approx(len(a.txns))
+
+
+def _lane_copy(log):
+    new = LaneLog()
+    for i in range(len(log)):
+        new.step(flops=log.flops[i], txns=log.txns[i], l2=log.l2[i],
+                 heap_ops=log.heap_ops[i], atomics=log.atomics[i],
+                 code=log.code[i])
+    return new

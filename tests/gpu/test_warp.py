@@ -1,0 +1,169 @@
+"""Tests for the lane-level reference executor and cross-validation
+against the warp-vectorised executor."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import events as ev
+from repro.gpu.costmodel import CostModel
+from repro.gpu.executor import WarpExecutor, transactions_for
+from repro.gpu.profiler import KernelProfile
+from repro.gpu.warp import run_lanes, run_warp_lanes
+
+
+def _model():
+    return CostModel()
+
+
+class TestLaneExecutor:
+    def test_uniform_lanes_full_efficiency(self):
+        def kernel(tid):
+            for _ in range(10):
+                yield ev.flop(2)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.warp_steps == 10
+        assert profile.lane_steps == 320
+        assert profile.warp_efficiency == 1.0
+        assert profile.flops == 640
+
+    def test_ragged_lanes_lower_efficiency(self):
+        def kernel(tid):
+            for _ in range(1 if tid % 2 else 10):
+                yield ev.flop(1)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.warp_steps == 10
+        assert profile.lane_steps == 16 * 1 + 16 * 10
+        assert profile.warp_efficiency == pytest.approx(176 / 320)
+
+    def test_divergent_branch_counted(self):
+        def kernel(tid):
+            yield ev.branch(tid % 2 == 0)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.divergent_branches == 1
+        assert profile.branches == 1
+
+    def test_uniform_branch_not_divergent(self):
+        def kernel(tid):
+            yield ev.branch(True)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.divergent_branches == 0
+
+    def test_coalesced_loads_one_transaction(self):
+        def kernel(tid):
+            yield ev.gload(tid * 4, 4)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.gl_transactions == 1
+        assert profile.gl_requests == 32
+
+    def test_scattered_loads_many_transactions(self):
+        def kernel(tid):
+            yield ev.gload(tid * 4096, 4)
+
+        profile = run_lanes(kernel, 32)
+        assert profile.gl_transactions == 32
+
+    def test_count_events_are_free(self):
+        def kernel(tid):
+            yield ev.count("distance_computations", 2)
+            yield ev.flop(1)
+
+        profile = run_lanes(kernel, 4)
+        assert profile.get_count("distance_computations") == 8
+        # The count-only step consumed no cycles and no warp step.
+        assert profile.warp_steps == 1
+
+    def test_atomics_serialize_in_cost(self):
+        def with_atomics(tid):
+            yield ev.atomic()
+
+        def without(tid):
+            yield ev.flop(0)
+
+        model = _model()
+        p1 = run_lanes(with_atomics, 32, cost_model=model)
+        p2 = run_lanes(without, 32, cost_model=model)
+        assert p1.cycles >= p2.cycles + 31 * model.atomic_cycles
+
+    def test_too_many_lanes_rejected(self):
+        profile = KernelProfile(name="x")
+        lanes = [iter(()) for _ in range(33)]
+        with pytest.raises(ValueError):
+            run_warp_lanes(lanes, profile)
+
+    def test_unknown_event_rejected(self):
+        def kernel(tid):
+            yield ("bogus", 1)
+
+        with pytest.raises(ValueError):
+            run_lanes(kernel, 1)
+
+    def test_shared_and_reg_events(self):
+        def kernel(tid):
+            yield ev.shared(3)
+            yield ev.reg(2)
+
+        profile = run_lanes(kernel, 2)
+        assert profile.shared_accesses == 6
+        assert profile.reg_accesses == 4
+
+
+class TestCrossValidation:
+    """The warp-vectorised executor must agree with the lane-level
+    reference on identical workloads."""
+
+    def test_flop_kernel_agrees(self):
+        trips = [3, 7, 7, 1, 9, 9, 9, 2] * 4  # 32 lanes
+
+        def kernel(tid):
+            for _ in range(trips[tid]):
+                yield ev.flop(4)
+
+        ref = run_lanes(kernel, 32, cost_model=_model())
+
+        vec = KernelProfile(name="vec")
+        ex = WarpExecutor(vec, _model())
+        remaining = np.asarray(trips)
+        for _ in range(max(trips)):
+            active = int((remaining > 0).sum())
+            ex.step(active, flops_max=4.0)
+            remaining -= 1
+        ex.end_warp()
+
+        assert vec.warp_steps == ref.warp_steps
+        assert vec.lane_steps == ref.lane_steps
+        assert vec.flops == ref.flops
+        assert vec.warp_efficiency == pytest.approx(ref.warp_efficiency)
+        assert vec.cycles == pytest.approx(ref.cycles)
+
+    def test_memory_kernel_agrees(self):
+        addrs = [tid * 256 for tid in range(32)]
+
+        def kernel(tid):
+            yield ev.gload(addrs[tid], 4)
+
+        ref = run_lanes(kernel, 32, cost_model=_model())
+
+        vec = KernelProfile(name="vec")
+        ex = WarpExecutor(vec, _model())
+        ex.step(32, gl_addrs=np.asarray(addrs), gl_nbytes=4)
+        ex.end_warp()
+
+        assert vec.gl_transactions == ref.gl_transactions
+        assert vec.cycles == pytest.approx(ref.cycles)
+
+
+class TestTransactionsFor:
+    def test_matches_scalar_model(self):
+        addrs = np.asarray([0, 4, 8, 1000])
+        assert transactions_for(addrs, 4) == 2
+
+    def test_spanning(self):
+        assert transactions_for(np.asarray([120]), 16) == 2
+
+    def test_empty(self):
+        assert transactions_for(np.asarray([]), 4) == 0

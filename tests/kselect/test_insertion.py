@@ -1,0 +1,67 @@
+"""Tests for the Garcia-style insertion selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kselect import InsertionSelector, insertion_select
+
+
+class TestInsertionSelector:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            InsertionSelector(0)
+
+    def test_keeps_sorted(self):
+        sel = InsertionSelector(3)
+        for value in (5.0, 1.0, 3.0, 0.5, 4.0):
+            sel.offer(value, int(value * 10))
+        dists, idx = sel.sorted_items()
+        np.testing.assert_allclose(dists, [0.5, 1.0, 3.0])
+        assert np.all(np.diff(sel.dists) >= 0)
+
+    def test_rejects_not_better(self):
+        sel = InsertionSelector(2)
+        sel.offer(1.0, 0)
+        sel.offer(2.0, 1)
+        assert not sel.offer(2.5, 2)
+        assert sel.comparisons == 3
+
+    def test_kth_bound(self):
+        sel = InsertionSelector(2)
+        assert np.isinf(sel.kth)
+        sel.offer(3.0, 0)
+        sel.offer(1.0, 1)
+        assert sel.kth == 3.0
+
+    def test_shift_counting(self):
+        sel = InsertionSelector(3)
+        sel.offer(3.0, 0)   # [3]
+        sel.offer(2.0, 1)   # shift 1
+        sel.offer(1.0, 2)   # shift 2
+        assert sel.shifts == 3
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=150),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_sort(self, values, k):
+        dists, _, sel = insertion_select(values, k)
+        expected = np.sort(values)[:min(k, len(values))]
+        np.testing.assert_allclose(dists, expected)
+        assert sel.comparisons == len(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=5, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_heap(self, values):
+        """Insertion (Garcia) and heap (Sweet) must select identically."""
+        from repro.kselect import KNearestHeap
+        heap = KNearestHeap(5)
+        sel = InsertionSelector(5)
+        for i, value in enumerate(values):
+            heap.push(value, i)
+            sel.offer(value, i)
+        np.testing.assert_allclose(heap.sorted_items()[0],
+                                   sel.sorted_items()[0])

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "sweet"
+        assert args.k == 20
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "magic"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "mnist"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_nine(self):
+        code, text = _run(["datasets"])
+        assert code == 0
+        for name in ("3dnet", "kegg", "arcene", "blog"):
+            assert name in text
+
+    def test_run_synthetic(self):
+        code, text = _run(["run", "--n", "300", "--dim", "8", "-k", "5"])
+        assert code == 0
+        assert "sweet-knn" in text
+        assert "saved" in text
+
+    def test_run_with_check(self):
+        code, text = _run(["run", "--n", "200", "--dim", "6", "-k", "4",
+                           "--check"])
+        assert code == 0
+        assert "exact vs brute force: True" in text
+
+    def test_run_cpu_method(self):
+        code, text = _run(["run", "--n", "200", "--dim", "6", "-k", "4",
+                           "--method", "ti-cpu"])
+        assert code == 0
+        assert "ti-knn-cpu" in text
+
+    def test_compare_table(self):
+        code, text = _run(["compare", "--n", "400", "--dim", "8",
+                           "-k", "5"])
+        assert code == 0
+        assert "cublas baseline" in text
+        assert "Sweet KNN" in text
+        assert "speedup" in text
+        assert "WARNING" not in text
+
+    def test_adaptive_partial_regime(self):
+        code, text = _run(["adaptive", "--n", "500", "--dim", "4",
+                           "-k", "64"])
+        assert code == 0
+        assert "partial level-2 filtering" in text
+
+    def test_adaptive_full_regime(self):
+        code, text = _run(["adaptive", "--n", "500", "--dim", "32",
+                           "-k", "8"])
+        assert code == 0
+        assert "full level-2 filtering" in text

@@ -1,0 +1,79 @@
+"""Integration: all engines agree across dataset regimes.
+
+Uses reduced-size instances of every stand-in *generator* (the full
+stand-ins belong to the benchmarks) so the whole matrix of
+(data regime) x (engine) stays fast while covering the regimes that
+stress different code paths: road networks (dense low-d), low
+intrinsic dimension mixtures, colour clusters, weakly-clusterable
+high-d, repeated records, skewed features.
+"""
+
+import numpy as np
+import pytest
+
+from repro import knn_join
+from repro.datasets import synthetic
+
+K = 8
+
+
+def _generators():
+    return {
+        "roads": lambda rng: synthetic.road_network_3d(500, rng, n_roads=8),
+        "mixture": lambda rng: synthetic.gaussian_mixture(
+            500, 24, rng, n_clusters=12, intrinsic_dim=5),
+        "colors": lambda rng: synthetic.color_clusters(500, rng,
+                                                       n_clusters=10),
+        "highdim": lambda rng: synthetic.high_dim_weakly_clustered(
+            90, 600, rng, intrinsic_dim=40),
+        "repeated": lambda rng: synthetic.repeated_records(
+            500, 20, rng, n_patterns=25),
+        "skewed": lambda rng: synthetic.skewed_features(
+            400, 48, rng, n_clusters=10),
+        "sparse": lambda rng: synthetic.sparse_high_dim(
+            300, 300, rng, n_groups=8, intrinsic_dim=12),
+    }
+
+
+@pytest.fixture(scope="module")
+def regimes():
+    rng = np.random.default_rng(99)
+    data = {}
+    for name, gen in _generators().items():
+        points = gen(rng)
+        data[name] = (points, knn_join(points, points, K, method="brute"))
+    return data
+
+
+@pytest.mark.parametrize("regime", sorted(_generators()))
+@pytest.mark.parametrize("method", ["sweet", "ti-gpu", "ti-cpu", "cublas",
+                                    "kdtree"])
+def test_engine_agrees_with_oracle(regimes, regime, method):
+    points, oracle = regimes[regime]
+    result = knn_join(points, points, K, method=method, seed=0)
+    assert result.matches(oracle), (regime, method)
+
+
+@pytest.mark.parametrize("regime,min_saved", [
+    ("roads", 0.7), ("mixture", 0.7), ("colors", 0.7), ("repeated", 0.8),
+])
+def test_clusterable_regimes_filter_well(regimes, regime, min_saved):
+    points, _ = regimes[regime]
+    result = knn_join(points, points, K, method="sweet", seed=0)
+    assert result.stats.saved_fraction > min_saved
+
+
+def test_highdim_regime_filters_poorly(regimes):
+    """The arcene regime: loose TI bounds, little savings."""
+    points, _ = regimes["highdim"]
+    result = knn_join(points, points, K, method="ti-cpu", seed=0)
+    assert result.stats.saved_fraction < 0.6
+
+
+def test_sweet_never_slower_than_basic(regimes):
+    """Sweet's whole point: it dominates the naive TI port."""
+    for regime in ("roads", "mixture", "colors"):
+        points, _ = regimes[regime]
+        sweet = knn_join(points, points, K, method="sweet", seed=0)
+        basic = knn_join(points, points, K, method="ti-gpu", seed=0)
+        assert sweet.sim_time_s <= basic.sim_time_s * 1.1, regime
