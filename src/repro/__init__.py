@@ -22,14 +22,18 @@ from .core.basic_gpu import basic_ti_knn
 from .core.ti_knn import ti_knn_join
 from .baselines import brute_force_knn, cublas_knn, kdtree_knn
 from .datasets import load as load_dataset
+from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
+                     engine_names, get_engine, plan, register, unregister)
 from .gpu import DeviceSpec, tesla_k20c
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
     "basic_ti_knn", "ti_knn_join",
     "brute_force_knn", "cublas_knn", "kdtree_knn",
+    "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",
+    "engine_names", "get_engine", "plan", "register", "unregister",
     "load_dataset", "DeviceSpec", "tesla_k20c",
     "__version__",
 ]

@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.result import JoinStats, KNNResult
+from ..engine.base import EngineSpec
 
-__all__ = ["brute_force_knn"]
+__all__ = ["brute_force_knn", "ENGINE"]
 
 _CHUNK_ROWS = 512
 
@@ -58,3 +59,17 @@ def brute_force_knn(queries, targets, k):
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      method="brute-force-cpu")
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+def _run_engine(queries, targets, k, ctx, **options):
+    return brute_force_knn(queries, targets, k, **options)
+
+
+ENGINE = EngineSpec(
+    name="brute",
+    run=_run_engine,
+    description="exact brute-force KNN on the host (correctness oracle)",
+)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.base import EngineCaps, EngineSpec
+from ..engine.planner import dense_partition_rows, partition_ranges
 from ..errors import OutOfDeviceMemory
 from ..gpu.costmodel import default_cost_model
 from ..gpu.device import tesla_k20c
@@ -35,7 +37,7 @@ from ..gpu.memory import GlobalMemory
 from ..gpu.profiler import KernelProfile, PipelineProfile
 from ..core.result import JoinStats, KNNResult
 
-__all__ = ["cublas_knn", "plan_partitions"]
+__all__ = ["cublas_knn", "plan_partitions", "ENGINE"]
 
 _FLOAT = 4  # device floats are 32-bit
 
@@ -43,23 +45,12 @@ _FLOAT = 4  # device floats are 32-bit
 def plan_partitions(n_queries, n_targets, dim, device):
     """Split the query set so each group's working set fits in memory.
 
-    The working set per group of ``g`` queries is the distance matrix
-    ``g * |T|`` plus the two point matrices, in device floats.  Returns
-    the list of ``(start, stop)`` query ranges.
+    The row budget lives in the shared planner layer
+    (:func:`repro.engine.planner.dense_partition_rows`); this wrapper
+    keeps the baseline's historical ``(start, stop)``-ranges interface.
     """
-    budget = device.global_mem_bytes
-    fixed = (n_queries + n_targets) * dim * _FLOAT
-    per_query = n_targets * _FLOAT
-    usable = budget - fixed
-    if usable <= 0:
-        # Even the inputs are close to capacity; fall back to single
-        # queries per group (the allocator will raise if truly stuck).
-        group = 1
-    else:
-        group = max(1, min(n_queries, usable // per_query))
-    ranges = [(start, min(start + group, n_queries))
-              for start in range(0, n_queries, group)]
-    return ranges
+    rows = dense_partition_rows(n_queries, n_targets, dim, device)
+    return partition_ranges(n_queries, rows)
 
 
 def cublas_knn(queries, targets, k, device=None, cost_model=None):
@@ -130,6 +121,21 @@ def cublas_knn(queries, targets, k, device=None, cost_model=None):
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      profile=pipeline, method="cublas-gpu")
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+def _run_engine(queries, targets, k, ctx, **options):
+    return cublas_knn(queries, targets, k, device=ctx.device, **options)
+
+
+ENGINE = EngineSpec(
+    name="cublas",
+    run=_run_engine,
+    caps=EngineCaps(needs_device=True, tiles_internally=True),
+    description="CUBLAS-style brute-force GPU baseline (Garcia et al.)",
+)
 
 
 def _check_capacity(group_size, n_t, dim, device):

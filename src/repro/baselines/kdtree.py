@@ -15,9 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.result import JoinStats, KNNResult
+from ..engine.base import EngineSpec
 from ..kselect import KNearestHeap
 
-__all__ = ["KDTree", "kdtree_knn"]
+__all__ = ["KDTree", "kdtree_knn", "ENGINE"]
 
 _LEAF_SIZE = 16
 
@@ -110,3 +111,17 @@ def kdtree_knn(queries, targets, k, leaf_size=_LEAF_SIZE):
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      method="kdtree-cpu")
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+def _run_engine(queries, targets, k, ctx, **options):
+    return kdtree_knn(queries, targets, k, **options)
+
+
+ENGINE = EngineSpec(
+    name="kdtree",
+    run=_run_engine,
+    description="KD-tree KNN baseline on the host",
+)

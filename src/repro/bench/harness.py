@@ -19,10 +19,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..baselines.cublas_knn import cublas_knn
-from ..core.basic_gpu import basic_ti_knn
-from ..core.sweet import sweet_knn
 from ..datasets import load
+from ..engine.executor import execute
+from ..engine.planner import plan_shape
+from ..engine.registry import get_engine
+from ..errors import ValidationError
 
 __all__ = ["RunRecord", "run_method", "speedup_over_baseline",
            "clear_cache"]
@@ -32,6 +33,9 @@ _DATA_CACHE = {}
 
 #: Landmark-selection seed shared by all experiment runs.
 EXPERIMENT_SEED = 1
+
+#: Historical bench spellings -> registered engine names.
+_ALIASES = {"basic": "ti-gpu"}
 
 
 @dataclass
@@ -46,6 +50,7 @@ class RunRecord:
     saved_fraction: float
     warp_efficiency: float
     decisions: dict = field(default_factory=dict)
+    plan: dict = field(default_factory=dict)
     result: object = None
 
 
@@ -64,7 +69,8 @@ def run_method(dataset, method, k, **options):
     dataset:
         Stand-in name from :func:`repro.datasets.names`.
     method:
-        ``"cublas"``, ``"basic"`` or ``"sweet"``.
+        A registered GPU engine name (``"cublas"``, ``"ti-gpu"``,
+        ``"sweet"``; the historical ``"basic"`` spelling still works).
     k:
         Neighbours per query (self-join, like the paper).
     options:
@@ -83,16 +89,20 @@ def run_method(dataset, method, k, **options):
     device = spec.device()
     rng = np.random.default_rng(EXPERIMENT_SEED)
 
+    engine_name = _ALIASES.get(method, method)
+    try:
+        engine = get_engine(engine_name)
+    except ValidationError:
+        raise ValueError("unknown bench method: %r" % (method,)) from None
+    exec_plan = plan_shape(
+        len(points), len(points), k, points.shape[1], method=engine_name,
+        device=device, mq=options.get("mq"), mt=options.get("mt"),
+        **{name: value for name, value in options.items()
+           if name not in ("mq", "mt")})
+
     start = time.perf_counter()
-    if method == "cublas":
-        result = cublas_knn(points, points, k, device=device, **options)
-    elif method == "basic":
-        result = basic_ti_knn(points, points, k, rng, device=device,
-                              **options)
-    elif method == "sweet":
-        result = sweet_knn(points, points, k, rng, device=device, **options)
-    else:
-        raise ValueError("unknown bench method: %r" % (method,))
+    result = execute(engine, points, points, k, rng=rng, device=device,
+                     **options)
     wall = time.perf_counter() - start
 
     record = RunRecord(
@@ -102,6 +112,7 @@ def run_method(dataset, method, k, **options):
         saved_fraction=result.stats.saved_fraction,
         warp_efficiency=result.profile.filter_warp_efficiency(),
         decisions=dict(result.stats.extra),
+        plan=exec_plan.describe(),
         result=result,
     )
     _CACHE[key] = record

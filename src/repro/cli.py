@@ -12,6 +12,14 @@ Commands
 ``adaptive``
     What the Fig. 8 adaptive scheme decides for a problem shape,
     without running the join.
+``plan``
+    The full execution plan (engine, adaptive configuration, landmark
+    counts, query batching) the dispatcher would use — the CLI view of
+    :func:`repro.plan`.
+
+The ``--method`` choices come straight from the engine registry
+(:func:`repro.engine.engine_names`), so engines registered by plugins
+are runnable by name.
 
 Examples
 --------
@@ -21,6 +29,7 @@ Examples
     python -m repro run --n 5000 --dim 32 -k 10 --method ti-gpu
     python -m repro compare --dataset skin -k 20
     python -m repro adaptive --n 100 --dim 10000 -k 20
+    python -m repro plan --dataset kegg -k 20 --method sweet
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ from .core.adaptive import decide
 from .core.ti_knn import prepare_clusters
 from .datasets import DATASETS, load, names
 from .datasets.synthetic import gaussian_mixture
+from .engine import engine_names, get_engine
+from .engine.planner import plan as plan_join
 from .gpu.device import tesla_k20c
 
 __all__ = ["main", "build_parser"]
@@ -50,9 +61,9 @@ def build_parser():
 
     run = sub.add_parser("run", help="run one KNN join")
     _data_args(run)
-    run.add_argument("--method", default="sweet",
-                     choices=["sweet", "ti-gpu", "ti-cpu", "cublas",
-                              "brute", "kdtree"])
+    _method_arg(run)
+    run.add_argument("--query-batch-size", type=int, default=None,
+                     help="force the dispatcher's query-tile size")
     run.add_argument("--check", action="store_true",
                      help="also run brute force and verify exactness")
 
@@ -66,7 +77,18 @@ def build_parser():
         "adaptive", help="show the Fig. 8 decisions for a problem shape")
     _data_args(adaptive)
 
+    plan = sub.add_parser(
+        "plan", help="show the execution plan for a problem shape")
+    _data_args(plan)
+    _method_arg(plan)
+
     return parser
+
+
+def _method_arg(parser):
+    parser.add_argument("--method", default="sweet",
+                        choices=list(engine_names()),
+                        help="a registered engine")
 
 
 def _data_args(parser):
@@ -105,10 +127,11 @@ def _profile_row(label, result, baseline=None):
 
 def cmd_run(args, out):
     points, device, name = _load_points(args)
+    spec = get_engine(args.method)
     result = knn_join(points, points, args.k, method=args.method,
-                      seed=args.seed, device=device
-                      if args.method in ("sweet", "ti-gpu", "cublas")
-                      else None)
+                      seed=args.seed,
+                      device=device if spec.caps.needs_device else None,
+                      query_batch_size=args.query_batch_size)
     out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
     if result.sim_time_s is not None:
         out.write("simulated K20c time: %.3f ms\n"
@@ -178,8 +201,20 @@ def cmd_adaptive(args, out):
     return 0
 
 
+def cmd_plan(args, out):
+    points, device, name = _load_points(args)
+    spec = get_engine(args.method)
+    exec_plan = plan_join(points, points, args.k, method=args.method,
+                          device=device if spec.caps.needs_device else None)
+    out.write("execution plan for %s (method=%s):\n" % (name, args.method))
+    for key, value in exec_plan.describe().items():
+        out.write("  %-16s %s\n" % (key, value))
+    return 0
+
+
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
-             "datasets": cmd_datasets, "adaptive": cmd_adaptive}
+             "datasets": cmd_datasets, "adaptive": cmd_adaptive,
+             "plan": cmd_plan}
 
 
 def main(argv=None, out=None):

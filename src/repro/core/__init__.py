@@ -1,6 +1,6 @@
 """Core algorithms: TI bounds, filters, Sweet KNN and its GPU pipelines."""
 
-from .adaptive import ExecutionConfig, basic_config, decide
+from .adaptive import ExecutionConfig, basic_config, config_for_join, decide
 from .api import METHODS, SweetKNN, knn_join
 from .basic_gpu import basic_ti_knn
 from .bounds import (euclidean, euclidean_many, lb_one_landmark,
@@ -9,12 +9,12 @@ from .bounds import (euclidean, euclidean_many, lb_one_landmark,
 from .clustering import ClusteredSet, center_distances, cluster_points
 from .landmarks import (determine_landmark_count, select_landmarks_maxmin,
                         select_landmarks_random_spread)
-from .result import JoinStats, KNNResult
+from .result import JoinStats, KNNResult, merge_batch_results
 from .sweet import sweet_knn
 from .ti_knn import JoinPlan, prepare_clusters, ti_knn_join
 
 __all__ = [
-    "ExecutionConfig", "basic_config", "decide",
+    "ExecutionConfig", "basic_config", "config_for_join", "decide",
     "METHODS", "SweetKNN", "knn_join",
     "basic_ti_knn", "sweet_knn",
     "euclidean", "euclidean_many", "pairwise_distances",
@@ -23,6 +23,6 @@ __all__ = [
     "ClusteredSet", "center_distances", "cluster_points",
     "determine_landmark_count", "select_landmarks_maxmin",
     "select_landmarks_random_spread",
-    "JoinStats", "KNNResult",
+    "JoinStats", "KNNResult", "merge_batch_results",
     "JoinPlan", "prepare_clusters", "ti_knn_join",
 ]

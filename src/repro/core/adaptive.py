@@ -25,7 +25,7 @@ from .layout import Layout
 from .parallelism import ParallelPlan, decide_parallelism
 from .placement import BASE_REGS_PER_THREAD, PlacementDecision, decide_placement
 
-__all__ = ["ExecutionConfig", "decide", "basic_config",
+__all__ = ["ExecutionConfig", "decide", "basic_config", "config_for_join",
            "FILTER_STRENGTH_RATIO"]
 
 #: Fig. 8's top decision: partial filtering pays off when k/d > 8.
@@ -111,6 +111,20 @@ def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
         filter_strength=strength, layout=layout, placement=placement,
         remap=remap, parallel=parallel,
         knearests_coalesced=knearests_coalesced, block_size=block_size)
+
+
+def config_for_join(join_plan, k, device, **overrides):
+    """Resolve the Fig. 8 decisions for a prepared join plan.
+
+    The scheme reads only aggregate quantities (|Q|, |T|, k, d and the
+    average target-cluster size |T|/mt), so the decisions here are
+    identical to what :func:`repro.engine.planner.plan` predicts from
+    the shape alone — the planner's plans are the pipeline's plans.
+    """
+    ct = join_plan.target_clusters
+    avg_cluster = ct.n_points / max(1, ct.n_clusters)
+    return decide(join_plan.query_clusters.n_points, ct.n_points, int(k),
+                  ct.dim, avg_cluster, device, **overrides)
 
 
 def basic_config(n_queries, k, device, block_size=256):

@@ -10,7 +10,8 @@ Most users need exactly one call::
     result.distances      # (|Q|, k) ascending distances
     result.sim_time_s     # simulated GPU time (method="sweet" etc.)
 
-``method`` selects the engine:
+``method`` selects the engine.  The built-ins (see
+:data:`repro.METHODS`, a live view of the engine registry):
 
 =============  ========================================================
 ``"sweet"``    Sweet KNN on the simulated GPU (the paper's system)
@@ -21,26 +22,30 @@ Most users need exactly one call::
 ``"kdtree"``   KD-tree baseline
 =============  ========================================================
 
+Third-party engines registered through :func:`repro.engine.register`
+are dispatched the same way, by name.
+
 :class:`SweetKNN` offers the index-like object API: cluster the target
-set once, answer many query batches against it.
+set once (:class:`~repro.engine.prepared.PreparedIndex`), answer many
+query batches against it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.brute_force import brute_force_knn
-from ..baselines.cublas_knn import cublas_knn
-from ..baselines.kdtree import kdtree_knn
+from ..engine.executor import execute
+from ..engine.planner import _DECIDE_KEYS, plan_shape
+from ..engine.prepared import PreparedIndex
+from ..engine.registry import METHODS, get_engine
 from ..errors import ValidationError
 from ..gpu.device import tesla_k20c
-from .basic_gpu import basic_ti_knn
-from .sweet import sweet_knn
-from .ti_knn import prepare_clusters, ti_knn_join
 
 __all__ = ["knn_join", "SweetKNN", "METHODS"]
 
-METHODS = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree")
+#: Cached JoinPlans per SweetKNN index (identity-keyed on the query
+#: array); small, because each entry pins its query array alive.
+_JOIN_PLAN_CACHE_SIZE = 8
 
 
 def _validate(queries, targets, k):
@@ -54,6 +59,10 @@ def _validate(queries, targets, k):
         raise ValidationError(
             "dimension mismatch: queries d=%d, targets d=%d"
             % (queries.shape[1], targets.shape[1]))
+    if not np.isfinite(queries).all():
+        raise ValidationError("queries contain NaN or infinite values")
+    if not np.isfinite(targets).all():
+        raise ValidationError("targets contain NaN or infinite values")
     k = int(k)
     if k <= 0:
         raise ValidationError("k must be positive")
@@ -64,7 +73,7 @@ def _validate(queries, targets, k):
 
 
 def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
-             **options):
+             query_batch_size=None, **options):
     """Find the k nearest targets of every query point.
 
     Parameters
@@ -75,12 +84,19 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
     k:
         Neighbours per query.
     method:
-        One of :data:`METHODS` (default the paper's Sweet KNN).
+        A registered engine name (default the paper's Sweet KNN); see
+        :data:`repro.METHODS`.
     seed:
-        Seed for landmark selection (ignored by the non-TI methods).
+        Seed for landmark selection (ignored by engines that do not
+        declare ``uses_seed``).
     device:
         Optional :class:`~repro.gpu.device.DeviceSpec` for the GPU
         methods (defaults to the simulated Tesla K20c).
+    query_batch_size:
+        Force the dispatcher's query-tile size.  By default the planner
+        batches only when a prepared-index GPU engine's working set
+        exceeds device memory; batched and unbatched runs return
+        identical neighbours and identical summed work counters.
     options:
         Forwarded to the engine (e.g. ``force_filter=...``,
         ``threads_per_query=...`` for ``"sweet"``).
@@ -90,26 +106,27 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
     KNNResult
     """
     queries, targets, k = _validate(queries, targets, k)
-    rng = np.random.default_rng(seed)
-    if method == "sweet":
-        return sweet_knn(queries, targets, k, rng, device=device, **options)
-    if method == "ti-gpu":
-        return basic_ti_knn(queries, targets, k, rng, device=device,
-                            **options)
-    if method == "ti-cpu":
-        return ti_knn_join(queries, targets, k, rng, **options)
-    if method == "cublas":
-        return cublas_knn(queries, targets, k, device=device, **options)
-    if method == "brute":
-        return brute_force_knn(queries, targets, k, **options)
-    if method == "kdtree":
-        return kdtree_knn(queries, targets, k, **options)
-    raise ValidationError(
-        "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))
+    spec = get_engine(method)
+    rng = np.random.default_rng(seed) if spec.caps.uses_seed else None
+    if spec.caps.needs_device:
+        device = device or tesla_k20c()
+    return execute(spec, queries, targets, k, rng=rng, device=device,
+                   query_batch_size=query_batch_size, **options)
 
 
 class SweetKNN:
     """Index-style interface: cluster targets once, query many times.
+
+    The target-side preparation (landmark selection, clustering, the
+    descending member sort) is done exactly once, at construction, in a
+    :class:`~repro.engine.prepared.PreparedIndex`; every ``query`` call
+    clusters only its query points and reuses the prepared target side.
+    Execution plans are cached per ``(|Q|, k)`` shape, and the level-1
+    bounds of a reused query batch are cached per ``k`` inside the
+    shared :class:`~repro.core.ti_knn.JoinPlan`.
+
+    ``method`` may name any prepared-index engine (``"sweet"``,
+    ``"ti-gpu"``, ``"ti-cpu"``).
 
     Example
     -------
@@ -117,23 +134,80 @@ class SweetKNN:
     >>> result = index.query(queries, k=10)
     """
 
-    def __init__(self, targets, seed=0, device=None, mt=None):
+    def __init__(self, targets, seed=0, device=None, mt=None,
+                 method="sweet"):
         targets = np.asarray(targets, dtype=np.float64)
         if targets.ndim != 2 or targets.shape[0] == 0:
             raise ValidationError("targets must be a non-empty 2-D array")
-        self.targets = targets
-        self.device = device or tesla_k20c()
-        self._seed = seed
-        self._mt = mt
-        self._plans = {}
+        if not np.isfinite(targets).all():
+            raise ValidationError("targets contain NaN or infinite values")
+        spec = get_engine(method)
+        if not spec.caps.supports_prepared_index:
+            raise ValidationError(
+                "engine %r does not support a prepared index" % method)
+        self._spec = spec
+        self.device = (device or tesla_k20c()) if spec.caps.needs_device \
+            else device
+        self._rng = np.random.default_rng(seed)
+        budget = (self.device.global_mem_bytes
+                  if self.device is not None else None)
+        self.index = PreparedIndex(targets, rng=self._rng, mt=mt,
+                                   memory_budget_bytes=budget)
+        self.targets = self.index.targets
+        self._plans = {}       # (|Q|, k, mq, knobs) -> ExecutionPlan
+        self._join_plans = []  # [(query array, mq, JoinPlan)], capped
 
-    def query(self, queries, k, **options):
-        """k nearest targets of each query, via Sweet KNN."""
+    def plan(self, queries, k, mq=None, **options):
+        """The :class:`~repro.engine.planner.ExecutionPlan` for a query.
+
+        Cached per ``(|Q|, k)`` shape (and adaptive knobs), so repeated
+        queries of the same shape reuse the resolved plan.
+        """
+        queries, _, k = _validate(queries, self.targets, k)
+        return self._plan_for(queries.shape[0], k, mq, options)
+
+    def query(self, queries, k, mq=None, query_batch_size=None, **options):
+        """k nearest prepared targets of each query point."""
+        if "mt" in options:
+            raise ValidationError(
+                "mt is fixed when the index is built; pass it to SweetKNN()")
         queries, targets, k = _validate(queries, self.targets, k)
-        rng = np.random.default_rng(self._seed)
-        return sweet_knn(queries, targets, k, rng, device=self.device,
-                         mt=self._mt, **options)
+        join_plan = self._join_plan_for(queries, mq)
+        exec_plan = self._plan_for(queries.shape[0], k, mq, options)
+        rows = (query_batch_size if query_batch_size is not None
+                else exec_plan.batching.rows_per_batch)
+        return execute(self._spec, queries, self.targets, k, rng=self._rng,
+                       device=self.device, plan=join_plan,
+                       query_batch_size=rows, **options)
 
     def self_join(self, k, **options):
         """k nearest neighbours of every target within the target set."""
         return self.query(self.targets, k, **options)
+
+    def _plan_for(self, n_queries, k, mq, options):
+        knobs = tuple(sorted((name, options[name]) for name in options
+                             if name in _DECIDE_KEYS))
+        key = (n_queries, k, mq, knobs)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_shape(n_queries, len(self.targets), k,
+                              self.index.dim, method=self._spec.name,
+                              device=self.device, mq=mq, mt=self.index.mt,
+                              **dict(knobs))
+            self._plans[key] = plan
+        return plan
+
+    def _join_plan_for(self, queries, mq):
+        """Cluster the query side against the prepared targets.
+
+        Identity-cached: querying with the same array object again (a
+        fixed probe set, or ``self_join``) reuses the query clustering
+        and, through the JoinPlan's own per-k cache, the level-1 bounds.
+        """
+        for cached_queries, cached_mq, cached_plan in self._join_plans:
+            if cached_queries is queries and cached_mq == mq:
+                return cached_plan
+        join_plan = self.index.join_plan(queries, mq=mq)
+        self._join_plans.append((queries, mq, join_plan))
+        del self._join_plans[:-_JOIN_PLAN_CACHE_SIZE]
+        return join_plan

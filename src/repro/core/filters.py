@@ -44,7 +44,26 @@ from .bounds import euclidean
 __all__ = [
     "cluster_upper_bounds", "level1_filter", "point_filter_full",
     "point_filter_partial", "ScanTrace", "tail_bound_matrix",
+    "bound_comparison_tol",
 ]
+
+#: Relative slack for the level-2 bound comparisons.  ``theta`` descends
+#: from the level-1 chain (pairwise centre distances + member-distance
+#: tails) while the scan computes ``d(q, c_t)`` directly; the two can
+#: disagree in the last ulp on degenerate inputs (e.g. duplicated
+#: points), where a strict comparison would prune an exact tie and lose
+#: a true neighbour.  Pruning against ``theta + tol`` instead only ever
+#: widens the examined set, so exactness is preserved.
+BOUND_COMPARISON_RTOL = 1e-12
+
+
+def bound_comparison_tol(q2tc, ub):
+    """Absolute comparison slack for one cluster's member scan.
+
+    Shared by the sequential reference here and the simulated GPU lanes
+    (:mod:`repro.core.scan`), which must make identical decisions.
+    """
+    return BOUND_COMPARISON_RTOL * (abs(q2tc) + abs(ub) + 1.0)
 
 
 # ----------------------------------------------------------------------
@@ -190,14 +209,15 @@ def point_filter_full(query_point, query_index, target_clusters,
         trace.center_distance_computations += 1
         member_idx = target_clusters.members[tc]
         member_dists = target_clusters.member_dists[tc]
+        tol = bound_comparison_tol(q2tc, ub)
 
         for pos in range(member_idx.size):
             trace.steps += 1
             lb = q2tc - member_dists[pos]
-            if lb > theta:
+            if lb > theta + tol:
                 trace.breaks += 1
                 break
-            if lb < -theta:
+            if lb < -(theta + tol):
                 continue
             trace.examined += 1
             t = member_idx[pos]
@@ -238,14 +258,15 @@ def point_filter_partial(query_point, query_index, target_clusters,
         trace.center_distance_computations += 1
         member_idx = target_clusters.members[tc]
         member_dists = target_clusters.member_dists[tc]
+        tol = bound_comparison_tol(q2tc, ub)
 
         for pos in range(member_idx.size):
             trace.steps += 1
             lb = q2tc - member_dists[pos]
-            if lb > theta:
+            if lb > theta + tol:
                 trace.breaks += 1
                 break
-            if lb < -theta:
+            if lb < -(theta + tol):
                 continue
             trace.examined += 1
             t = member_idx[pos]

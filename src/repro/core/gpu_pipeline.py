@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.planner import partition_ranges, ti_partition_rows
 from ..gpu.costmodel import default_cost_model
 from ..gpu.device import tesla_k20c
 from ..gpu.kernel import LaunchConfig, finalize_kernel
@@ -47,7 +48,7 @@ _WARP = 32
 
 def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
                cost_model=None, mq=None, mt=None, plan=None, method="",
-               epsilon=0.0):
+               epsilon=0.0, query_subset=None, account_prepare=True):
     """Run a TI-based KNN join on the simulated device.
 
     Parameters
@@ -68,6 +69,13 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
         Optional landmark-count overrides or a prebuilt Step-1 plan.
     method:
         Name recorded on the result.
+    query_subset:
+        Optional array of query indices to scan (batched execution
+        against a shared ``plan``); result rows follow subset order.
+    account_prepare:
+        Account the Step-1/level-1 kernels and their work counters in
+        this call.  Batched execution enables this on the first tile
+        only, so merged per-batch stats equal the unbatched totals.
 
     Returns
     -------
@@ -107,39 +115,54 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     point_txns = point_load_transactions(dim, config.layout)
     dist_flops = 3.0 * dim + 1.0
 
-    _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
-                  launch, cost_model, config)
+    if account_prepare:
+        _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
+                      launch, cost_model, config)
 
     # ------------------------------------------------------------------
     # Step 2: level-1 filtering (calUB + Algorithm 1)
     # ------------------------------------------------------------------
     plan.run_level1(k)
-    _account_level1(pipeline, plan, k, dim, point_txns, dist_flops, device,
-                    launch, cost_model)
+    if account_prepare:
+        _account_level1(pipeline, plan, k, dim, point_txns, dist_flops,
+                        device, launch, cost_model)
 
     # ------------------------------------------------------------------
     # Step 3: level-2 filtering (Algorithm 2 / partial variant)
     # ------------------------------------------------------------------
+    if query_subset is None:
+        active = np.arange(n_q)
+    else:
+        active = np.asarray(query_subset, dtype=np.int64)
+    n_active = len(active)
+    active_mask = np.zeros(n_q, dtype=bool)
+    active_mask[active] = True
+    local_row = np.full(n_q, -1, dtype=np.int64)
+    local_row[active] = np.arange(n_active)
+
     cq, ct = plan.query_clusters, plan.target_clusters
     stats = JoinStats(
-        n_queries=n_q, n_targets=n_t, k=k, dim=dim,
+        n_queries=n_active, n_targets=n_t, k=k, dim=dim,
         mq=plan.mq, mt=plan.mt,
-        init_distance_computations=(cq.init_distance_computations +
-                                    ct.init_distance_computations),
-        candidate_cluster_pairs=plan.candidate_pairs(),
+        init_distance_computations=(
+            (cq.init_distance_computations + ct.init_distance_computations)
+            if account_prepare else 0),
+        candidate_cluster_pairs=(plan.candidate_pairs()
+                                 if account_prepare else 0),
     )
 
-    partitions = _plan_ti_partitions(n_q, n_t, dim, k, config, device)
+    partitions = _plan_ti_partitions(n_active, n_t, dim, k, config, device)
     # L2 hit fraction for scattered target-point loads (the point
     # matrix competes with the rest of the working set for L2).
     point_hit = device.l2_hit_rate(n_t * dim * _FLOAT)
     qorder = remap_by_cluster(cq)[0] if config.remap else identity_map(n_q)
+    qorder = qorder[active_mask[qorder]]
     specs = subscan_specs(config.parallel)
     tpq = config.parallel.threads_per_query
     full = config.filter_strength == "full"
 
     level2 = KernelProfile(name="level2_filter")
-    per_query = [None] * n_q
+    per_query = [None] * n_active
 
     for part_start, part_stop in partitions:
         part_queries = qorder[part_start:part_stop]
@@ -156,7 +179,8 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
                     point_hit_rate=point_hit, epsilon=epsilon)
                 logs.append(log)
                 _merge_trace(stats, trace)
-                _store_partial_result(per_query, q, result, full, tpq)
+                _store_partial_result(per_query, local_row[q], result, full,
+                                      tpq)
             fold_warp_logs(logs, level2, cost_model,
                            heap_placement=config.placement.placement.value,
                            heap_coalesced=config.knearests_coalesced,
@@ -172,7 +196,7 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     # ------------------------------------------------------------------
     # Final merge / selection kernels
     # ------------------------------------------------------------------
-    results = _finalize_results(per_query, n_q, k, full, tpq, pipeline,
+    results = _finalize_results(per_query, n_active, k, full, tpq, pipeline,
                                 device, launch, cost_model)
     distances, indices = KNNResult.pack(results, k)
 
@@ -249,28 +273,15 @@ def _finalize_results(per_query, n_q, k, full, tpq, pipeline, device, launch,
 def _plan_ti_partitions(n_q, n_t, dim, k, config, device):
     """Partition queries when the TI working set exceeds device memory.
 
-    Fixed footprint: both point matrices, cluster metadata and the
-    centre-distance table.  Per-query footprint: the kNearests slots
-    (or the partial filter's survivor buffer) for every sub-thread.
+    The row budget itself lives in the shared planner
+    (:func:`repro.engine.planner.ti_partition_rows`), next to the
+    Garcia-baseline budget it is contrasted with in Section V-B.
     """
-    base = (n_q + n_t) * dim * _FLOAT          # point matrices
-    base += n_t * 2 * _FLOAT                   # member ids + distances
-    base += int(3 * np.sqrt(n_q)) ** 2 * _FLOAT  # bound tables (approx)
-    tpq = config.parallel.threads_per_query
-    if config.filter_strength == "full":
-        per_query = k * _FLOAT * tpq
-    else:
-        # Survivor buffer, conservatively 4k entries per query.
-        per_query = 4 * k * _FLOAT * tpq
-    per_query += 2 * _FLOAT                    # map + bookkeeping
-
-    usable = device.global_mem_bytes - base
-    if usable <= 0:
-        group = max(1, n_q // 8)
-    else:
-        group = max(1, min(n_q, usable // per_query))
-    return [(start, min(start + group, n_q))
-            for start in range(0, n_q, group)]
+    rows = ti_partition_rows(
+        n_q, n_t, dim, k, device,
+        threads_per_query=config.parallel.threads_per_query,
+        filter_strength=config.filter_strength)
+    return partition_ranges(n_q, rows)
 
 
 def _account_init(pipeline, plan, dim, point_txns, dist_flops, device,

@@ -6,7 +6,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["JoinStats", "KNNResult"]
+__all__ = ["JoinStats", "KNNResult", "merge_batch_results"]
+
+#: Counter fields that add up across query batches of one join.
+_SUMMED_FIELDS = (
+    "n_queries",
+    "level2_distance_computations",
+    "center_distance_computations",
+    "init_distance_computations",
+    "examined_points",
+    "candidate_cluster_pairs",
+    "heap_updates",
+)
 
 
 @dataclass
@@ -43,6 +54,33 @@ class JoinStats:
             return 0.0
         saved = self.total_pairs - self.level2_distance_computations
         return saved / self.total_pairs
+
+    @classmethod
+    def merged(cls, stats_list):
+        """Combine per-batch stats into the whole-join totals.
+
+        Counters sum; the shape fields (|T|, k, d, mq, mt) come from the
+        first batch, which shares them with every other batch because
+        batched execution runs against one prepared plan.  Numeric
+        ``extra`` entries (e.g. ``partitions``) sum as well; other
+        entries keep the first batch's value.
+        """
+        stats_list = list(stats_list)
+        if not stats_list:
+            raise ValueError("cannot merge an empty stats list")
+        first = stats_list[0]
+        merged = cls(n_targets=first.n_targets, k=first.k, dim=first.dim,
+                     mq=first.mq, mt=first.mt)
+        for name in _SUMMED_FIELDS:
+            setattr(merged, name,
+                    sum(getattr(s, name) for s in stats_list))
+        merged.extra = dict(first.extra)
+        for key, value in first.extra.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged.extra[key] = sum(s.extra.get(key, 0) for s in stats_list)
+        merged.extra["query_batches"] = len(stats_list)
+        return merged
 
     def summary(self):
         return {
@@ -121,3 +159,60 @@ class KNNResult:
             distances[row, :take] = dists[:take]
             indices[row, :take] = idx[:take]
         return distances, indices
+
+
+def merge_batch_results(batches, n_queries, k):
+    """Stitch per-batch :class:`KNNResult` objects into one result.
+
+    Parameters
+    ----------
+    batches:
+        Sequence of ``(query_indices, KNNResult)`` pairs, where
+        ``query_indices`` gives the global query row of each result row.
+    n_queries, k:
+        Shape of the merged result.
+
+    Rows covered by several batches (overlapping tiles) are merged with
+    the same sorted-list k-merge Sweet KNN's final kernel uses, so the
+    closest k survive regardless of which tile found them.  Simulated
+    GPU profiles concatenate kernel-by-kernel, keeping ``sim_time_s``
+    and the warp-efficiency accessors meaningful for the whole join.
+    """
+    from ..kselect import merge_sorted_lists
+
+    batches = list(batches)
+    if not batches:
+        raise ValueError("cannot merge an empty batch list")
+    k = int(k)
+
+    per_row = [[] for _ in range(int(n_queries))]
+    for query_indices, result in batches:
+        query_indices = np.asarray(query_indices, dtype=np.int64)
+        if len(query_indices) != len(result.distances):
+            raise ValueError("batch index list does not match result rows")
+        for local, q in enumerate(query_indices):
+            per_row[q].append((result.distances[local],
+                               result.indices[local]))
+    rows = []
+    for q, candidates in enumerate(per_row):
+        if not candidates:
+            raise ValueError("query %d is covered by no batch" % q)
+        if len(candidates) == 1:
+            rows.append(candidates[0])
+        else:
+            rows.append(merge_sorted_lists(candidates, k))
+    distances, indices = KNNResult.pack(rows, k)
+
+    stats = JoinStats.merged([result.stats for _, result in batches])
+    first = batches[0][1]
+    profile = None
+    profiles = [result.profile for _, result in batches
+                if result.profile is not None]
+    if profiles:
+        from ..gpu.profiler import PipelineProfile
+        profile = PipelineProfile(
+            name="batched(%s)" % (first.method or "knn"),
+            kernels=[kernel for p in profiles for kernel in p.kernels],
+            host_time_s=sum(p.host_time_s for p in profiles))
+    return KNNResult(distances=distances, indices=indices, stats=stats,
+                     profile=profile, method=first.method)

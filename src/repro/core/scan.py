@@ -47,7 +47,7 @@ import numpy as np
 
 from ..gpu.lanelog import LaneLog
 from ..kselect import KNearestHeap
-from .filters import ScanTrace
+from .filters import ScanTrace, bound_comparison_tol
 from .layout import point_load_transactions
 
 __all__ = ["scan_query_logged", "CODE_PROLOGUE", "CODE_ENTER", "CODE_BREAK",
@@ -173,18 +173,19 @@ def scan_query_logged(query_point, target_clusters, candidate_ids, ub, k,
         if md.size == 0:
             continue
         lb = q2tc - md  # ascending: members are sorted descending
+        tol = bound_comparison_tol(q2tc, ub)
 
         if full:
             theta = _scan_cluster_full(
                 lb, member_idx, points, qp, theta, ub, heap, log, trace,
                 md_txn, compute_flops, compute_l2, point_dram,
-                heap_update_ops, update_bound, slack)
+                heap_update_ops, update_bound, slack, tol)
         else:
             # The partial filter keeps exact bounds: with no heap it
             # cannot certify k results under slackened pruning.
             _scan_cluster_partial(
                 lb, member_idx, points, qp, theta, survivors, log,
-                trace, md_txn, compute_flops, compute_l2, point_dram)
+                trace, md_txn, compute_flops, compute_l2, point_dram, tol)
 
     result = heap if full else survivors
     return result, trace, log
@@ -193,17 +194,19 @@ def scan_query_logged(query_point, target_clusters, candidate_ids, ub, k,
 def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
                        trace, md_txn, compute_flops, compute_l2,
                        point_dram, heap_update_ops, update_bound,
-                       slack=1.0):
+                       slack=1.0, tol=0.0):
     """Algorithm 2's member loop over one cluster; returns new theta.
 
     ``slack > 1`` prunes against ``theta / slack`` once the heap is
     full (approximate mode); until then pruning stays exact so the
-    heap is guaranteed to fill.
+    heap is guaranteed to fill.  ``tol`` is the float comparison slack
+    (:func:`~repro.core.filters.bound_comparison_tol`), matching the
+    sequential reference decision for decision.
     """
     size = lb.shape[0]
     pos = 0
     while pos < size:
-        limit = theta / slack if heap.full else theta
+        limit = (theta / slack if heap.full else theta) + tol
         value = lb[pos]
         if value > limit:
             trace.steps += 1
@@ -231,7 +234,7 @@ def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
         diffs = points[w_idx] - qp
         w_dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
         for j in range(pos, window_end):
-            limit = theta / slack if heap.full else theta
+            limit = (theta / slack if heap.full else theta) + tol
             value = lb[j]
             if value > limit:
                 trace.steps += 1
@@ -262,13 +265,13 @@ def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
 
 def _scan_cluster_partial(lb, member_idx, points, qp, theta, survivors, log,
                           trace, md_txn, compute_flops, compute_l2,
-                          point_dram):
+                          point_dram, tol=0.0):
     """The weakened filter's member loop: theta fixed, so the skip
     prefix, compute range and break point are pure positional
     thresholds and everything vectorises."""
     size = lb.shape[0]
-    skip_end = int(np.searchsorted(lb, -theta, side="left"))
-    stop = int(np.searchsorted(lb, theta, side="right"))
+    skip_end = int(np.searchsorted(lb, -(theta + tol), side="left"))
+    stop = int(np.searchsorted(lb, theta + tol, side="right"))
 
     if skip_end:
         trace.steps += skip_end

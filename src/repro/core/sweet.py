@@ -18,17 +18,18 @@ Table V) and the ablation benches.
 
 from __future__ import annotations
 
-from .adaptive import decide
+from ..engine.base import EngineCaps, EngineSpec
+from .adaptive import config_for_join
 from .gpu_pipeline import run_ti_gpu
 
-__all__ = ["sweet_knn"]
+__all__ = ["sweet_knn", "ENGINE"]
 
 
 def sweet_knn(queries, targets, k, rng, device=None, cost_model=None,
               mq=None, mt=None, plan=None, force_filter=None,
               force_placement=None, force_layout=None,
               threads_per_query=None, remap=True, knearests_coalesced=True,
-              epsilon=0.0):
+              epsilon=0.0, query_subset=None, account_prepare=True):
     """Run Sweet KNN on the simulated GPU.
 
     Parameters beyond the data are experiment overrides:
@@ -48,6 +49,10 @@ def sweet_knn(queries, targets, k, rng, device=None, cost_model=None,
         ``theta / (1 + epsilon)``, guaranteeing the returned k-th
         distance is within ``(1 + epsilon)`` of the true one while
         saving further distance computations.  ``0.0`` = exact.
+    query_subset, account_prepare:
+        Batched-execution hooks (see :mod:`repro.engine.executor`):
+        scan only these query indices of a shared ``plan``, and count
+        the shared preparation cost only when asked.
 
     Returns
     -------
@@ -56,15 +61,32 @@ def sweet_knn(queries, targets, k, rng, device=None, cost_model=None,
     k = int(k)
 
     def config_for(join_plan, dev):
-        ct = join_plan.target_clusters
-        avg_cluster = ct.n_points / max(1, ct.n_clusters)
-        return decide(
-            join_plan.query_clusters.n_points, ct.n_points, k,
-            ct.dim, avg_cluster, dev,
+        return config_for_join(
+            join_plan, k, dev,
             force_filter=force_filter, force_placement=force_placement,
             force_layout=force_layout, threads_per_query=threads_per_query,
             remap=remap, knearests_coalesced=knearests_coalesced)
 
     return run_ti_gpu(queries, targets, k, rng, config_for, device=device,
                       cost_model=cost_model, mq=mq, mt=mt, plan=plan,
-                      method="sweet-knn", epsilon=epsilon)
+                      method="sweet-knn", epsilon=epsilon,
+                      query_subset=query_subset,
+                      account_prepare=account_prepare)
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+def _run_engine(queries, targets, k, ctx, **options):
+    return sweet_knn(queries, targets, k, ctx.rng, device=ctx.device,
+                     plan=ctx.plan, query_subset=ctx.query_subset,
+                     account_prepare=ctx.account_prepare, **options)
+
+
+ENGINE = EngineSpec(
+    name="sweet",
+    run=_run_engine,
+    caps=EngineCaps(needs_device=True, uses_seed=True,
+                    supports_prepared_index=True, supports_epsilon=True),
+    description="Sweet KNN on the simulated GPU (the paper's system)",
+)

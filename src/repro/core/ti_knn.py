@@ -13,10 +13,11 @@ sensitivity benches sweep k over fixed clusters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.base import EngineCaps, EngineSpec
 from .bounds import euclidean_many
 from .clustering import center_distances, cluster_points
 from .filters import (cluster_upper_bounds, level1_filter, point_filter_full,
@@ -24,7 +25,7 @@ from .filters import (cluster_upper_bounds, level1_filter, point_filter_full,
 from .landmarks import determine_landmark_count, select_landmarks_random_spread
 from .result import JoinStats, KNNResult
 
-__all__ = ["JoinPlan", "prepare_clusters", "ti_knn_join"]
+__all__ = ["JoinPlan", "prepare_clusters", "ti_knn_join", "ENGINE"]
 
 
 @dataclass
@@ -40,6 +41,7 @@ class JoinPlan:
     center_dists: np.ndarray
     ubs: np.ndarray = None
     candidates: list = None
+    _level1_cache: dict = field(default_factory=dict, repr=False)
 
     @property
     def mq(self):
@@ -50,12 +52,24 @@ class JoinPlan:
         return self.target_clusters.n_clusters
 
     def run_level1(self, k):
-        """Compute the upper bounds and candidate lists for ``k``."""
-        self.ubs = cluster_upper_bounds(
-            self.query_clusters, self.target_clusters, self.center_dists, k)
-        self.candidates = level1_filter(
-            self.query_clusters, self.target_clusters, self.center_dists,
-            self.ubs)
+        """Compute the upper bounds and candidate lists for ``k``.
+
+        Results are cached per ``k``: an index queried many times (or a
+        batched join re-entering the pipeline per tile) pays the
+        level-1 cost once per distinct ``k``.
+        """
+        k = int(k)
+        cached = self._level1_cache.get(k)
+        if cached is None:
+            ubs = cluster_upper_bounds(
+                self.query_clusters, self.target_clusters, self.center_dists,
+                k)
+            candidates = level1_filter(
+                self.query_clusters, self.target_clusters, self.center_dists,
+                ubs)
+            cached = (ubs, candidates)
+            self._level1_cache[k] = cached
+        self.ubs, self.candidates = cached
         return self
 
     def candidate_pairs(self):
@@ -93,7 +107,8 @@ def prepare_clusters(queries, targets, rng, mq=None, mt=None,
 
 
 def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
-                filter_strength="full"):
+                filter_strength="full", query_subset=None,
+                account_prepare=True):
     """Sequential TI-based KNN join (the full Fig. 4 pipeline).
 
     Parameters
@@ -112,6 +127,13 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
         ``"full"`` (Algorithm 2) or ``"partial"`` (Sweet KNN's weakened
         level-2 filter) — exposed here so the filter designs can be
         compared independently of the GPU machinery.
+    query_subset:
+        Optional array of query indices to scan (batched execution
+        against a shared ``plan``); result rows follow subset order.
+    account_prepare:
+        Count the Step-1/level-1 preparation in the returned stats.
+        Batched execution sets this on the first tile only so merged
+        counters equal the unbatched totals.
 
     Returns
     -------
@@ -131,20 +153,34 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
         plan = prepare_clusters(queries, targets, rng, mq=mq, mt=mt)
     plan.run_level1(k)
 
+    n_q = len(queries)
+    if query_subset is None:
+        active = np.arange(n_q)
+    else:
+        active = np.asarray(query_subset, dtype=np.int64)
+    active_mask = np.zeros(n_q, dtype=bool)
+    active_mask[active] = True
+    local_row = np.full(n_q, -1, dtype=np.int64)
+    local_row[active] = np.arange(len(active))
+
     cq, ct = plan.query_clusters, plan.target_clusters
     stats = JoinStats(
-        n_queries=len(queries), n_targets=len(targets), k=k,
+        n_queries=len(active), n_targets=len(targets), k=k,
         dim=queries.shape[1], mq=plan.mq, mt=plan.mt,
-        init_distance_computations=(cq.init_distance_computations +
-                                    ct.init_distance_computations),
-        candidate_cluster_pairs=plan.candidate_pairs(),
+        init_distance_computations=(
+            (cq.init_distance_computations + ct.init_distance_computations)
+            if account_prepare else 0),
+        candidate_cluster_pairs=(plan.candidate_pairs()
+                                 if account_prepare else 0),
     )
 
-    per_query = [None] * len(queries)
+    per_query = [None] * len(active)
     for qc in range(cq.n_clusters):
         ub = plan.ubs[qc]
         cand = plan.candidates[qc]
         for q in cq.members[qc]:
+            if not active_mask[q]:
+                continue
             query_point = queries[q]
             # Algorithm 2 line 6 computes the query-to-centre distances
             # inside the scan; precomputing the row keeps the counters
@@ -153,11 +189,11 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
             if filter_strength == "full":
                 heap, trace = point_filter_full(
                     query_point, q, ct, cand, ub, k, center_dists_row=row)
-                per_query[q] = heap.sorted_items()
+                per_query[local_row[q]] = heap.sorted_items()
             else:
                 dists, idx, trace = point_filter_partial(
                     query_point, q, ct, cand, ub, k, center_dists_row=row)
-                per_query[q] = (dists, idx)
+                per_query[local_row[q]] = (dists, idx)
             stats.level2_distance_computations += trace.distance_computations
             stats.center_distance_computations += (
                 trace.center_distance_computations)
@@ -176,3 +212,20 @@ def _center_row(query_point, target_clusters, candidate_ids):
         row[candidate_ids] = euclidean_many(
             target_clusters.centers[candidate_ids], query_point)
     return row
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+def _run_engine(queries, targets, k, ctx, **options):
+    return ti_knn_join(queries, targets, k, ctx.rng, plan=ctx.plan,
+                       query_subset=ctx.query_subset,
+                       account_prepare=ctx.account_prepare, **options)
+
+
+ENGINE = EngineSpec(
+    name="ti-cpu",
+    run=_run_engine,
+    caps=EngineCaps(uses_seed=True, supports_prepared_index=True),
+    description="sequential TI-based KNN (the Fig. 4 reference)",
+)

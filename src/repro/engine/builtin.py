@@ -1,0 +1,20 @@
+"""Registration of the six built-in engines.
+
+Each engine self-describes with an ``ENGINE`` spec next to its
+implementation; this module only collects and registers them, in the
+order the public method list has always advertised.  Loaded lazily by
+the registry on first lookup.
+"""
+
+from __future__ import annotations
+
+from ..baselines.brute_force import ENGINE as _BRUTE
+from ..baselines.cublas_knn import ENGINE as _CUBLAS
+from ..baselines.kdtree import ENGINE as _KDTREE
+from ..core.basic_gpu import ENGINE as _TI_GPU
+from ..core.sweet import ENGINE as _SWEET
+from ..core.ti_knn import ENGINE as _TI_CPU
+from .registry import register
+
+for _spec in (_SWEET, _TI_GPU, _TI_CPU, _CUBLAS, _BRUTE, _KDTREE):
+    register(_spec, replace=True)

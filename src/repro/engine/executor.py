@@ -1,0 +1,113 @@
+"""Dispatch and batched execution of registered engines.
+
+:func:`execute` is the single funnel every entry point
+(:func:`repro.knn_join`, :class:`repro.SweetKNN`, the CLI) goes
+through.  It resolves the query-batching decision from the planner and
+either
+
+* runs the engine once (the common case — the whole query set fits the
+  device budget), or
+* tiles the query set into device-memory-sized batches and merges the
+  per-batch :class:`~repro.core.result.KNNResult`s.
+
+For prepared-index engines the batched path builds the Step-1 state
+(:func:`~repro.core.ti_knn.prepare_clusters`) **once**, then restricts
+each engine call to a ``query_subset`` of the shared plan.  Because the
+level-2 scan of a query depends only on its own cluster's candidate
+list and bound, every per-query result and work counter is bit-for-bit
+identical to the unbatched run, and the merged counters are exactly the
+unbatched totals (the shared preparation is accounted on the first
+batch only, via ``account_prepare``).  Engines without prepared-index
+support are batched by plain row slicing, which is counter-additive by
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .base import ExecutionContext
+from .planner import partition_ranges, plan_shape
+
+__all__ = ["execute"]
+
+
+def execute(spec, queries, targets, k, rng=None, device=None,
+            query_batch_size=None, **options):
+    """Run ``spec`` on the join, batching oversized query sets.
+
+    Parameters
+    ----------
+    spec:
+        A registered :class:`~repro.engine.base.EngineSpec`.
+    rng, device:
+        Landmark RNG and (resolved) device; forwarded via the context.
+    query_batch_size:
+        Force a tile size (tests, experiments).  ``None`` asks the
+        planner, which only batches prepared-index device engines whose
+        working set exceeds device memory.
+    options:
+        Engine options, forwarded verbatim.  ``plan`` (a prebuilt
+        :class:`~repro.core.ti_knn.JoinPlan`) and ``mq``/``mt`` are
+        intercepted where the batched path owns the preparation.
+    """
+    n_q = len(queries)
+    prepared_plan = (options.pop("plan", None)
+                     if spec.caps.supports_prepared_index else None)
+    rows = _resolve_rows(spec, queries, targets, k, device,
+                         query_batch_size, options)
+
+    if rows >= n_q:
+        ctx = ExecutionContext(rng=rng, device=device, plan=prepared_plan)
+        return spec.run(queries, targets, k, ctx, **options)
+
+    ranges = partition_ranges(n_q, rows)
+    batches = []
+    if spec.caps.supports_prepared_index:
+        # Imported here: executor <-> core would otherwise cycle.
+        from ..core.ti_knn import prepare_clusters
+        mq = options.pop("mq", None)
+        mt = options.pop("mt", None)
+        shared = prepared_plan
+        if shared is None:
+            budget = device.global_mem_bytes if device is not None else None
+            shared = prepare_clusters(queries, targets, rng, mq=mq, mt=mt,
+                                      memory_budget_bytes=budget)
+        for i, (start, stop) in enumerate(ranges):
+            subset = np.arange(start, stop)
+            ctx = ExecutionContext(rng=rng, device=device, plan=shared,
+                                   query_subset=subset,
+                                   account_prepare=(i == 0))
+            batches.append((subset,
+                            spec.run(queries, targets, k, ctx, **options)))
+    else:
+        for start, stop in ranges:
+            ctx = ExecutionContext(rng=rng, device=device)
+            batches.append((np.arange(start, stop),
+                            spec.run(queries[start:stop], targets, k, ctx,
+                                     **options)))
+
+    from ..core.result import merge_batch_results
+    return merge_batch_results(batches, n_q, k)
+
+
+def _resolve_rows(spec, queries, targets, k, device, query_batch_size,
+                  options):
+    """Tile size in queries; >= |Q| means a single unbatched call."""
+    if query_batch_size is not None:
+        rows = int(query_batch_size)
+        if rows <= 0:
+            raise ValidationError("query_batch_size must be positive")
+        return rows
+    caps = spec.caps
+    if (not caps.needs_device or caps.tiles_internally
+            or not caps.supports_prepared_index):
+        return len(queries)
+    batch_plan = plan_shape(
+        len(queries), len(targets), k, np.asarray(queries).shape[1],
+        method=spec.name, device=device,
+        mq=options.get("mq"), mt=options.get("mt"),
+        **{key: value for key, value in options.items()
+           if key not in ("mq", "mt")})
+    return batch_plan.batching.rows_per_batch

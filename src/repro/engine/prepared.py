@@ -1,0 +1,100 @@
+"""Prepared target index — "cluster once, query many" (Sec. III-A).
+
+The TI preparation phase (landmark selection + clustering + descending
+member sort) depends only on the *target* set, yet the original
+``SweetKNN.query`` re-ran it per call.  :class:`PreparedIndex` performs
+it exactly once and is shared by every TI engine (``sweet``,
+``ti-gpu``, ``ti-cpu``): each query batch only clusters its own query
+points and combines them with the prepared target side into a
+:class:`~repro.core.ti_knn.JoinPlan`.
+
+This mirrors the plan/execute split of hybrid KNN-join systems: the
+expensive, query-independent state is built once, and arbitrarily many
+query tiles execute against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustering import center_distances, cluster_points
+from ..core.landmarks import (determine_landmark_count,
+                              select_landmarks_random_spread)
+from ..core.ti_knn import JoinPlan
+from ..errors import ValidationError
+
+__all__ = ["PreparedIndex"]
+
+
+class PreparedIndex:
+    """Landmarks + clustered, sorted target set, computed exactly once.
+
+    Parameters
+    ----------
+    targets:
+        (n, d) target point set.
+    seed:
+        Landmark-selection seed (ignored when ``rng`` is given).
+    rng:
+        Optional ``numpy.random.Generator`` shared with the caller, so
+        an index owner like :class:`~repro.core.api.SweetKNN` keeps one
+        deterministic stream across preparation and queries.
+    mt:
+        Optional target landmark-count override (defaults to
+        ``detLmNum``'s ``3 * sqrt(|T|)``).
+    memory_budget_bytes:
+        Caps the landmark counts like the device memory budget does.
+    """
+
+    def __init__(self, targets, seed=0, rng=None, mt=None,
+                 memory_budget_bytes=None):
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim != 2 or targets.shape[0] == 0:
+            raise ValidationError("targets must be a non-empty 2-D array")
+        self.targets = targets
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._budget = memory_budget_bytes
+        if mt is None:
+            mt = determine_landmark_count(len(targets), memory_budget_bytes)
+        landmarks = select_landmarks_random_spread(targets, mt, self._rng)
+        self.target_clusters = cluster_points(targets, landmarks,
+                                              sort_descending=True)
+        #: Times the target side has been prepared; must stay 1 for the
+        #: lifetime of the index (regression-tested).
+        self.build_count = 1
+
+    @property
+    def mt(self):
+        return self.target_clusters.n_clusters
+
+    @property
+    def dim(self):
+        return self.targets.shape[1]
+
+    def join_plan(self, queries, mq=None, rng=None):
+        """Cluster ``queries`` against the prepared target side.
+
+        Only the query side is clustered here — the target clusters,
+        their sorted member lists and radii are reused as built.
+
+        Returns
+        -------
+        JoinPlan
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[0] == 0:
+            raise ValidationError("queries must be a non-empty 2-D array")
+        if queries.shape[1] != self.dim:
+            raise ValidationError(
+                "dimension mismatch: queries d=%d, prepared index d=%d"
+                % (queries.shape[1], self.dim))
+        rng = rng if rng is not None else self._rng
+        if mq is None:
+            mq = determine_landmark_count(len(queries), self._budget)
+        q_landmarks = select_landmarks_random_spread(queries, mq, rng)
+        query_clusters = cluster_points(queries, q_landmarks,
+                                        sort_descending=False)
+        cdist = center_distances(query_clusters, self.target_clusters)
+        return JoinPlan(query_clusters=query_clusters,
+                        target_clusters=self.target_clusters,
+                        center_dists=cdist)

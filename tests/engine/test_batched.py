@@ -1,0 +1,97 @@
+"""Batched execution: equivalence with unbatched runs, result merging."""
+
+import numpy as np
+import pytest
+
+from repro import knn_join
+from repro.core.result import JoinStats, KNNResult, merge_batch_results
+from repro.errors import ValidationError
+from repro.gpu.device import tesla_k20c
+
+#: Work counters that must sum exactly across query batches.
+COUNTERS = ("level2_distance_computations", "center_distance_computations",
+            "init_distance_computations", "examined_points",
+            "candidate_cluster_pairs", "heap_updates")
+
+
+class TestForcedBatchingEquivalence:
+    @pytest.mark.parametrize("method", ["sweet", "ti-gpu", "ti-cpu"])
+    @pytest.mark.parametrize("dataset", ["clustered", "uniform"])
+    def test_identical_results_and_counters(self, clustered_points,
+                                            uniform_points, method, dataset):
+        points = clustered_points if dataset == "clustered" else uniform_points
+        whole = knn_join(points, points, 6, method=method, seed=3)
+        tiled = knn_join(points, points, 6, method=method, seed=3,
+                         query_batch_size=70)
+
+        np.testing.assert_array_equal(whole.indices, tiled.indices)
+        np.testing.assert_array_equal(whole.distances, tiled.distances)
+        for counter in COUNTERS:
+            assert getattr(tiled.stats, counter) == \
+                getattr(whole.stats, counter), counter
+        assert tiled.stats.n_queries == len(points)
+        expected_batches = -(-len(points) // 70)
+        assert tiled.stats.extra["query_batches"] == expected_batches
+
+    def test_batched_profile_still_accounts_time(self, clustered_points):
+        tiled = knn_join(clustered_points, clustered_points, 5,
+                         query_batch_size=100)
+        assert tiled.sim_time_s > 0
+        assert tiled.profile.filter_warp_efficiency() > 0
+
+    def test_invalid_batch_size(self, clustered_points):
+        with pytest.raises(ValidationError):
+            knn_join(clustered_points, clustered_points, 4,
+                     query_batch_size=0)
+
+    def test_non_device_engines_ignore_auto_batching(self, clustered_points):
+        res = knn_join(clustered_points, clustered_points, 4, method="brute")
+        assert "query_batches" not in res.stats.extra
+
+
+class TestAutomaticBatching:
+    def test_tiny_device_batches_and_stays_exact(self, clustered_points):
+        device = tesla_k20c(global_mem_bytes=32 * 1024)
+        ref = knn_join(clustered_points, clustered_points, 5, method="brute")
+        res = knn_join(clustered_points, clustered_points, 5,
+                       method="sweet", device=device)
+        assert res.stats.extra["query_batches"] > 1
+        assert res.matches(ref)
+
+
+class TestMergeBatchResults:
+    def _result(self, distances, indices, n_queries=None):
+        distances = np.asarray(distances, dtype=np.float64)
+        stats = JoinStats(n_queries=len(distances), n_targets=10,
+                          level2_distance_computations=7)
+        return KNNResult(distances=distances,
+                         indices=np.asarray(indices, dtype=np.int64),
+                         stats=stats, method="unit")
+
+    def test_disjoint_batches_concatenate(self):
+        a = self._result([[1.0, 2.0]], [[0, 1]])
+        b = self._result([[3.0, 4.0]], [[2, 3]])
+        merged = merge_batch_results([([0], a), ([1], b)], 2, 2)
+        np.testing.assert_array_equal(merged.indices, [[0, 1], [2, 3]])
+        assert merged.stats.level2_distance_computations == 14
+        assert merged.stats.extra["query_batches"] == 2
+        assert merged.method == "unit"
+
+    def test_overlapping_rows_keep_global_k_best(self):
+        a = self._result([[1.0, 5.0], [2.0, 6.0]], [[0, 1], [2, 3]])
+        b = self._result([[3.0, 4.0], [0.5, 9.0]], [[4, 5], [6, 7]])
+        merged = merge_batch_results([([0, 1], a), ([1, 2], b)], 3, 2)
+        np.testing.assert_array_equal(merged.distances[0], [1.0, 5.0])
+        # Row 1 is covered by both tiles; the closest two overall win.
+        np.testing.assert_array_equal(merged.distances[1], [2.0, 3.0])
+        np.testing.assert_array_equal(merged.indices[1], [2, 4])
+        np.testing.assert_array_equal(merged.distances[2], [0.5, 9.0])
+
+    def test_uncovered_row_is_an_error(self):
+        a = self._result([[1.0, 2.0]], [[0, 1]])
+        with pytest.raises(ValueError):
+            merge_batch_results([([0], a)], 2, 2)
+
+    def test_empty_batch_list_is_an_error(self):
+        with pytest.raises(ValueError):
+            merge_batch_results([], 1, 1)

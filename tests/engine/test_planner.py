@@ -1,0 +1,72 @@
+"""Tests for the query planner and the shared partition budgets."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.planner import (ExecutionPlan, partition_ranges,
+                                  plan_shape, ti_partition_rows)
+from repro.gpu.device import tesla_k20c
+
+
+class TestPlan:
+    def test_public_plan_describe(self, clustered_points):
+        plan = repro.plan(clustered_points, clustered_points, 10)
+        assert isinstance(plan, ExecutionPlan)
+        info = plan.describe()
+        assert info["method"] == "sweet"
+        assert info["|Q|"] == len(clustered_points)
+        assert info["k"] == 10
+        assert info["mq"] > 0 and info["mt"] > 0
+        assert info["query_batches"] >= 1
+        assert "filter" in info          # adaptive config is included
+        assert "device" in info
+
+    def test_host_engine_plan_has_no_config(self, clustered_points):
+        plan = repro.plan(clustered_points, clustered_points, 5,
+                          method="brute")
+        assert plan.config is None
+        assert plan.mq == 0 and plan.mt == 0
+        assert not plan.batching.batched
+
+    def test_adaptive_knobs_forwarded(self, clustered_points):
+        plan = repro.plan(clustered_points, clustered_points, 5,
+                          force_filter="partial")
+        assert plan.config.filter_strength == "partial"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            repro.plan(np.zeros(8), np.zeros((8, 2)), 2)
+
+    def test_tiny_device_forces_query_batching(self):
+        device = tesla_k20c(global_mem_bytes=32 * 1024)
+        plan = plan_shape(300, 300, 5, 8, method="sweet", device=device)
+        assert plan.batching.batched
+        assert plan.batching.rows_per_batch < 300
+        ranges = plan.batching.ranges(300)
+        assert len(ranges) == plan.batching.n_batches
+
+    def test_plan_matches_executed_decisions(self, clustered_points):
+        plan = repro.plan(clustered_points, clustered_points, 6)
+        result = repro.knn_join(clustered_points, clustered_points, 6)
+        extra = result.stats.extra
+        assert extra["filter"] == plan.config.filter_strength
+        assert extra["threads_per_query"] == \
+            plan.config.parallel.threads_per_query
+
+
+class TestPartitionBudgets:
+    def test_partition_ranges_cover_exactly(self):
+        ranges = partition_ranges(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert partition_ranges(5, 100) == [(0, 5)]
+
+    def test_ti_rows_shrink_with_memory(self):
+        big = tesla_k20c()
+        small = tesla_k20c(global_mem_bytes=32 * 1024)
+        assert ti_partition_rows(300, 300, 8, 5, big) == 300
+        assert ti_partition_rows(300, 300, 8, 5, small) < 300
+
+    def test_ti_rows_never_zero(self):
+        device = tesla_k20c(global_mem_bytes=1)
+        assert ti_partition_rows(4, 4, 2, 1, device) >= 1

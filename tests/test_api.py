@@ -46,6 +46,22 @@ class TestKnnJoin:
         with pytest.raises(ValidationError):
             knn_join(points, points, 0)
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_queries(self, rng, bad):
+        queries = rng.normal(size=(10, 3))
+        targets = rng.normal(size=(10, 3))
+        queries[4, 1] = bad
+        with pytest.raises(ValidationError, match="queries contain"):
+            knn_join(queries, targets, 2)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_targets(self, rng, bad):
+        queries = rng.normal(size=(10, 3))
+        targets = rng.normal(size=(10, 3))
+        targets[0, 0] = bad
+        with pytest.raises(ValidationError, match="targets contain"):
+            knn_join(queries, targets, 2)
+
     def test_options_forwarded(self, clustered_points):
         res = knn_join(clustered_points, clustered_points, 4,
                        method="sweet", threads_per_query=4)
@@ -83,6 +99,12 @@ class TestSweetKNNIndex:
     def test_invalid_targets(self):
         with pytest.raises(ValidationError):
             SweetKNN(np.empty((0, 4)))
+
+    def test_non_finite_targets(self, rng):
+        targets = rng.normal(size=(20, 4))
+        targets[3, 2] = np.nan
+        with pytest.raises(ValidationError):
+            SweetKNN(targets)
 
 
 class TestKNNResult:

@@ -77,3 +77,23 @@ class TestCommands:
                            "-k", "8"])
         assert code == 0
         assert "full level-2 filtering" in text
+
+    def test_plan_command(self):
+        code, text = _run(["plan", "--n", "400", "--dim", "8", "-k", "6"])
+        assert code == 0
+        assert "execution plan" in text
+        for key in ("method", "mq", "mt", "query_batches", "filter"):
+            assert key in text
+
+    def test_plan_host_engine(self):
+        code, text = _run(["plan", "--n", "200", "--dim", "4", "-k", "3",
+                           "--method", "brute"])
+        assert code == 0
+        assert "brute" in text
+
+    def test_run_forced_batch_size(self):
+        code, text = _run(["run", "--n", "250", "--dim", "6", "-k", "4",
+                           "--query-batch-size", "60", "--check"])
+        assert code == 0
+        assert "exact vs brute force: True" in text
+        assert "'query_batches': 5" in text
