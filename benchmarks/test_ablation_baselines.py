@@ -15,7 +15,6 @@ Two studies beyond the paper's figures that probe its design context:
 import numpy as np
 import pytest
 
-from repro.bench import run_method
 from repro.bench.reporting import emit, format_table
 from repro.baselines.kdtree import kdtree_knn
 from repro.core.landmarks import select_landmarks_maxmin

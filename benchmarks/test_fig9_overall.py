@@ -9,7 +9,7 @@ set.  Expected shape (paper): Sweet wins everywhere (avg 11.5x, up to
 
 import pytest
 
-from repro.bench import paper, run_method, speedup_over_baseline
+from repro.bench import paper, run_method
 from repro.bench.figures import grouped_bar_chart
 from repro.bench.reporting import emit, format_table
 

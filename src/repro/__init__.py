@@ -25,8 +25,9 @@ from .datasets import load as load_dataset
 from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
                      engine_names, get_engine, plan, register, unregister)
 from .gpu import DeviceSpec, tesla_k20c
+from .serve import KNNServer, ServeConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
@@ -34,6 +35,7 @@ __all__ = [
     "brute_force_knn", "cublas_knn", "kdtree_knn",
     "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",
     "engine_names", "get_engine", "plan", "register", "unregister",
+    "KNNServer", "ServeConfig",
     "load_dataset", "DeviceSpec", "tesla_k20c",
     "__version__",
 ]

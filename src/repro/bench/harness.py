@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.ti_knn import prepare_clusters
 from ..datasets import load
 from ..engine.executor import execute
 from ..engine.planner import plan_shape
@@ -40,7 +41,15 @@ _ALIASES = {"basic": "ti-gpu"}
 
 @dataclass
 class RunRecord:
-    """Everything one experiment run reports."""
+    """Everything one experiment run reports.
+
+    ``wall_time_s`` is split into the two phases the serving layer
+    amortises differently: ``prepare_time_s`` (the query-independent
+    Step-1 target state — landmark selection, clustering, the member
+    sort) and ``query_time_s`` (everything per-query).  Host wall
+    clock, not simulated device time; ``prepare_time_s`` is 0 for
+    engines without a prepared index.
+    """
 
     dataset: str
     method: str
@@ -49,6 +58,8 @@ class RunRecord:
     wall_time_s: float
     saved_fraction: float
     warp_efficiency: float
+    prepare_time_s: float = 0.0
+    query_time_s: float = 0.0
     decisions: dict = field(default_factory=dict)
     plan: dict = field(default_factory=dict)
     result: object = None
@@ -100,15 +111,32 @@ def run_method(dataset, method, k, **options):
         **{name: value for name, value in options.items()
            if name not in ("mq", "mt")})
 
+    # Time the query-independent Step-1 preparation separately from the
+    # per-query work, so index-reuse wins (what the serving layer's
+    # cache amortises away) are visible in run records.  Pre-building
+    # the plan consumes the rng in the same order the engine would, so
+    # the result is identical to an engine-internal preparation.
+    prepare_s = 0.0
+    run_options = dict(options)
+    if engine.caps.supports_prepared_index:
+        prepare_start = time.perf_counter()
+        run_options["plan"] = prepare_clusters(
+            points, points, rng, mq=options.get("mq"),
+            mt=options.get("mt"),
+            memory_budget_bytes=device.global_mem_bytes)
+        prepare_s = time.perf_counter() - prepare_start
+
     start = time.perf_counter()
     result = execute(engine, points, points, k, rng=rng, device=device,
-                     **options)
-    wall = time.perf_counter() - start
+                     **run_options)
+    query_s = time.perf_counter() - start
 
     record = RunRecord(
         dataset=dataset, method=method, k=k,
         sim_time_s=result.profile.sim_time_s,
-        wall_time_s=wall,
+        wall_time_s=prepare_s + query_s,
+        prepare_time_s=prepare_s,
+        query_time_s=query_s,
         saved_fraction=result.stats.saved_fraction,
         warp_efficiency=result.profile.filter_warp_efficiency(),
         decisions=dict(result.stats.extra),

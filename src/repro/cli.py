@@ -16,10 +16,16 @@ Commands
     The full execution plan (engine, adaptive configuration, landmark
     counts, query batching) the dispatcher would use — the CLI view of
     :func:`repro.plan`.
+``serve-bench``
+    Open-loop load generation against an in-process
+    :class:`~repro.serve.KNNServer`; prints the serving stats table
+    (latency percentiles, batch occupancy, cache hit rate, rejection
+    and expiry counts).
 
 The ``--method`` choices come straight from the engine registry
 (:func:`repro.engine.engine_names`), so engines registered by plugins
-are runnable by name.
+are runnable by name; ``compare --methods`` takes a comma-separated
+registry-validated list.
 
 Examples
 --------
@@ -28,8 +34,10 @@ Examples
     python -m repro run --dataset kegg -k 20
     python -m repro run --n 5000 --dim 32 -k 10 --method ti-gpu
     python -m repro compare --dataset skin -k 20
+    python -m repro compare --n 800 -k 10 --methods brute,ti-cpu,sweet
     python -m repro adaptive --n 100 --dim 10000 -k 20
     python -m repro plan --dataset kegg -k 20 --method sweet
+    python -m repro serve-bench --requests 200 --rate 500 -k 10
 """
 
 from __future__ import annotations
@@ -70,8 +78,39 @@ def build_parser():
     compare = sub.add_parser("compare",
                              help="baseline vs KNN-TI vs Sweet KNN")
     _data_args(compare)
+    compare.add_argument(
+        "--methods", type=_methods_list, default=["cublas", "ti-gpu",
+                                                  "sweet"],
+        metavar="M1,M2,...",
+        help="comma-separated registered engines; the first is the "
+             "speedup baseline (default: cublas,ti-gpu,sweet)")
 
     sub.add_parser("datasets", help="list the Table III stand-ins")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="open-loop load generation against the KNN server")
+    _data_args(serve)
+    _method_arg(serve)
+    serve.add_argument("--requests", type=int, default=200,
+                       help="number of single-point requests")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="arrival rate in requests/s (default: "
+                            "maximum offered load)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch coalescing cap in query rows")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="longest a request waits for co-batching")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission-control queue bound")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline")
+    serve.add_argument("--degraded-method", default="brute",
+                       help="fallback engine under overload "
+                            "('none' disables degradation)")
+    serve.add_argument("--check", action="store_true",
+                       help="verify served answers against a direct "
+                            "knn_join of the same queries")
 
     adaptive = sub.add_parser(
         "adaptive", help="show the Fig. 8 decisions for a problem shape")
@@ -89,6 +128,19 @@ def _method_arg(parser):
     parser.add_argument("--method", default="sweet",
                         choices=list(engine_names()),
                         help="a registered engine")
+
+
+def _methods_list(text):
+    """argparse type for ``--methods``: comma list, registry-validated."""
+    methods = [name.strip() for name in text.split(",") if name.strip()]
+    if not methods:
+        raise argparse.ArgumentTypeError("at least one method is required")
+    unknown = [name for name in methods if name not in engine_names()]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            "unknown method(s) %s; registered engines: %s"
+            % (", ".join(unknown), ", ".join(engine_names())))
+    return methods
 
 
 def _data_args(parser):
@@ -116,9 +168,13 @@ def _load_points(args):
 
 
 def _profile_row(label, result, baseline=None):
-    speedup = (baseline.sim_time_s / result.sim_time_s
-               if baseline is not None else None)
-    return [label, result.sim_time_s * 1e3,
+    speedup = None
+    if (baseline is not None and baseline.sim_time_s is not None
+            and result.sim_time_s):
+        speedup = baseline.sim_time_s / result.sim_time_s
+    return [label,
+            result.sim_time_s * 1e3 if result.sim_time_s is not None
+            else None,
             100 * result.stats.saved_fraction,
             100 * result.profile.filter_warp_efficiency()
             if result.profile else None,
@@ -147,15 +203,25 @@ def cmd_run(args, out):
     return 0
 
 
+#: Human-readable row labels for the classic three-way comparison.
+_COMPARE_LABELS = {"cublas": "cublas baseline", "ti-gpu": "basic KNN-TI",
+                   "sweet": "Sweet KNN"}
+
+
 def cmd_compare(args, out):
     points, device, name = _load_points(args)
-    baseline = knn_join(points, points, args.k, method="cublas",
-                        device=device)
-    rows = [_profile_row("cublas baseline", baseline, baseline)]
-    for method, label in (("ti-gpu", "basic KNN-TI"), ("sweet", "Sweet KNN")):
+    baseline = None
+    rows = []
+    for method in args.methods:
+        spec = get_engine(method)
         result = knn_join(points, points, args.k, method=method,
-                          seed=args.seed, device=device)
-        if not result.matches(baseline):
+                          seed=args.seed,
+                          device=device if spec.caps.needs_device else None)
+        label = _COMPARE_LABELS.get(method, method)
+        if baseline is None:
+            baseline = result
+            label = _COMPARE_LABELS.get(method, "%s baseline" % method)
+        elif not result.matches(baseline):
             out.write("WARNING: %s disagrees with the baseline\n" % label)
         rows.append(_profile_row(label, result, baseline))
     out.write(format_table(
@@ -212,9 +278,62 @@ def cmd_plan(args, out):
     return 0
 
 
+def cmd_serve_bench(args, out):
+    from .serve import KNNServer, run_open_loop
+
+    points, device, name = _load_points(args)
+    rng = np.random.default_rng(args.seed + 1)
+    queries = points[rng.integers(0, len(points), size=args.requests)] \
+        + rng.normal(scale=0.05, size=(args.requests, points.shape[1]))
+
+    degraded = (None if args.degraded_method in (None, "none", "")
+                else args.degraded_method)
+    server = KNNServer(
+        method=args.method, degraded_method=degraded,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue_depth=args.queue_depth,
+        default_deadline_s=(args.deadline_ms / 1e3
+                            if args.deadline_ms is not None else None),
+        seed=args.seed, device=device)
+    deadline_note = ("%.0f ms" % args.deadline_ms
+                     if args.deadline_ms is not None else "none")
+    out.write("serve-bench: %d single-point requests on %s, k=%d, "
+              "method=%s\n" % (args.requests, name, args.k, args.method))
+    out.write("open loop at %s; batch<=%d, wait<=%.1f ms, queue<=%d, "
+              "deadline %s\n"
+              % ("%.0f req/s" % args.rate if args.rate else "max rate",
+                 args.max_batch, args.max_wait_ms, args.queue_depth,
+                 deadline_note))
+    with server:
+        report = run_open_loop(server, points, queries, args.k,
+                               rate=args.rate)
+    out.write("%d served / %d rejected / %d expired / %d errors "
+              "in %.2f s (%.0f served/s)\n"
+              % (report.served, report.rejected, report.expired,
+                 len(report.errors), report.wall_s, report.served_rate))
+    out.write(report.stats.table(
+        "serving stats: %s, %d requests" % (name, args.requests)))
+    if args.check and report.responses:
+        direct = knn_join(queries, points, args.k, method=args.method,
+                          seed=args.seed,
+                          device=device if get_engine(
+                              args.method).caps.needs_device else None)
+        exact = all(
+            np.array_equal(np.sort(response.indices),
+                           np.sort(direct.indices[i]))
+            and np.allclose(response.distances, direct.distances[i],
+                            rtol=0, atol=1e-9)
+            for i, response in report.responses)
+        out.write("served answers equal direct knn_join: %s\n" % exact)
+        if not exact:
+            return 1
+    return 0
+
+
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
-             "plan": cmd_plan}
+             "plan": cmd_plan, "serve-bench": cmd_serve_bench}
 
 
 def main(argv=None, out=None):

@@ -180,6 +180,27 @@ class SweetKNN:
                        device=self.device, plan=join_plan,
                        query_batch_size=rows, **options)
 
+    def query_one(self, point, k, **options):
+        """k nearest prepared targets of a single point.
+
+        The per-request path of the serving layer: takes one point of
+        shape (d,), returns a :class:`~repro.core.result.Neighbors`
+        with shape-(k,) ``distances``/``indices`` — no manual
+        reshaping to (1, d) and back.
+
+        Example
+        -------
+        >>> neighbours = index.query_one(point, k=10)
+        >>> neighbours.indices          # (k,)
+        >>> dists, ids = neighbours     # tuple-style unpacking
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1:
+            raise ValidationError(
+                "query_one expects a single point of shape (d,); "
+                "use query() for batches")
+        return self.query(point[np.newaxis, :], k, **options).row(0)
+
     def self_join(self, k, **options):
         """k nearest neighbours of every target within the target set."""
         return self.query(self.targets, k, **options)

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["JoinStats", "KNNResult", "merge_batch_results"]
+__all__ = ["JoinStats", "KNNResult", "Neighbors", "merge_batch_results"]
 
 #: Counter fields that add up across query batches of one join.
 _SUMMED_FIELDS = (
@@ -94,6 +94,27 @@ class JoinStats:
         }
 
 
+@dataclass(frozen=True)
+class Neighbors:
+    """One query point's neighbour list: (k,) distances and indices.
+
+    The single-query counterpart of :class:`KNNResult` — returned by
+    :meth:`KNNResult.row`, :meth:`repro.SweetKNN.query_one` and the
+    serving layer's per-request responses.  Iterable as
+    ``(distances, indices)`` for tuple-style unpacking.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def k(self):
+        return self.distances.shape[0]
+
+    def __iter__(self):
+        return iter((self.distances, self.indices))
+
+
 @dataclass
 class KNNResult:
     """k nearest neighbours for every query point.
@@ -127,6 +148,11 @@ class KNNResult:
     def sim_time_s(self):
         """Simulated GPU time, when available."""
         return self.profile.sim_time_s if self.profile is not None else None
+
+    def row(self, i):
+        """The i-th query's :class:`Neighbors` (shape-(k,) views)."""
+        return Neighbors(distances=self.distances[i],
+                         indices=self.indices[i])
 
     def matches(self, other, rtol=1e-9, atol=2e-3):
         """True when both results report the same neighbour distances.

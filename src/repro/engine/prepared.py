@@ -15,6 +15,8 @@ query tiles execute against it.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..core.clustering import center_distances, cluster_points
@@ -23,7 +25,22 @@ from ..core.landmarks import (determine_landmark_count,
 from ..core.ti_knn import JoinPlan
 from ..errors import ValidationError
 
-__all__ = ["PreparedIndex"]
+__all__ = ["PreparedIndex", "fingerprint_points"]
+
+
+def fingerprint_points(points):
+    """Content hash of a point set: shape, dtype and raw bytes.
+
+    Two arrays with equal values (and shape/dtype) share a fingerprint
+    regardless of object identity, so an index cache keyed on it
+    (:class:`repro.serve.IndexStore`) recognises the same target set
+    arriving in different request payloads.
+    """
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    digest = hashlib.sha1()
+    digest.update(repr((points.shape, points.dtype.str)).encode())
+    digest.update(points.tobytes())
+    return digest.hexdigest()
 
 
 class PreparedIndex:
@@ -70,6 +87,25 @@ class PreparedIndex:
     @property
     def dim(self):
         return self.targets.shape[1]
+
+    @property
+    def nbytes(self):
+        """Approximate resident size of the prepared target state.
+
+        Counts the target matrix once plus the cluster metadata (the
+        centres, assignments, per-member distances and sorted member
+        lists).  This is the currency of the serving layer's
+        byte-budgeted index cache.
+        """
+        ct = self.target_clusters
+        total = self.targets.nbytes
+        total += ct.centers.nbytes + ct.center_indices.nbytes
+        total += ct.assignment.nbytes + ct.dist_to_center.nbytes
+        total += sum(m.nbytes for m in ct.members)
+        total += sum(d.nbytes for d in ct.member_dists)
+        if ct.radius is not None:
+            total += ct.radius.nbytes
+        return int(total)
 
     def join_plan(self, queries, mq=None, rng=None):
         """Cluster ``queries`` against the prepared target side.

@@ -37,3 +37,39 @@ class DatasetError(ReproError):
 
 class ValidationError(ReproError):
     """Raised when user-facing API inputs fail validation."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class Overloaded(ServeError):
+    """Raised when admission control rejects a request.
+
+    The serving queue is bounded (:class:`repro.serve.ServeConfig.
+    max_queue_depth`); once it is full, new requests are rejected
+    immediately instead of growing an unbounded backlog.  Callers are
+    expected to back off and retry.
+    """
+
+    def __init__(self, depth, limit):
+        self.depth = int(depth)
+        self.limit = int(limit)
+        super().__init__(
+            "server overloaded: queue depth %d at its limit %d"
+            % (self.depth, self.limit))
+
+
+class DeadlineExceeded(ServeError):
+    """Raised when a request's deadline expired before execution.
+
+    The micro-batch scheduler drops expired requests at flush time so
+    no device work is spent on answers nobody is waiting for.
+    """
+
+    def __init__(self, waited_s, deadline_s):
+        self.waited_s = float(waited_s)
+        self.deadline_s = float(deadline_s)
+        super().__init__(
+            "request deadline of %.3f s exceeded after waiting %.3f s"
+            % (self.deadline_s, self.waited_s))

@@ -178,16 +178,15 @@ def fold_warp_logs(logs, profile, cost_model=None,
     atomics = np.zeros((lanes, steps), dtype=np.int64)
     codes = np.full((lanes, steps), -1, dtype=np.int64)
     for row, (arrays, pos) in enumerate(zip(raw, positions)):
-        f, t, l, h, a, c = arrays
+        f, t, lane_l2, h, a, c = arrays
         flops[row, pos] = f
         txns[row, pos] = t
-        l2[row, pos] = l
+        l2[row, pos] = lane_l2
         heap_ops[row, pos] = h
         atomics[row, pos] = a
         codes[row, pos] = c
 
     active = codes >= 0
-    active_count = active.sum(axis=0)
 
     flops_max = flops.max(axis=0)
     txn_sum = txns.sum(axis=0)

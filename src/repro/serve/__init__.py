@@ -1,0 +1,38 @@
+"""``repro.serve`` — concurrent KNN serving on the execution engine.
+
+The serving layer turns the one-shot join library into an in-process
+query service for request-driven traffic:
+
+* :class:`IndexStore` — byte-budgeted LRU cache of prepared target
+  indexes keyed by content fingerprint, seed and ``mt``;
+* :class:`MicroBatcher` — bounded queue + scheduler coalescing small
+  concurrent requests into planner-sized engine tiles, with typed
+  :class:`~repro.errors.Overloaded` admission control and per-request
+  deadlines (:class:`~repro.errors.DeadlineExceeded`);
+* :class:`KNNServer` — the service facade: exact answers (identical
+  to direct :func:`repro.knn_join` output), graceful degradation to a
+  cheaper engine under sustained overload;
+* :class:`ServerStats` — latency percentiles, batch occupancy, cache
+  hit rate, rejection/expiry counts, rendered in the bench-report
+  table style;
+* :func:`run_open_loop` — the synthetic load generator behind
+  ``python -m repro serve-bench``.
+
+See ``docs/SERVING.md`` for the architecture and semantics.
+"""
+
+from ..errors import DeadlineExceeded, Overloaded, ServeError
+from .batcher import MicroBatcher, PendingRequest, ServeFuture
+from .loadgen import LoadReport, run_open_loop
+from .server import KNNServer, ServeConfig, ServeResponse
+from .stats import ServerStats, StatsCollector
+from .store import IndexStore, IndexStoreStats
+
+__all__ = [
+    "KNNServer", "ServeConfig", "ServeResponse",
+    "IndexStore", "IndexStoreStats",
+    "MicroBatcher", "PendingRequest", "ServeFuture",
+    "ServerStats", "StatsCollector",
+    "LoadReport", "run_open_loop",
+    "ServeError", "Overloaded", "DeadlineExceeded",
+]

@@ -1,0 +1,113 @@
+"""Synthetic open-loop load generator for :class:`~repro.serve.KNNServer`.
+
+Open loop means arrivals follow a fixed schedule (``rate`` requests
+per second) regardless of how fast the server answers — the standard
+way to measure a service's behaviour at a given offered load,
+including its overload behaviour: when the server falls behind, the
+queue fills, admission control rejects, and deadlines expire, exactly
+as they would under real traffic (closed-loop generators hide all of
+that by self-throttling).
+
+Every request is a single query point against one shared target set,
+the serving subsystem's design-centre workload: the index store should
+serve all but the first request from cache, and the micro-batcher
+should coalesce concurrent arrivals into planner-sized tiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeadlineExceeded, Overloaded
+from .server import KNNServer
+
+__all__ = ["LoadReport", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    n_requests: int
+    wall_s: float
+    responses: list = field(default_factory=list)  # (request id, response)
+    rejected: int = 0
+    expired: int = 0
+    errors: list = field(default_factory=list)     # (request id, exception)
+    stats: object = None
+
+    @property
+    def served(self):
+        return len(self.responses)
+
+    @property
+    def offered_rate(self):
+        return self.n_requests / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def served_rate(self):
+        return self.served / self.wall_s if self.wall_s else 0.0
+
+
+def run_open_loop(server, targets, queries, k, rate=None, deadline_s=None,
+                  **options):
+    """Fire one request per query row at a fixed arrival rate.
+
+    Parameters
+    ----------
+    server:
+        A started :class:`KNNServer`.
+    targets:
+        The shared target set, passed with every request (the store
+        fingerprints it per request — that is the point).
+    queries:
+        (n, d) array; row i becomes request i, a single-point query.
+    k:
+        Neighbours per request.
+    rate:
+        Arrival rate in requests/second; ``None`` submits as fast as
+        the generator loop can (maximum offered load).
+    deadline_s:
+        Optional per-request deadline.
+    options:
+        Engine options forwarded with every request.
+
+    Returns
+    -------
+    LoadReport
+        Per-request outcomes plus the server's stats snapshot taken
+        after all requests completed.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    n = len(queries)
+    interarrival = (1.0 / rate) if rate else 0.0
+
+    futures = []
+    report = LoadReport(n_requests=n, wall_s=0.0)
+    start = time.monotonic()
+    for i in range(n):
+        if interarrival:
+            due = start + i * interarrival
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            futures.append((i, server.submit(queries[i], targets, k,
+                                             deadline_s=deadline_s,
+                                             **options)))
+        except Overloaded:
+            report.rejected += 1
+
+    for i, future in futures:
+        try:
+            report.responses.append((i, future.result()))
+        except DeadlineExceeded:
+            report.expired += 1
+        except Exception as exc:
+            report.errors.append((i, exc))
+    report.wall_s = time.monotonic() - start
+    report.stats = server.stats()
+    return report

@@ -1,0 +1,347 @@
+"""In-process concurrent KNN query service.
+
+:class:`KNNServer` glues the serving pieces together on top of the
+PR-1 execution-engine layer:
+
+* the :class:`~repro.serve.store.IndexStore` resolves each request's
+  target set to a cached :class:`~repro.engine.prepared.PreparedIndex`
+  (cluster once, serve forever);
+* the :class:`~repro.serve.batcher.MicroBatcher` coalesces concurrent
+  small requests into planner-sized tiles, bounds the queue
+  (:class:`~repro.errors.Overloaded`) and drops expired work
+  (:class:`~repro.errors.DeadlineExceeded`);
+* one ``engine.execute()`` call answers each tile, its rows split back
+  per request — so every served answer is exactly what a direct
+  :func:`repro.knn_join` call returns;
+* under sustained overload (queue pressure at or above
+  ``degrade_at``), batches fall back to the cheaper
+  ``degraded_method`` engine, surfaced per response via
+  ``response.degraded`` — answers stay exact (every registered engine
+  is), only the performance accounting changes.
+
+Example
+-------
+::
+
+    from repro.serve import KNNServer
+
+    with KNNServer(method="sweet") as server:
+        response = server.query(point, targets, k=10)
+        response.indices        # (k,) neighbour ids
+
+Thread safety: ``submit``/``query`` may be called from any number of
+threads; engine execution happens on the single scheduler thread, so
+engines and prepared indexes never race.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.api import _validate
+from ..engine.executor import execute
+from ..engine.planner import _DECIDE_KEYS, plan_shape
+from ..engine.registry import get_engine
+from ..errors import Overloaded, ValidationError
+from ..gpu.device import tesla_k20c
+from .batcher import MicroBatcher, PendingRequest
+from .stats import StatsCollector
+from .store import IndexStore
+
+__all__ = ["KNNServer", "ServeConfig", "ServeResponse"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of a :class:`KNNServer`.
+
+    Attributes
+    ----------
+    method:
+        Primary engine; must support a prepared index (``"sweet"``,
+        ``"ti-gpu"``, ``"ti-cpu"``, or a plugin engine declaring the
+        capability).
+    degraded_method:
+        Engine used when queue pressure reaches ``degrade_at``
+        (``None`` disables degradation).  Any registered engine works;
+        engine options of the primary method are not forwarded to it.
+    degrade_at:
+        Queue fill fraction (0..1] at which batches degrade.
+    max_batch_size:
+        Coalescing cap in query rows; the effective tile is
+        ``min(max_batch_size, planner rows_per_batch)`` so a batch
+        never exceeds what the device budget admits in one call.
+    max_wait_s:
+        Longest a request may wait for co-batching before a partial
+        tile flushes.
+    max_queue_depth:
+        Admission-control bound on queued requests.
+    default_deadline_s:
+        Deadline applied to requests that do not carry their own.
+    seed, mt:
+        Landmark seed / target landmark-count override used when
+        preparing indexes (part of the cache key).
+    device:
+        Device for simulated-GPU engines (defaults to the Tesla K20c).
+    store_budget_bytes, store_max_entries:
+        Index-cache eviction policy (see :class:`IndexStore`).
+    """
+
+    method: str = "sweet"
+    degraded_method: str = "brute"
+    degrade_at: float = 0.75
+    max_batch_size: int = 64
+    max_wait_s: float = 0.002
+    max_queue_depth: int = 256
+    default_deadline_s: float = None
+    seed: int = 0
+    mt: int = None
+    device: object = None
+    store_budget_bytes: int = None
+    store_max_entries: int = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One request's answer plus its serving metadata.
+
+    ``distances``/``indices`` are shape (k,) for a single-point request
+    and (n, k) for a batch request — exactly the rows a direct
+    :func:`repro.knn_join` call would return for the same queries.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+    method: str
+    engine: str
+    degraded: bool
+    cache_hit: bool
+    latency_s: float
+    batch_rows: int
+    batch_requests: int
+
+
+@dataclass
+class _Payload:
+    """Server-side request state carried through the batcher."""
+
+    queries: np.ndarray
+    index: object
+    k: int
+    options: dict
+    single: bool
+    cache_hit: bool
+    row_slice: slice = field(default=None)
+
+
+class KNNServer:
+    """Concurrent KNN query service over the execution-engine layer.
+
+    Parameters may be given as a :class:`ServeConfig`, as keyword
+    overrides, or both (keywords win)::
+
+        server = KNNServer(method="ti-cpu", max_wait_s=0.001)
+        server.start()
+        ...
+        server.stop()
+    """
+
+    def __init__(self, config=None, **overrides):
+        config = config or ServeConfig()
+        if overrides:
+            config = replace(config, **overrides)
+        self.config = config
+
+        self._spec = get_engine(config.method)
+        if not self._spec.caps.supports_prepared_index:
+            raise ValidationError(
+                "serving engine %r does not support a prepared index"
+                % config.method)
+        self._degraded_spec = (get_engine(config.degraded_method)
+                               if config.degraded_method else None)
+        if not 0.0 < config.degrade_at <= 1.0:
+            raise ValidationError("degrade_at must be in (0, 1]")
+        if config.max_batch_size <= 0:
+            raise ValidationError("max_batch_size must be positive")
+
+        needs_device = self._spec.caps.needs_device or (
+            self._degraded_spec is not None
+            and self._degraded_spec.caps.needs_device)
+        self._device = ((config.device or tesla_k20c())
+                        if needs_device else config.device)
+        self._rng = np.random.default_rng(config.seed)
+
+        self.store = IndexStore(budget_bytes=config.store_budget_bytes,
+                                max_entries=config.store_max_entries)
+        self.stats_collector = StatsCollector()
+        self._batcher = MicroBatcher(
+            self._execute_batch, max_wait_s=config.max_wait_s,
+            max_queue_depth=config.max_queue_depth,
+            on_expired=lambda request:
+                self.stats_collector.record_expired())
+        self._tile_cache = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start the scheduler thread; idempotent."""
+        self._batcher.start()
+        return self
+
+    def stop(self):
+        """Stop the scheduler after draining every in-flight request."""
+        self._batcher.stop()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    @property
+    def running(self):
+        return self._batcher.running
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, queries, targets, k, deadline_s=None, **options):
+        """Enqueue a request; returns a future of :class:`ServeResponse`.
+
+        ``queries`` may be a single point of shape (d,) or a small
+        batch of shape (n, d).  ``targets`` is fingerprinted and
+        resolved through the index store, so passing the same target
+        set (by value) never re-clusters it.
+
+        Raises
+        ------
+        Overloaded
+            When admission control rejects the request.
+        ServeError
+            When the server is not running.
+        ValidationError
+            For malformed inputs or options.
+        """
+        if "mt" in options:
+            raise ValidationError(
+                "mt is fixed per prepared index; set it in ServeConfig")
+        queries = np.asarray(queries, dtype=np.float64)
+        single = queries.ndim == 1
+        if single:
+            queries = queries[np.newaxis, :]
+        queries, targets, k = _validate(queries, targets, k)
+
+        self.stats_collector.record_submitted()
+        index, cache_hit = self.store.get(
+            targets, seed=self.config.seed, mt=self.config.mt,
+            memory_budget_bytes=(self._device.global_mem_bytes
+                                 if self._device is not None else None))
+
+        opts_key = tuple(sorted(options.items()))
+        store_key = self.store.key_for(index.targets, self.config.seed,
+                                       self.config.mt)
+        batch_key = (store_key, k, opts_key)
+        payload = _Payload(queries=queries, index=index, k=k,
+                           options=dict(options), single=single,
+                           cache_hit=cache_hit)
+        request = PendingRequest(
+            key=batch_key, payload=payload, n_rows=len(queries),
+            max_batch=self._tile_rows(index, k, options),
+            deadline_s=(deadline_s if deadline_s is not None
+                        else self.config.default_deadline_s))
+        try:
+            return self._batcher.submit(request)
+        except Overloaded:
+            self.stats_collector.record_rejected()
+            raise
+
+    def query(self, queries, targets, k, deadline_s=None, timeout=None,
+              **options):
+        """Blocking convenience: ``submit(...).result(timeout)``."""
+        return self.submit(queries, targets, k, deadline_s=deadline_s,
+                           **options).result(timeout)
+
+    def stats(self):
+        """A :class:`~repro.serve.stats.ServerStats` snapshot."""
+        return self.stats_collector.snapshot(
+            queue_depth=self._batcher.queue_depth(),
+            max_queue_depth=self.config.max_queue_depth,
+            store_stats=self.store.stats())
+
+    # ------------------------------------------------------------------
+    # Scheduler side
+    # ------------------------------------------------------------------
+    def _tile_rows(self, index, k, options):
+        """Planner-sized coalescing tile for this index/k/knobs."""
+        knobs = tuple(sorted((name, options[name]) for name in options
+                             if name in _DECIDE_KEYS))
+        key = (index.mt, len(index.targets), index.dim, k, knobs)
+        rows = self._tile_cache.get(key)
+        if rows is None:
+            exec_plan = plan_shape(
+                self.config.max_batch_size, len(index.targets), k,
+                index.dim, method=self._spec.name, device=self._device,
+                mt=index.mt, **dict(knobs))
+            rows = max(1, min(self.config.max_batch_size,
+                              exec_plan.batching.rows_per_batch))
+            self._tile_cache[key] = rows
+        return rows
+
+    def _execute_batch(self, requests, pressure):
+        """Run one coalesced tile and split the answers per request.
+
+        Called on the scheduler thread only, so prepared indexes and
+        the landmark RNG are never shared across concurrent executes.
+        """
+        first = requests[0].payload
+        batch = (first.queries if len(requests) == 1
+                 else np.vstack([r.payload.queries for r in requests]))
+        start = 0
+        for request in requests:
+            stop = start + request.n_rows
+            request.payload.row_slice = slice(start, stop)
+            start = stop
+
+        degraded = (self._degraded_spec is not None
+                    and pressure >= self.config.degrade_at)
+        try:
+            if degraded:
+                spec = self._degraded_spec
+                result = execute(
+                    spec, batch, first.index.targets, first.k,
+                    rng=self._rng, device=self._device)
+            else:
+                spec = self._spec
+                join_plan = first.index.join_plan(batch)
+                result = execute(
+                    spec, batch, first.index.targets, first.k,
+                    rng=self._rng, device=self._device, plan=join_plan,
+                    **first.options)
+        except Exception as exc:
+            for request in requests:
+                request.future.set_exception(exc)
+                self.stats_collector.record_error()
+            return
+
+        self.stats_collector.record_batch(len(requests), len(batch))
+        now = time.monotonic()
+        for request in requests:
+            payload = request.payload
+            rows = payload.row_slice
+            distances = result.distances[rows]
+            indices = result.indices[rows]
+            if payload.single:
+                distances, indices = distances[0], indices[0]
+            latency = request.waited(now)
+            request.future.set_result(ServeResponse(
+                distances=distances, indices=indices,
+                method=result.method, engine=spec.name,
+                degraded=degraded, cache_hit=payload.cache_hit,
+                latency_s=latency, batch_rows=len(batch),
+                batch_requests=len(requests)))
+            self.stats_collector.record_served(latency, degraded=degraded)

@@ -1,0 +1,177 @@
+"""Serving metrics: counters, latency percentiles, batch occupancy.
+
+The collector is the single sink every server event reports into
+(admission rejections, deadline expiries, batch flushes, per-request
+completions).  :meth:`StatsCollector.snapshot` produces an immutable
+:class:`ServerStats` record; :meth:`ServerStats.table` renders it with
+:func:`repro.bench.reporting.format_table`, the same formatter the
+paper-reproduction benchmarks use, so serving numbers land in
+``benchmarks/results/`` in the house style.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bench.reporting import format_table
+
+__all__ = ["ServerStats", "StatsCollector"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Immutable snapshot of a server's lifetime metrics."""
+
+    submitted: int
+    served: int
+    rejected: int
+    expired: int
+    errors: int
+    degraded: int
+    batches: int
+    queue_depth: int
+    max_queue_depth: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_resident_bytes: int
+    latencies_s: tuple = field(default=(), repr=False)
+    batch_requests: tuple = field(default=(), repr=False)
+    batch_rows: tuple = field(default=(), repr=False)
+
+    @property
+    def cache_hit_rate(self):
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def mean_batch_requests(self):
+        return (float(np.mean(self.batch_requests))
+                if self.batch_requests else 0.0)
+
+    @property
+    def mean_batch_rows(self):
+        """Mean batch occupancy in query rows per ``execute()`` call."""
+        return float(np.mean(self.batch_rows)) if self.batch_rows else 0.0
+
+    def latency_percentile(self, q):
+        """Latency percentile in seconds (q in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def describe(self):
+        """Flat dict of the headline metrics (logging, run records)."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+            "batch_occupancy_rows": round(self.mean_batch_rows, 2),
+            "batch_occupancy_requests": round(self.mean_batch_requests, 2),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "cache_evictions": self.cache_evictions,
+            "p50_ms": round(self.latency_percentile(50) * 1e3, 3),
+            "p90_ms": round(self.latency_percentile(90) * 1e3, 3),
+            "p99_ms": round(self.latency_percentile(99) * 1e3, 3),
+        }
+
+    def table(self, title="KNN serving stats"):
+        """Render the snapshot as a bench-style plain-text table."""
+        rows = [
+            ["requests submitted", self.submitted],
+            ["requests served", self.served],
+            ["rejected (overload)", self.rejected],
+            ["expired (deadline)", self.expired],
+            ["errors", self.errors],
+            ["served degraded", self.degraded],
+            ["batches executed", self.batches],
+            ["batch occupancy (rows)", self.mean_batch_rows],
+            ["batch occupancy (requests)", self.mean_batch_requests],
+            ["index-cache hit rate %", 100.0 * self.cache_hit_rate],
+            ["index-cache evictions", self.cache_evictions],
+            ["index-cache resident MB",
+             self.cache_resident_bytes / 1e6],
+            ["queue depth (now/max)",
+             "%d/%d" % (self.queue_depth, self.max_queue_depth)],
+            ["latency p50 ms", self.latency_percentile(50) * 1e3],
+            ["latency p90 ms", self.latency_percentile(90) * 1e3],
+            ["latency p99 ms", self.latency_percentile(99) * 1e3],
+            ["latency max ms",
+             (max(self.latencies_s) * 1e3 if self.latencies_s else 0.0)],
+        ]
+        return format_table(title, ["metric", "value"], rows)
+
+
+class StatsCollector:
+    """Thread-safe accumulator behind :class:`ServerStats`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._served = 0
+        self._rejected = 0
+        self._expired = 0
+        self._errors = 0
+        self._degraded = 0
+        self._batch_requests = []
+        self._batch_rows = []
+        self._latencies = []
+
+    def record_submitted(self):
+        with self._lock:
+            self._submitted += 1
+
+    def record_rejected(self):
+        with self._lock:
+            self._rejected += 1
+
+    def record_expired(self):
+        with self._lock:
+            self._expired += 1
+
+    def record_error(self):
+        with self._lock:
+            self._errors += 1
+
+    def record_batch(self, n_requests, n_rows):
+        with self._lock:
+            self._batch_requests.append(int(n_requests))
+            self._batch_rows.append(int(n_rows))
+
+    def record_served(self, latency_s, degraded=False):
+        with self._lock:
+            self._served += 1
+            self._latencies.append(float(latency_s))
+            if degraded:
+                self._degraded += 1
+
+    def snapshot(self, queue_depth=0, max_queue_depth=0, store_stats=None):
+        """Build a :class:`ServerStats` from the current counters."""
+        with self._lock:
+            return ServerStats(
+                submitted=self._submitted,
+                served=self._served,
+                rejected=self._rejected,
+                expired=self._expired,
+                errors=self._errors,
+                degraded=self._degraded,
+                batches=len(self._batch_rows),
+                queue_depth=int(queue_depth),
+                max_queue_depth=int(max_queue_depth),
+                cache_hits=store_stats.hits if store_stats else 0,
+                cache_misses=store_stats.misses if store_stats else 0,
+                cache_evictions=(store_stats.evictions
+                                 if store_stats else 0),
+                cache_resident_bytes=(store_stats.resident_bytes
+                                      if store_stats else 0),
+                latencies_s=tuple(self._latencies),
+                batch_requests=tuple(self._batch_requests),
+                batch_rows=tuple(self._batch_rows))

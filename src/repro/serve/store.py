@@ -1,0 +1,139 @@
+"""Byte-budgeted LRU cache of :class:`~repro.engine.prepared.PreparedIndex`.
+
+The expensive, query-independent TI state (landmark selection,
+clustering, the descending member sort — Sec. III-A) depends only on
+the target set, the landmark seed and ``mt``.  The store keys prepared
+indexes on exactly that triple — the target-set *content* fingerprint
+(:func:`repro.engine.prepared.fingerprint_points`), not object
+identity — so repeated traffic against the same target set never
+re-clusters, no matter which array object each request carries.
+
+Eviction is least-recently-used under a byte budget measured by
+:attr:`PreparedIndex.nbytes` (target matrix + cluster metadata), the
+in-process analogue of the paper's device-memory budget: the store
+holds as many target sets as fit, and drops the coldest one when a new
+set would overflow.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..engine.prepared import PreparedIndex, fingerprint_points
+from ..errors import ValidationError
+
+__all__ = ["IndexStore", "IndexStoreStats"]
+
+
+@dataclass(frozen=True)
+class IndexStoreStats:
+    """Counters snapshot of one :class:`IndexStore`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    resident_bytes: int
+    budget_bytes: int
+
+    @property
+    def hit_rate(self):
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+
+class IndexStore:
+    """Thread-safe LRU cache of prepared target indexes.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total resident-size budget across cached indexes; ``None``
+        means unbounded.  A single index larger than the whole budget
+        is still cached (alone) rather than rejected, so the store
+        never thrashes on its only working set.
+    max_entries:
+        Optional entry-count cap applied alongside the byte budget.
+    """
+
+    def __init__(self, budget_bytes=None, max_entries=None):
+        if budget_bytes is not None and int(budget_bytes) <= 0:
+            raise ValidationError("budget_bytes must be positive or None")
+        if max_entries is not None and int(max_entries) <= 0:
+            raise ValidationError("max_entries must be positive or None")
+        self._budget = None if budget_bytes is None else int(budget_bytes)
+        self._max_entries = (None if max_entries is None
+                             else int(max_entries))
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()  # key -> PreparedIndex
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def key_for(targets, seed=0, mt=None):
+        """The cache key: (content fingerprint, seed, mt)."""
+        return (fingerprint_points(targets), int(seed), mt)
+
+    def get(self, targets, seed=0, mt=None, memory_budget_bytes=None):
+        """Fetch (or build and cache) the prepared index for ``targets``.
+
+        Returns
+        -------
+        (PreparedIndex, bool)
+            The index and whether it was a cache hit.  Building happens
+            under the store lock, so concurrent first requests for the
+            same target set build it exactly once.
+        """
+        key = self.key_for(targets, seed=seed, mt=mt)
+        with self._lock:
+            index = self._entries.get(key)
+            if index is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return index, True
+            self._misses += 1
+            index = PreparedIndex(targets, seed=seed, mt=mt,
+                                  memory_budget_bytes=memory_budget_bytes)
+            self._admit(key, index)
+            return index, False
+
+    def _admit(self, key, index):
+        self._entries[key] = index
+        self._bytes += index.nbytes
+        while self._entries and self._over_capacity(newest=key):
+            old_key, old = self._entries.popitem(last=False)
+            self._bytes -= old.nbytes
+            self._evictions += 1
+
+    def _over_capacity(self, newest):
+        # Never evict the entry just admitted: an index larger than the
+        # whole budget lives alone rather than being rejected outright.
+        if len(self._entries) == 1 and newest in self._entries:
+            return False
+        if self._max_entries is not None \
+                and len(self._entries) > self._max_entries:
+            return True
+        return self._budget is not None and self._bytes > self._budget
+
+    def stats(self):
+        """A consistent :class:`IndexStoreStats` snapshot."""
+        with self._lock:
+            return IndexStoreStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, entries=len(self._entries),
+                resident_bytes=self._bytes,
+                budget_bytes=self._budget if self._budget is not None else 0)
+
+    def clear(self):
+        """Drop every cached index (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)

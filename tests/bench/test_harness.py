@@ -1,8 +1,5 @@
 """Tests for the benchmark harness and reporting."""
 
-import os
-
-import numpy as np
 import pytest
 
 from repro.bench import (clear_cache, paper, run_method,
@@ -46,6 +43,18 @@ class TestHarness:
         sweet = run_method("keggd", "sweet", 4)
         base = run_method("keggd", "cublas", 4)
         assert sweet.result.matches(base.result)
+
+    def test_wall_time_split(self):
+        record = run_method("keggd", "sweet", 4)
+        assert record.prepare_time_s > 0      # clusters the target set
+        assert record.query_time_s > 0
+        assert record.wall_time_s == pytest.approx(
+            record.prepare_time_s + record.query_time_s)
+
+    def test_no_prepare_phase_for_brute_baseline(self):
+        record = run_method("keggd", "cublas", 4)
+        assert record.prepare_time_s == 0.0
+        assert record.wall_time_s == pytest.approx(record.query_time_s)
 
 
 class TestPaperValues:

@@ -1,9 +1,8 @@
 """Tests for the Fig. 8 adaptive scheme and its sub-decisions."""
 
-import numpy as np
 import pytest
 
-from repro.core.adaptive import (FILTER_STRENGTH_RATIO, basic_config, decide)
+from repro.core.adaptive import basic_config, decide
 from repro.core.layout import Layout
 from repro.core.parallelism import decide_parallelism, subscan_specs
 from repro.core.placement import Placement, decide_placement

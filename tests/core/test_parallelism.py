@@ -1,6 +1,5 @@
 """Dedicated tests for the elastic-parallelism module."""
 
-import numpy as np
 import pytest
 
 from repro.core.parallelism import (CACHE_CONFLICT_FACTOR, ParallelPlan,

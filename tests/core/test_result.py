@@ -1,7 +1,6 @@
 """Tests for the result/stats containers and the errors module."""
 
 import numpy as np
-import pytest
 
 from repro.core.result import JoinStats, KNNResult
 from repro.errors import (DatasetError, LaunchConfigError, OutOfDeviceMemory,

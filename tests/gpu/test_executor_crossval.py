@@ -7,7 +7,6 @@ same lock-step model independently; on workloads expressible in both
 efficiency, flop totals, divergence counts and cycles.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for lane logs, warp folding and ragged accounting."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.costmodel import CostModel
@@ -84,7 +83,10 @@ class TestFoldWarpLogs:
     def test_heap_placement_costs_ordered(self):
         """registers <= shared <= global-coalesced <= global-layout1."""
         model = CostModel()
-        logs = lambda: [_log(6, heap_ops=4.0) for _ in range(32)]
+
+        def logs():
+            return [_log(6, heap_ops=4.0) for _ in range(32)]
+
         cycles = {}
         for placement, coalesced in ((HEAP_IN_REGISTERS, True),
                                      (HEAP_IN_SHARED, True),

@@ -60,7 +60,7 @@ class TestReconvergence:
             flat = KernelProfile(name="flat")
             fold_warp_logs(lanes, flat)
             reconv = KernelProfile(name="reconv")
-            lanes2 = [_lane_copy(l) for l in lanes]
+            lanes2 = [_lane_copy(lane) for lane in lanes]
             fold_warp_logs(lanes2, reconv, reconverge_code=ENTER)
             assert reconv.warp_steps >= flat.warp_steps
             assert reconv.lane_steps == flat.lane_steps

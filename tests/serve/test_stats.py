@@ -1,0 +1,89 @@
+"""Tests for the serving metrics collector and snapshot."""
+
+import pytest
+
+from repro.serve import StatsCollector
+from repro.serve.store import IndexStoreStats
+
+
+def _store_stats(hits=8, misses=2, evictions=1, entries=1,
+                 resident_bytes=4096, budget_bytes=0):
+    return IndexStoreStats(hits=hits, misses=misses, evictions=evictions,
+                           entries=entries, resident_bytes=resident_bytes,
+                           budget_bytes=budget_bytes)
+
+
+@pytest.fixture
+def collector():
+    collector = StatsCollector()
+    for _ in range(10):
+        collector.record_submitted()
+    collector.record_batch(4, 4)
+    collector.record_batch(2, 6)
+    for latency in (0.001, 0.002, 0.003, 0.004, 0.010, 0.020):
+        collector.record_served(latency)
+    collector.record_served(0.5, degraded=True)
+    collector.record_rejected()
+    collector.record_expired()
+    collector.record_error()
+    return collector
+
+
+class TestSnapshot:
+    def test_counters(self, collector):
+        stats = collector.snapshot(queue_depth=3, max_queue_depth=16,
+                                   store_stats=_store_stats())
+        assert stats.submitted == 10
+        assert stats.served == 7
+        assert stats.rejected == 1
+        assert stats.expired == 1
+        assert stats.errors == 1
+        assert stats.degraded == 1
+        assert stats.batches == 2
+        assert stats.queue_depth == 3
+
+    def test_cache_hit_rate(self, collector):
+        stats = collector.snapshot(store_stats=_store_stats(hits=19,
+                                                            misses=1))
+        assert stats.cache_hit_rate == pytest.approx(0.95)
+        empty = StatsCollector().snapshot()
+        assert empty.cache_hit_rate == 0.0
+
+    def test_batch_occupancy(self, collector):
+        stats = collector.snapshot()
+        assert stats.mean_batch_requests == pytest.approx(3.0)
+        assert stats.mean_batch_rows == pytest.approx(5.0)
+
+    def test_latency_percentiles_monotone(self, collector):
+        stats = collector.snapshot()
+        p50 = stats.latency_percentile(50)
+        p90 = stats.latency_percentile(90)
+        p99 = stats.latency_percentile(99)
+        assert 0 < p50 <= p90 <= p99 <= 0.5
+        assert stats.latency_percentile(100) == pytest.approx(0.5)
+
+    def test_empty_percentiles_are_zero(self):
+        stats = StatsCollector().snapshot()
+        assert stats.latency_percentile(99) == 0.0
+        assert stats.mean_batch_rows == 0.0
+
+
+class TestRendering:
+    def test_table_lists_headline_metrics(self, collector):
+        text = collector.snapshot(queue_depth=2, max_queue_depth=8,
+                                  store_stats=_store_stats()).table()
+        for needle in ("requests served", "rejected (overload)",
+                       "expired (deadline)", "batch occupancy",
+                       "index-cache hit rate %", "latency p50 ms",
+                       "latency p99 ms", "2/8"):
+            assert needle in text
+
+    def test_describe_keys(self, collector):
+        info = collector.snapshot(store_stats=_store_stats()).describe()
+        for key in ("served", "rejected", "expired", "cache_hit_rate",
+                    "batch_occupancy_rows", "p50_ms", "p99_ms"):
+            assert key in info
+
+    def test_custom_title(self, collector):
+        text = collector.snapshot().table("my serving run")
+        assert text.splitlines()[0] == "my serving run"

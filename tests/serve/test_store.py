@@ -1,0 +1,113 @@
+"""Tests for the byte-budgeted LRU index store."""
+
+import numpy as np
+import pytest
+
+from repro.engine.prepared import PreparedIndex, fingerprint_points
+from repro.errors import ValidationError
+from repro.serve import IndexStore
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(120, 6))
+
+
+class TestFingerprint:
+    def test_value_based(self, points):
+        assert fingerprint_points(points) == \
+            fingerprint_points(points.copy())
+
+    def test_sensitive_to_content(self, points):
+        changed = points.copy()
+        changed[0, 0] += 1.0
+        assert fingerprint_points(points) != fingerprint_points(changed)
+
+    def test_sensitive_to_shape(self, rng):
+        flat = rng.normal(size=(4, 6))
+        assert fingerprint_points(flat) != \
+            fingerprint_points(flat.reshape(6, 4))
+
+    def test_non_contiguous_input(self, points):
+        strided = points[::2]
+        assert fingerprint_points(strided) == \
+            fingerprint_points(np.ascontiguousarray(strided))
+
+
+class TestIndexStore:
+    def test_hit_on_equal_value(self, points):
+        store = IndexStore()
+        first, hit1 = store.get(points)
+        second, hit2 = store.get(points.copy())
+        assert (hit1, hit2) == (False, True)
+        assert first is second
+        assert first.build_count == 1
+
+    def test_miss_on_different_seed_or_mt(self, points):
+        store = IndexStore()
+        store.get(points, seed=0)
+        _, hit_seed = store.get(points, seed=1)
+        _, hit_mt = store.get(points, seed=0, mt=4)
+        assert not hit_seed and not hit_mt
+        assert len(store) == 3
+
+    def test_miss_on_different_content(self, points):
+        store = IndexStore()
+        store.get(points)
+        changed = points.copy()
+        changed[3, 1] -= 2.0
+        _, hit = store.get(changed)
+        assert not hit
+
+    def test_lru_eviction_under_byte_budget(self, rng):
+        sets = [rng.normal(size=(100, 4)) for _ in range(3)]
+        one_size = PreparedIndex(sets[0], seed=0).nbytes
+        store = IndexStore(budget_bytes=int(2.5 * one_size))
+        store.get(sets[0])
+        store.get(sets[1])
+        store.get(sets[0])          # refresh: sets[1] is now the LRU
+        store.get(sets[2])          # overflows: evicts sets[1]
+        assert store.stats().evictions == 1
+        _, hit0 = store.get(sets[0])
+        _, hit1 = store.get(sets[1])
+        assert hit0 and not hit1
+
+    def test_oversized_index_still_cached(self, points):
+        store = IndexStore(budget_bytes=16)   # smaller than any index
+        store.get(points)
+        _, hit = store.get(points)
+        assert hit
+        assert store.stats().evictions == 0
+
+    def test_max_entries_cap(self, rng):
+        store = IndexStore(max_entries=2)
+        sets = [rng.normal(size=(40, 3)) for _ in range(3)]
+        for s in sets:
+            store.get(s)
+        assert len(store) == 2
+        _, hit_oldest = store.get(sets[0])
+        assert not hit_oldest
+
+    def test_resident_bytes_tracks_entries(self, rng):
+        store = IndexStore()
+        a, _ = store.get(rng.normal(size=(80, 5)))
+        b, _ = store.get(rng.normal(size=(60, 5)))
+        assert store.stats().resident_bytes == a.nbytes + b.nbytes
+        store.clear()
+        assert store.stats().resident_bytes == 0
+        assert len(store) == 0
+
+    def test_stats_hit_rate(self, points):
+        store = IndexStore()
+        store.get(points)
+        for _ in range(9):
+            store.get(points)
+        stats = store.stats()
+        assert stats.hits == 9 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.9)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexStore(budget_bytes=0)
+        with pytest.raises(ValidationError):
+            IndexStore(max_entries=-1)

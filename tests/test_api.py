@@ -91,6 +91,23 @@ class TestSweetKNNIndex:
         res = index.query(queries, 5)
         assert res.matches(ref)
 
+    def test_query_one(self, clustered_points, rng):
+        index = SweetKNN(clustered_points)
+        point = rng.normal(size=clustered_points.shape[1])
+        neighbours = index.query_one(point, 5)
+        assert neighbours.distances.shape == (5,)
+        assert neighbours.indices.shape == (5,)
+        assert neighbours.k == 5
+        batch = index.query(point[np.newaxis, :], 5)
+        assert np.array_equal(neighbours.indices, batch.indices[0])
+        assert np.array_equal(neighbours.distances, batch.distances[0])
+
+    def test_query_one_rejects_batch_input(self, clustered_points, rng):
+        index = SweetKNN(clustered_points)
+        with pytest.raises(ValidationError):
+            index.query_one(rng.normal(size=(2, clustered_points.shape[1])),
+                            3)
+
     def test_self_join(self, clustered_points):
         index = SweetKNN(clustered_points)
         res = index.self_join(3)

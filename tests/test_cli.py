@@ -31,6 +31,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "mnist"])
 
+    def test_compare_methods_default(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.methods == ["cublas", "ti-gpu", "sweet"]
+
+    def test_compare_methods_custom_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--methods", "brute,ti-cpu,sweet"])
+        assert args.methods == ["brute", "ti-cpu", "sweet"]
+
+    def test_compare_methods_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--methods",
+                                       "sweet,magic"])
+
 
 class TestCommands:
     def test_datasets_lists_all_nine(self):
@@ -65,6 +79,24 @@ class TestCommands:
         assert "Sweet KNN" in text
         assert "speedup" in text
         assert "WARNING" not in text
+
+    def test_compare_custom_methods_and_baseline(self):
+        code, text = _run(["compare", "--n", "300", "--dim", "6",
+                           "-k", "4", "--methods", "brute,ti-cpu"])
+        assert code == 0
+        assert "brute" in text
+        assert "ti-cpu" in text
+        assert "cublas baseline" not in text
+        assert "WARNING" not in text
+
+    def test_serve_bench(self):
+        code, text = _run(["serve-bench", "--n", "300", "--dim", "6",
+                           "-k", "5", "--requests", "60", "--check"])
+        assert code == 0
+        assert "60 served / 0 rejected / 0 expired" in text
+        assert "index-cache hit rate %" in text
+        assert "latency p99 ms" in text
+        assert "served answers equal direct knn_join: True" in text
 
     def test_adaptive_partial_regime(self):
         code, text = _run(["adaptive", "--n", "500", "--dim", "4",

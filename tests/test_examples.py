@@ -7,9 +7,6 @@ own assertions (exactness versus the baseline) still run.
 
 import importlib.util
 import os
-import sys
-
-import pytest
 
 _EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "examples")
