@@ -11,12 +11,13 @@ import pytest
 
 from repro.bench import paper, run_method
 from repro.bench.figures import grouped_bar_chart
-from repro.bench.reporting import emit, format_table
+from repro.bench.reporting import emit, emit_json, format_table
 
 DATASETS = paper.DATASET_ORDER
 K = 20
 
 _rows = {}
+_records = {}
 
 
 @pytest.mark.paper_experiment("fig9")
@@ -34,6 +35,7 @@ def test_fig9_dataset(benchmark, dataset):
     spd_basic = base.sim_time_s / basic.sim_time_s
     spd_sweet = base.sim_time_s / sweet.sim_time_s
     paper_basic, paper_sweet = paper.FIG9_SPEEDUPS[dataset]
+    _records[dataset] = {"cublas": base, "basic": basic, "sweet": sweet}
     _rows[dataset] = (dataset, spd_basic, spd_sweet,
                       paper_basic, paper_sweet,
                       base.sim_time_s * 1e3, basic.sim_time_s * 1e3,
@@ -81,6 +83,12 @@ def _emit_table():
         {"KNN-TI": [r[1] for r in rows],
          "Sweet": [r[2] for r in rows]})
     emit("fig9_overall", text + "\n" + chart)
+    emit_json("fig9_overall", {
+        "experiment": "fig9_overall", "k": K,
+        "runs": [_records[d][m].payload()
+                 for d in DATASETS if d in _records
+                 for m in ("cublas", "basic", "sweet")],
+    })
     # Ordering shape: the spatial, memory-partitioned datasets are the
     # biggest Sweet wins, as in the paper.
     by_name = {r[0]: r for r in rows}

@@ -13,12 +13,13 @@ basic's (the paper reports a ~3x average gain).
 import pytest
 
 from repro.bench import paper, run_method
-from repro.bench.reporting import emit, format_table
+from repro.bench.reporting import emit, emit_json, format_table
 
 DATASETS = paper.DATASET_ORDER
 K = 20
 
 _rows = {}
+_records = {}
 
 
 @pytest.mark.paper_experiment("table4")
@@ -33,6 +34,7 @@ def test_table4_dataset(benchmark, dataset):
 
     paper_basic = paper.TABLE4_PROFILE[dataset]["basic"]
     paper_sweet = paper.TABLE4_PROFILE[dataset]["sweet"]
+    _records[dataset] = {"basic": basic, "sweet": sweet}
     _rows[dataset] = (
         dataset,
         basic.saved_fraction, basic.warp_efficiency,
@@ -71,3 +73,9 @@ def _emit_table():
             "0.99 where the paper reports 0.99+.",
         ])
     emit("table4_profile", text)
+    emit_json("table4_profile", {
+        "experiment": "table4_profile", "k": K,
+        "runs": [_records[d][m].payload()
+                 for d in DATASETS if d in _records
+                 for m in ("basic", "sweet")],
+    })

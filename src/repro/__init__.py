@@ -17,6 +17,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
+import logging as _logging
+
+from . import obs
 from .core import METHODS, KNNResult, SweetKNN, knn_join, sweet_knn
 from .core.basic_gpu import basic_ti_knn
 from .core.ti_knn import ti_knn_join
@@ -27,7 +30,11 @@ from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
 from .gpu import DeviceSpec, tesla_k20c
 from .serve import KNNServer, ServeConfig
 
-__version__ = "1.2.0"
+# Library logging convention: repro logs under the "repro" hierarchy
+# and stays silent unless the application configures handlers.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+__version__ = "1.3.0"
 
 __all__ = [
     "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
@@ -35,7 +42,7 @@ __all__ = [
     "brute_force_knn", "cublas_knn", "kdtree_knn",
     "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",
     "engine_names", "get_engine", "plan", "register", "unregister",
-    "KNNServer", "ServeConfig",
+    "KNNServer", "ServeConfig", "obs",
     "load_dataset", "DeviceSpec", "tesla_k20c",
     "__version__",
 ]

@@ -62,7 +62,33 @@ class RunRecord:
     query_time_s: float = 0.0
     decisions: dict = field(default_factory=dict)
     plan: dict = field(default_factory=dict)
+    stages: list = field(default_factory=list)
+    funnel: dict = field(default_factory=dict)
     result: object = None
+
+    def payload(self):
+        """JSON-ready dict of the record (for ``BENCH_*.json`` files).
+
+        Carries the per-stage breakdown (one kernel summary per
+        simulated launch) and the filtering-funnel counters alongside
+        the headline numbers, so benchmark trajectories record *where*
+        simulated time and distance work went, not just totals.
+        """
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "k": self.k,
+            "sim_time_s": self.sim_time_s,
+            "wall_time_s": self.wall_time_s,
+            "prepare_time_s": self.prepare_time_s,
+            "query_time_s": self.query_time_s,
+            "saved_fraction": self.saved_fraction,
+            "warp_efficiency": self.warp_efficiency,
+            "decisions": dict(self.decisions),
+            "plan": dict(self.plan),
+            "stages": list(self.stages),
+            "funnel": dict(self.funnel),
+        }
 
 
 def _dataset(name):
@@ -131,6 +157,8 @@ def run_method(dataset, method, k, **options):
                      **run_options)
     query_s = time.perf_counter() - start
 
+    from ..obs.funnel import funnel_from_stats
+
     record = RunRecord(
         dataset=dataset, method=method, k=k,
         sim_time_s=result.profile.sim_time_s,
@@ -141,6 +169,8 @@ def run_method(dataset, method, k, **options):
         warp_efficiency=result.profile.filter_warp_efficiency(),
         decisions=dict(result.stats.extra),
         plan=exec_plan.describe(),
+        stages=[kernel.summary() for kernel in result.profile.kernels],
+        funnel=funnel_from_stats(result.stats),
         result=result,
     )
     _CACHE[key] = record

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import json
 import os
 
-__all__ = ["format_table", "emit"]
+__all__ = ["format_table", "emit", "emit_json"]
 
 #: Directory the benchmark suite writes its tables into.
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
@@ -65,4 +66,20 @@ def emit(name, text):
     path = os.path.join(RESULTS_DIR, name + ".txt")
     with open(path, "w") as handle:
         handle.write(text)
+    return path
+
+
+def emit_json(name, payload):
+    """Persist a machine-readable benchmark payload.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` — the structured
+    companion of :func:`emit`'s plain-text table, carrying per-run
+    stage breakdowns and funnel counters (see
+    :meth:`repro.bench.harness.RunRecord.payload`).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
     return path

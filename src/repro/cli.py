@@ -21,6 +21,13 @@ Commands
     :class:`~repro.serve.KNNServer`; prints the serving stats table
     (latency percentiles, batch occupancy, cache hit rate, rejection
     and expiry counts).
+``trace``
+    Run any other command under an active tracer and export the
+    telemetry: a Perfetto-loadable Chrome trace (``--trace-out``,
+    default ``trace.json``), an optional JSONL event log
+    (``--events-out``) and the filtering-funnel summary table.
+    ``--check-funnel`` turns the funnel invariant (level-2 survivors
+    <= level-1 survivors <= candidates) into the exit code.
 
 The ``--method`` choices come straight from the engine registry
 (:func:`repro.engine.engine_names`), so engines registered by plugins
@@ -38,6 +45,8 @@ Examples
     python -m repro adaptive --n 100 --dim 10000 -k 20
     python -m repro plan --dataset kegg -k 20 --method sweet
     python -m repro serve-bench --requests 200 --rate 500 -k 10
+    python -m repro trace run --n 2000 --dim 16 -k 10 --method sweet
+    python -m repro trace --check-funnel compare --n 800 -k 10
 """
 
 from __future__ import annotations
@@ -120,6 +129,21 @@ def build_parser():
         "plan", help="show the execution plan for a problem shape")
     _data_args(plan)
     _method_arg(plan)
+
+    trace = sub.add_parser(
+        "trace", help="run another command with tracing enabled")
+    trace.add_argument("--trace-out", default="trace.json",
+                       metavar="FILE",
+                       help="Chrome trace-event JSON output "
+                            "(Perfetto-loadable; default: trace.json)")
+    trace.add_argument("--events-out", default=None, metavar="FILE",
+                       help="also write a JSONL span/event/metrics log")
+    trace.add_argument("--check-funnel", action="store_true",
+                       help="exit non-zero when the filtering-funnel "
+                            "invariant is violated")
+    trace.add_argument("argv", nargs=argparse.REMAINDER,
+                       metavar="command ...",
+                       help="the repro command to run under the tracer")
 
     return parser
 
@@ -279,6 +303,7 @@ def cmd_plan(args, out):
 
 
 def cmd_serve_bench(args, out):
+    from .obs import current_tracer
     from .serve import KNNServer, run_open_loop
 
     points, device, name = _load_points(args)
@@ -295,7 +320,7 @@ def cmd_serve_bench(args, out):
         max_queue_depth=args.queue_depth,
         default_deadline_s=(args.deadline_ms / 1e3
                             if args.deadline_ms is not None else None),
-        seed=args.seed, device=device)
+        seed=args.seed, device=device, tracer=current_tracer())
     deadline_note = ("%.0f ms" % args.deadline_ms
                      if args.deadline_ms is not None else "none")
     out.write("serve-bench: %d single-point requests on %s, k=%d, "
@@ -331,9 +356,47 @@ def cmd_serve_bench(args, out):
     return 0
 
 
+def cmd_trace(args, out):
+    from .obs.export import tracer_records, write_chrome_trace, write_jsonl
+    from .obs.funnel import check_funnel, funnel_counts, funnel_table
+    from .obs.tracer import Tracer, use_tracer
+
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv or argv[0] == "trace":
+        out.write("trace needs a command to run, e.g.: "
+                  "repro trace run --n 2000 -k 10\n")
+        return 2
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        code = main(argv, out)
+
+    write_chrome_trace(args.trace_out, tracer)
+    if args.events_out:
+        write_jsonl(args.events_out, tracer_records(tracer))
+    counts = funnel_counts(tracer.registry)
+    if counts["candidates"]:
+        out.write(funnel_table(counts))
+    out.write("%d spans -> %s%s\n"
+              % (len(tracer.finished_spans()), args.trace_out,
+                 (" (events: %s)" % args.events_out
+                  if args.events_out else "")))
+    if args.check_funnel:
+        violations = check_funnel(counts)
+        for violation in violations:
+            out.write("FUNNEL VIOLATION: %s\n" % violation)
+        if violations:
+            return 1
+        out.write("funnel invariant holds\n")
+    return code
+
+
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
-             "plan": cmd_plan, "serve-bench": cmd_serve_bench}
+             "plan": cmd_plan, "serve-bench": cmd_serve_bench,
+             "trace": cmd_trace}
 
 
 def main(argv=None, out=None):

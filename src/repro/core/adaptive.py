@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .layout import Layout
 from .parallelism import ParallelPlan, decide_parallelism
 from .placement import BASE_REGS_PER_THREAD, PlacementDecision, decide_placement
@@ -78,14 +79,22 @@ def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
 
     if force_filter is not None:
         strength = force_filter
+        filter_reason = "forced"
     elif k / float(dim) <= FILTER_STRENGTH_RATIO:
         # "the scenarios for the partial filtering to outperform the
         # full filtering is when k/d > 8" — partial on strictly greater.
         strength = "full"
+        filter_reason = "k/d=%.3f <= %g" % (k / float(dim),
+                                            FILTER_STRENGTH_RATIO)
     else:
         strength = "partial"
+        filter_reason = "k/d=%.3f > %g" % (k / float(dim),
+                                           FILTER_STRENGTH_RATIO)
     if strength not in ("full", "partial"):
         raise ValueError("filter strength must be 'full' or 'partial'")
+    obs.event("adaptive.filter_strength", choice=strength,
+              reason=filter_reason)
+    obs.count("adaptive.filter.%s" % strength)
 
     if strength == "full":
         placement = decide_placement(k, device, force=force_placement)
@@ -99,6 +108,13 @@ def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
             regs_per_thread=BASE_REGS_PER_THREAD,
             shared_bytes_per_thread=0)
 
+    obs.event(
+        "adaptive.placement", choice=placement.placement.value,
+        reason=("forced" if force_placement is not None
+                else "k*4=%d bytes vs device thresholds" % (k * 4)
+                if strength == "full" else "partial filter keeps no kNearests"))
+    obs.count("adaptive.placement.%s" % placement.placement.value)
+
     layout = Layout(force_layout) if force_layout else Layout.ROW_MAJOR
 
     parallel = decide_parallelism(
@@ -106,6 +122,12 @@ def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
         regs_per_thread=placement.regs_per_thread,
         shared_bytes_per_thread=placement.shared_bytes_per_thread,
         block_size=block_size, threads_per_query=threads_per_query)
+    obs.event(
+        "adaptive.parallelism",
+        threads_per_query=parallel.threads_per_query,
+        reason=("forced" if threads_per_query is not None else
+                "|Q|=%d vs device max concurrency" % n_queries))
+    obs.count("adaptive.threads_per_query.%d" % parallel.threads_per_query)
 
     return ExecutionConfig(
         filter_strength=strength, layout=layout, placement=placement,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..engine.planner import partition_ranges, ti_partition_rows
 from ..gpu.costmodel import default_cost_model
 from ..gpu.device import tesla_k20c
@@ -101,8 +102,10 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     # Step 1: landmarks + clustering (init kernels)
     # ------------------------------------------------------------------
     if plan is None:
-        plan = prepare_clusters(queries, targets, rng, mq=mq, mt=mt,
-                                memory_budget_bytes=device.global_mem_bytes)
+        with obs.span("prepare.clusters", n_queries=n_q, n_targets=n_t):
+            plan = prepare_clusters(
+                queries, targets, rng, mq=mq, mt=mt,
+                memory_budget_bytes=device.global_mem_bytes)
     config = config_for(plan, device)
     # Only the level-2 kernel carries the kNearests placement's
     # register/shared-memory pressure; the other kernels launch with
@@ -116,16 +119,21 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     dist_flops = 3.0 * dim + 1.0
 
     if account_prepare:
-        _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
-                      launch, cost_model, config)
+        with obs.span("kernel:init", mq=plan.mq, mt=plan.mt) as init_span:
+            _account_init(pipeline, plan, dim, point_txns, dist_flops,
+                          device, launch, cost_model, config)
+            init_span.annotate(sim_time_s=sum(
+                kernel.sim_time_s for kernel in pipeline.kernels))
 
     # ------------------------------------------------------------------
     # Step 2: level-1 filtering (calUB + Algorithm 1)
     # ------------------------------------------------------------------
-    plan.run_level1(k)
-    if account_prepare:
-        _account_level1(pipeline, plan, k, dim, point_txns, dist_flops,
-                        device, launch, cost_model)
+    with obs.span("kernel:level1", k=k) as level1_span:
+        plan.run_level1(k)
+        if account_prepare:
+            _account_level1(pipeline, plan, k, dim, point_txns, dist_flops,
+                            device, launch, cost_model)
+        level1_span.annotate(candidate_cluster_pairs=plan.candidate_pairs())
 
     # ------------------------------------------------------------------
     # Step 3: level-2 filtering (Algorithm 2 / partial variant)
@@ -151,6 +159,15 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
                                  if account_prepare else 0),
     )
 
+    # The funnel's level-1 survivor pairs: for each active query, the
+    # points inside its cluster's surviving candidate clusters.
+    target_sizes = np.asarray(ct.cluster_sizes(), dtype=np.int64)
+    survivors_per_qc = np.array(
+        [int(target_sizes[cand].sum()) if cand.size else 0
+         for cand in plan.candidates], dtype=np.int64)
+    stats.level1_survivor_pairs = int(
+        survivors_per_qc[cq.assignment[active]].sum())
+
     partitions = _plan_ti_partitions(n_active, n_t, dim, k, config, device)
     # L2 hit fraction for scattered target-point loads (the point
     # matrix competes with the rest of the working set for L2).
@@ -164,41 +181,50 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     level2 = KernelProfile(name="level2_filter")
     per_query = [None] * n_active
 
-    for part_start, part_stop in partitions:
-        part_queries = qorder[part_start:part_stop]
-        lane_specs = [(q, spec) for q in part_queries for spec in specs]
-        for first in range(0, len(lane_specs), _WARP):
-            warp_lanes = lane_specs[first:first + _WARP]
-            logs = []
-            for q, spec in warp_lanes:
-                qc = cq.assignment[q]
-                result, trace, log = scan_query_logged(
-                    queries[q], ct, plan.candidates[qc], plan.ubs[qc], k,
-                    config.layout, strength=config.filter_strength,
-                    spec=spec if tpq > 1 else None,
-                    point_hit_rate=point_hit, epsilon=epsilon)
-                logs.append(log)
-                _merge_trace(stats, trace)
-                _store_partial_result(per_query, local_row[q], result, full,
-                                      tpq)
-            fold_warp_logs(logs, level2, cost_model,
-                           heap_placement=config.placement.placement.value,
-                           heap_coalesced=config.knearests_coalesced,
-                           reconverge_code=CODE_ENTER)
-        level2.n_threads += len(lane_specs)
-    finalize_kernel(level2, device, level2_launch, cost_model)
-    if len(partitions) > 1:
-        level2.sim_time_s += ((len(partitions) - 1)
-                              * cost_model.kernel_launch_cycles
-                              / device.clock_hz)
-    pipeline.add(level2)
+    with obs.span("kernel:level2", filter=config.filter_strength,
+                  threads_per_query=tpq,
+                  partitions=len(partitions)) as level2_span:
+        for part_start, part_stop in partitions:
+            part_queries = qorder[part_start:part_stop]
+            lane_specs = [(q, spec) for q in part_queries for spec in specs]
+            for first in range(0, len(lane_specs), _WARP):
+                warp_lanes = lane_specs[first:first + _WARP]
+                logs = []
+                for q, spec in warp_lanes:
+                    qc = cq.assignment[q]
+                    result, trace, log = scan_query_logged(
+                        queries[q], ct, plan.candidates[qc], plan.ubs[qc], k,
+                        config.layout, strength=config.filter_strength,
+                        spec=spec if tpq > 1 else None,
+                        point_hit_rate=point_hit, epsilon=epsilon)
+                    logs.append(log)
+                    _merge_trace(stats, trace)
+                    _store_partial_result(per_query, local_row[q], result,
+                                          full, tpq)
+                fold_warp_logs(
+                    logs, level2, cost_model,
+                    heap_placement=config.placement.placement.value,
+                    heap_coalesced=config.knearests_coalesced,
+                    reconverge_code=CODE_ENTER)
+            level2.n_threads += len(lane_specs)
+        finalize_kernel(level2, device, level2_launch, cost_model)
+        if len(partitions) > 1:
+            level2.sim_time_s += ((len(partitions) - 1)
+                                  * cost_model.kernel_launch_cycles
+                                  / device.clock_hz)
+        pipeline.add(level2)
+        level2_span.annotate(
+            warp_efficiency=round(level2.warp_efficiency, 4),
+            sim_time_s=level2.sim_time_s,
+            distance_computations=stats.level2_distance_computations)
 
     # ------------------------------------------------------------------
     # Final merge / selection kernels
     # ------------------------------------------------------------------
-    results = _finalize_results(per_query, n_active, k, full, tpq, pipeline,
-                                device, launch, cost_model)
-    distances, indices = KNNResult.pack(results, k)
+    with obs.span("kernel:merge", threads_per_query=tpq):
+        results = _finalize_results(per_query, n_active, k, full, tpq,
+                                    pipeline, device, launch, cost_model)
+        distances, indices = KNNResult.pack(results, k)
 
     stats.extra.update({
         "filter": config.filter_strength,

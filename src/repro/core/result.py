@@ -16,6 +16,7 @@ _SUMMED_FIELDS = (
     "init_distance_computations",
     "examined_points",
     "candidate_cluster_pairs",
+    "level1_survivor_pairs",
     "heap_updates",
 )
 
@@ -41,6 +42,7 @@ class JoinStats:
     init_distance_computations: int = 0
     examined_points: int = 0
     candidate_cluster_pairs: int = 0
+    level1_survivor_pairs: int = 0
     heap_updates: int = 0
     extra: dict = field(default_factory=dict)
 
@@ -89,9 +91,28 @@ class JoinStats:
             "level2_distances": self.level2_distance_computations,
             "saved_fraction": round(self.saved_fraction, 4),
             "candidate_cluster_pairs": self.candidate_cluster_pairs,
+            "level1_survivor_pairs": self.level1_survivor_pairs,
             "examined_points": self.examined_points,
             **self.extra,
         }
+
+    def publish(self, registry):
+        """Publish this join's counters into a metrics registry.
+
+        Writes the ``join.*`` work counters and the ``funnel.*`` stage
+        counters (see :mod:`repro.obs.funnel`) — the single
+        accumulation path the tracer, the bench harness and the CLI
+        ``trace`` command all read from.
+        """
+        from ..obs.funnel import funnel_from_stats
+
+        registry.counter("join.runs").inc()
+        registry.counter("join.queries").inc(self.n_queries)
+        for name in _SUMMED_FIELDS[1:]:
+            registry.counter("join." + name).inc(getattr(self, name))
+        for stage, value in funnel_from_stats(self).items():
+            registry.counter("funnel." + stage).inc(value)
+        return registry
 
 
 @dataclass(frozen=True)

@@ -174,13 +174,19 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
                                  if account_prepare else 0),
     )
 
+    target_sizes = np.asarray(ct.cluster_sizes(), dtype=np.int64)
+
     per_query = [None] * len(active)
     for qc in range(cq.n_clusters):
         ub = plan.ubs[qc]
         cand = plan.candidates[qc]
+        # Points inside this cluster's level-1 survivors: the funnel's
+        # "level-1 survivor pairs" contribution of each member query.
+        cluster_pairs = int(target_sizes[cand].sum()) if cand.size else 0
         for q in cq.members[qc]:
             if not active_mask[q]:
                 continue
+            stats.level1_survivor_pairs += cluster_pairs
             query_point = queries[q]
             # Algorithm 2 line 6 computes the query-to-centre distances
             # inside the scan; precomputing the row keeps the counters

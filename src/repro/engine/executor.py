@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..errors import ValidationError
 from .base import ExecutionContext
 from .planner import partition_ranges, plan_shape
@@ -53,6 +54,26 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         intercepted where the batched path owns the preparation.
     """
     n_q = len(queries)
+    with obs.span("engine.execute", engine=spec.name, n_queries=int(n_q),
+                  n_targets=int(len(targets)), k=int(k)) as sp:
+        result = _execute(spec, queries, targets, k, rng=rng, device=device,
+                          query_batch_size=query_batch_size, **options)
+        sp.annotate(method=result.method,
+                    saved_fraction=round(result.stats.saved_fraction, 4))
+        if result.profile is not None:
+            sp.annotate(sim_time_s=result.profile.sim_time_s)
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            result.stats.publish(tracer.registry)
+            if result.profile is not None:
+                result.profile.publish(tracer.registry)
+                tracer.add_artifact("pipeline_profile", result.profile)
+        return result
+
+
+def _execute(spec, queries, targets, k, rng=None, device=None,
+             query_batch_size=None, **options):
+    n_q = len(queries)
     prepared_plan = (options.pop("plan", None)
                      if spec.caps.supports_prepared_index else None)
     rows = _resolve_rows(spec, queries, targets, k, device,
@@ -79,14 +100,18 @@ def execute(spec, queries, targets, k, rng=None, device=None,
             ctx = ExecutionContext(rng=rng, device=device, plan=shared,
                                    query_subset=subset,
                                    account_prepare=(i == 0))
-            batches.append((subset,
-                            spec.run(queries, targets, k, ctx, **options)))
+            with obs.span("engine.batch", index=i, start=int(start),
+                          stop=int(stop)):
+                batches.append((subset, spec.run(queries, targets, k, ctx,
+                                                 **options)))
     else:
-        for start, stop in ranges:
+        for i, (start, stop) in enumerate(ranges):
             ctx = ExecutionContext(rng=rng, device=device)
-            batches.append((np.arange(start, stop),
-                            spec.run(queries[start:stop], targets, k, ctx,
-                                     **options)))
+            with obs.span("engine.batch", index=i, start=int(start),
+                          stop=int(stop)):
+                batches.append((np.arange(start, stop),
+                                spec.run(queries[start:stop], targets, k, ctx,
+                                         **options)))
 
     from ..core.result import merge_batch_results
     return merge_batch_results(batches, n_q, k)

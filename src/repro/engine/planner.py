@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["ExecutionPlan", "QueryBatchPlan", "plan", "plan_shape",
            "ti_partition_rows", "dense_partition_rows", "partition_ranges"]
 
@@ -154,6 +156,18 @@ def plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
 
     This is the planner core; :func:`plan` is the array-taking wrapper.
     """
+    with obs.span("planner.plan", method=method, n_queries=int(n_queries),
+                  n_targets=int(n_targets), k=int(k), dim=int(dim)) as sp:
+        exec_plan = _plan_shape(n_queries, n_targets, k, dim, method=method,
+                                device=device, mq=mq, mt=mt, **overrides)
+        sp.annotate(mq=exec_plan.mq, mt=exec_plan.mt,
+                    rows_per_batch=exec_plan.batching.rows_per_batch,
+                    query_batches=exec_plan.batching.n_batches)
+        return exec_plan
+
+
+def _plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
+                mq=None, mt=None, **overrides):
     # Imported lazily so the planner module itself has no core/gpu
     # dependencies (several core modules import the partition budgets
     # above at import time).

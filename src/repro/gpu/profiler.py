@@ -109,6 +109,24 @@ class KernelProfile:
             **self.counters,
         }
 
+    def publish(self, registry):
+        """Publish this launch into a metrics registry as ``gpu.kernel.*``.
+
+        Counter-like quantities accumulate; per-launch qualities (warp
+        efficiency, simulated time) go into histograms so repeated
+        launches keep their distribution.
+        """
+        prefix = "gpu.kernel.%s." % self.name
+        registry.counter(prefix + "launches").inc()
+        registry.counter(prefix + "warps").inc(self.n_warps)
+        registry.counter(prefix + "gl_transactions").inc(self.gl_transactions)
+        registry.counter(prefix + "divergent_branches").inc(
+            self.divergent_branches)
+        registry.histogram(prefix + "warp_efficiency").observe(
+            self.warp_efficiency)
+        registry.histogram(prefix + "sim_time_s").observe(self.sim_time_s)
+        return registry
+
 
 @dataclass
 class PipelineProfile:
@@ -166,3 +184,13 @@ class PipelineProfile:
             "sim_time_s": self.sim_time_s,
             "kernels": [k.summary() for k in self.kernels],
         }
+
+    def publish(self, registry):
+        """Publish every kernel launch plus pipeline-level aggregates."""
+        for kernel in self.kernels:
+            kernel.publish(registry)
+        registry.counter("gpu.pipeline.runs").inc()
+        registry.histogram("gpu.pipeline.sim_time_s").observe(self.sim_time_s)
+        registry.histogram("gpu.pipeline.warp_efficiency").observe(
+            self.warp_efficiency)
+        return registry

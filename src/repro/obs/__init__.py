@@ -1,0 +1,70 @@
+"""``repro.obs`` — the unified telemetry spine.
+
+One request, one trace: the planner, the execution engine, the
+simulated GPU and the serving layer all report through this package
+instead of keeping private statistics silos.
+
+* :mod:`repro.obs.tracer` — nested, thread-aware spans with a
+  zero-overhead no-op default; instrumented code calls
+  :func:`obs.span` / :func:`obs.event` / :func:`obs.annotate` and pays
+  nothing unless a tracer is activated with :func:`use_tracer` (or the
+  ``KNNServer(tracer=...)`` hook).
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of named
+  counters/gauges/histograms that :class:`~repro.core.result.JoinStats`,
+  :class:`~repro.gpu.profiler.KernelProfile` and the serving
+  :class:`~repro.serve.stats.StatsCollector` publish into.
+* :mod:`repro.obs.export` — JSONL event logs and Chrome trace-event
+  JSON (open ``trace.json`` in Perfetto or ``chrome://tracing``).
+* :mod:`repro.obs.funnel` — the filtering funnel (candidates →
+  level-1 survivors → level-2 survivors → exact distances) and its
+  monotonicity check.
+
+CLI: ``python -m repro trace <command> ...`` runs any subcommand under
+a recording tracer and writes ``trace.json`` plus the funnel table.
+See ``docs/OBSERVABILITY.md`` for the span and metric taxonomy.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (NULL_SPAN, Span, Tracer, annotate, count,
+                     current_tracer, event, span, use_tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_SPAN", "Span", "Tracer",
+    "annotate", "count", "current_tracer", "event", "span", "use_tracer",
+    "tracer_records", "write_jsonl",
+    "to_chrome_trace", "write_chrome_trace",
+    "FUNNEL_STAGES", "funnel_from_stats", "funnel_counts", "funnel_table",
+    "check_funnel",
+]
+
+# Exporters and the funnel load lazily: they reach into bench/table
+# formatting, which must not be imported just because an engine module
+# imported ``repro.obs`` for its no-op span helpers.
+_LAZY = {
+    "tracer_records": ".export",
+    "write_jsonl": ".export",
+    "to_chrome_trace": ".export",
+    "write_chrome_trace": ".export",
+    "FUNNEL_STAGES": ".funnel",
+    "funnel_from_stats": ".funnel",
+    "funnel_counts": ".funnel",
+    "funnel_table": ".funnel",
+    "check_funnel": ".funnel",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        value = getattr(import_module(_LAZY[name], __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

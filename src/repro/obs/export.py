@@ -1,0 +1,214 @@
+"""Trace exporters: JSONL event logs and Chrome trace-event JSON.
+
+Two machine-readable views of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`write_jsonl` / :func:`tracer_records` — one JSON object per
+  line (spans, instant events, metric snapshot), the greppable log;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (JSON object with a ``traceEvents`` array of
+  ``ph``/``ts``/``pid``/``tid`` events) loadable in Perfetto or
+  ``chrome://tracing``.  Host-side spans appear as complete (``"X"``)
+  events under one process with one track per thread; each simulated
+  GPU run attached as a ``"pipeline_profile"`` artifact becomes its
+  own process with one track per kernel stream and one track per
+  simulated SM, warps laid out in simulated time.
+
+Timestamps are microseconds (the unit the trace-event spec requires),
+re-based so the earliest span starts at 0.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["tracer_records", "write_jsonl", "span_trace_events",
+           "profile_trace_events", "to_chrome_trace", "write_chrome_trace"]
+
+#: pid of the host process in the exported trace; simulated GPU
+#: pipelines are numbered upwards from _SIM_PID.
+_HOST_PID = 1
+_SIM_PID = 2
+
+#: Default number of simulated-SM tracks warps are laid out across.
+DEFAULT_SM_TRACKS = 8
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def tracer_records(tracer):
+    """Every span and instant event of a tracer as JSON-ready dicts."""
+    records = [span.to_dict() for span in tracer.finished_spans()]
+    records.extend({"type": "instant", **instant}
+                   for instant in tracer.instants())
+    records.append({"type": "metrics", "metrics": tracer.registry.snapshot()})
+    return records
+
+
+def write_jsonl(path, records):
+    """Write an iterable of dicts as one JSON object per line."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+def _us(seconds):
+    return round(seconds * 1e6, 3)
+
+
+def span_trace_events(tracer, pid=_HOST_PID):
+    """Complete (``"X"``) events plus thread metadata for host spans."""
+    spans = [span for span in tracer.finished_spans()
+             if span.start_s is not None and span.end_s is not None]
+    instants = tracer.instants()
+    if not spans and not instants:
+        return []
+    t0 = min([span.start_s for span in spans]
+             + [instant["ts_s"] for instant in instants])
+
+    events = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": "repro host"},
+    }]
+    threads = {}
+    for span in spans:
+        threads.setdefault(span.thread_id, span.thread_name)
+    for instant in instants:
+        threads.setdefault(instant["thread_id"], instant["thread_name"])
+    tids = {thread_id: index
+            for index, thread_id in enumerate(sorted(threads, key=str))}
+    for thread_id, tid in tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": "%s (%s)" % (threads[thread_id], thread_id)},
+        })
+
+    for span in spans:
+        args = {"span_id": span.span_id, "parent_id": span.parent_id,
+                "trace_id": span.trace_id}
+        args.update(span.attributes)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(".")[0].split(":")[0],
+            "ts": _us(span.start_s - t0),
+            "dur": _us(span.end_s - span.start_s),
+            "pid": pid,
+            "tid": tids[span.thread_id],
+            "args": args,
+        })
+        for span_event in span.events:
+            events.append({
+                "ph": "i", "s": "t",
+                "name": span_event["name"],
+                "ts": _us(span_event["ts_s"] - t0),
+                "pid": pid,
+                "tid": tids[span.thread_id],
+                "args": {key: value for key, value in span_event.items()
+                         if key not in ("name", "ts_s")},
+            })
+    for instant in instants:
+        events.append({
+            "ph": "i", "s": "t",
+            "name": instant["name"],
+            "ts": _us(instant["ts_s"] - t0),
+            "pid": pid,
+            "tid": tids[instant["thread_id"]],
+            "args": {key: value for key, value in instant.items()
+                     if key not in ("name", "ts_s", "thread_id",
+                                    "thread_name")},
+        })
+    return events
+
+
+def profile_trace_events(profile, pid=_SIM_PID, sm_tracks=DEFAULT_SM_TRACKS):
+    """Simulated-timeline tracks for one ``PipelineProfile``.
+
+    Track 0 is the kernel stream: launches laid end to end in simulated
+    time, exactly how ``sim_time_s`` composes.  Tracks 1..N are
+    simulated SMs: each kernel's per-warp cycle counts (scaled to the
+    kernel's simulated duration) are placed round-robin, so warp-load
+    imbalance — the paper's warp-efficiency story — is visible as
+    ragged track ends in Perfetto.
+    """
+    events = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": "simulated GPU: %s" % profile.name},
+    }, {
+        "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+        "args": {"name": "kernel stream"},
+    }]
+    for sm in range(sm_tracks):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": sm + 1,
+            "args": {"name": "sim SM %d" % sm},
+        })
+
+    cursor_s = 0.0
+    for kernel in profile.kernels:
+        duration_s = kernel.sim_time_s
+        events.append({
+            "ph": "X",
+            "name": kernel.name,
+            "cat": "sim-kernel",
+            "ts": _us(cursor_s),
+            "dur": _us(duration_s),
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "warps": kernel.n_warps,
+                "warp_efficiency": round(kernel.warp_efficiency, 4),
+                "gl_transactions": kernel.gl_transactions,
+                "divergent_branches": kernel.divergent_branches,
+                "flops": kernel.flops,
+            },
+        })
+        total_cycles = sum(kernel.warp_cycles)
+        if total_cycles > 0 and duration_s > 0:
+            # Scale warp cycles so each SM track fits the kernel window.
+            per_sm_cycles = [0.0] * sm_tracks
+            for warp_index, cycles in enumerate(kernel.warp_cycles):
+                per_sm_cycles[warp_index % sm_tracks] += cycles
+            busiest = max(per_sm_cycles)
+            scale = duration_s / busiest if busiest > 0 else 0.0
+            offsets = [0.0] * sm_tracks
+            for warp_index, cycles in enumerate(kernel.warp_cycles):
+                sm = warp_index % sm_tracks
+                warp_s = cycles * scale
+                events.append({
+                    "ph": "X",
+                    "name": "%s/warp%d" % (kernel.name, warp_index),
+                    "cat": "sim-warp",
+                    "ts": _us(cursor_s + offsets[sm]),
+                    "dur": _us(warp_s),
+                    "pid": pid,
+                    "tid": sm + 1,
+                    "args": {"cycles": round(cycles, 1)},
+                })
+                offsets[sm] += warp_s
+        cursor_s += duration_s
+    return events
+
+
+def to_chrome_trace(tracer, sm_tracks=DEFAULT_SM_TRACKS):
+    """The full Chrome trace-event document for one tracer.
+
+    Host spans under one process, plus one simulated-GPU process per
+    attached ``"pipeline_profile"`` artifact.
+    """
+    events = span_trace_events(tracer, pid=_HOST_PID)
+    for index, profile in enumerate(tracer.artifacts("pipeline_profile")):
+        events.extend(profile_trace_events(
+            profile, pid=_SIM_PID + index, sm_tracks=sm_tracks))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer, sm_tracks=DEFAULT_SM_TRACKS):
+    """Write :func:`to_chrome_trace` output as JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, sm_tracks=sm_tracks), handle)
+    return path

@@ -1,0 +1,96 @@
+"""The filtering funnel: candidates → survivors → exact distances.
+
+The paper's whole argument is that triangle-inequality filtering
+removes redundant distance computations (Table IV's "saved comp."
+column); the funnel is that argument as four monotone counters:
+
+``funnel.candidates``
+    Every (query, target) pair: ``|Q| * |T|``.
+``funnel.level1_survivors``
+    Pairs inside the cluster pairs that survived the level-1 group
+    filter (Algorithm 1) — the work the level-2 scan could touch.
+``funnel.level2_survivors``
+    Pairs that also survived the level-2 point filter (Algorithm 2)
+    and therefore required an exact point-to-point distance.
+``funnel.exact_distances``
+    All exact distances actually computed, including the Step-1
+    clustering and centre-distance recomputations the pipeline pays
+    outside the filter chain (always >= ``level2_survivors``).
+
+The invariant ``level2_survivors <= level1_survivors <= candidates``
+holds for every TI engine by construction and is asserted as a
+lint-style check in CI (``python -m repro trace --check-funnel ...``).
+Engines that do no level-1 filtering (brute force, CUBLAS, KD-tree)
+report ``level1_survivors = candidates``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FUNNEL_STAGES", "funnel_from_stats", "funnel_counts",
+           "funnel_table", "check_funnel"]
+
+FUNNEL_STAGES = ("candidates", "level1_survivors", "level2_survivors",
+                 "exact_distances")
+
+
+def funnel_from_stats(stats):
+    """The four funnel counters of one join's :class:`JoinStats`."""
+    candidates = stats.total_pairs
+    level1 = stats.level1_survivor_pairs
+    if level1 == 0 and stats.candidate_cluster_pairs == 0:
+        # No level-1 filter ran (brute force, CUBLAS, KD-tree): nothing
+        # was filtered, every candidate pair survives to level 2.
+        level1 = candidates
+    level2 = stats.level2_distance_computations
+    exact = (stats.level2_distance_computations
+             + stats.center_distance_computations
+             + stats.init_distance_computations)
+    return {
+        "candidates": int(candidates),
+        "level1_survivors": int(level1),
+        "level2_survivors": int(level2),
+        "exact_distances": int(exact),
+    }
+
+
+def funnel_counts(registry):
+    """The accumulated ``funnel.*`` counters of a metrics registry."""
+    return {stage: int(registry.value("funnel." + stage))
+            for stage in FUNNEL_STAGES}
+
+
+def funnel_table(counts, title="filtering funnel"):
+    """Render funnel counts as a bench-style table with survival %."""
+    # Imported here: funnel <- core.result <- ... <- bench.harness
+    # would otherwise cycle through repro.bench.__init__.
+    from ..bench.reporting import format_table
+
+    candidates = counts.get("candidates", 0)
+    rows = []
+    for stage in FUNNEL_STAGES:
+        value = counts.get(stage, 0)
+        percent = (100.0 * value / candidates) if candidates else None
+        rows.append([stage, value, percent])
+    return format_table(title, ["stage", "pairs", "% of candidates"], rows)
+
+
+def check_funnel(counts):
+    """Violations of the funnel invariant (empty list = healthy).
+
+    Checks ``level2_survivors <= level1_survivors <= candidates`` and
+    ``exact_distances >= level2_survivors``.
+    """
+    violations = []
+    if counts["level1_survivors"] > counts["candidates"]:
+        violations.append(
+            "level-1 survivors (%d) exceed candidates (%d)"
+            % (counts["level1_survivors"], counts["candidates"]))
+    if counts["level2_survivors"] > counts["level1_survivors"]:
+        violations.append(
+            "level-2 survivors (%d) exceed level-1 survivors (%d)"
+            % (counts["level2_survivors"], counts["level1_survivors"]))
+    if counts["exact_distances"] < counts["level2_survivors"]:
+        violations.append(
+            "exact distances (%d) below level-2 survivors (%d)"
+            % (counts["exact_distances"], counts["level2_survivors"]))
+    return violations

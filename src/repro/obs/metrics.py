@@ -1,0 +1,197 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` is the single accumulation substrate the
+formerly-disconnected statistics silos publish into:
+
+* :class:`~repro.core.result.JoinStats` publishes the join funnel and
+  work counters (``join.*`` / ``funnel.*``);
+* :class:`~repro.gpu.profiler.KernelProfile` /
+  :class:`~repro.gpu.profiler.PipelineProfile` publish per-kernel
+  simulated-GPU counters (``gpu.*``);
+* the serving layer's :class:`~repro.serve.stats.StatsCollector` is
+  built directly on a registry (``serve.*``).
+
+Metric names are dotted strings; the taxonomy is documented in
+``docs/OBSERVABILITY.md``.  All metric types are thread-safe.
+Empty-sample aggregates (mean, percentiles, max of a histogram that
+never observed a value) are ``float("nan")``, never an exception.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAN = float("nan")
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n=1):
+        with self._lock:
+            self._value += int(n)
+        return self
+
+    @property
+    def value(self):
+        return self._value
+
+    def describe(self):
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins measurement; ``nan`` until first set."""
+
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self._value = _NAN
+
+    def set(self, value):
+        self._value = float(value)
+        return self
+
+    @property
+    def value(self):
+        return self._value
+
+    def describe(self):
+        return self._value
+
+
+class Histogram:
+    """A sample distribution keeping every observed value.
+
+    Sample counts in this repository are bounded (per-request
+    latencies, per-batch occupancies, per-kernel times), so the
+    histogram keeps exact samples and computes exact percentiles
+    rather than bucketing.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name):
+        self.name = name
+        self._lock = threading.Lock()
+        self._values = []
+
+    def observe(self, value):
+        with self._lock:
+            self._values.append(float(value))
+        return self
+
+    @property
+    def count(self):
+        return len(self._values)
+
+    @property
+    def total(self):
+        with self._lock:
+            return math.fsum(self._values)
+
+    def values(self):
+        """Snapshot of every observed sample, in observation order."""
+        with self._lock:
+            return tuple(self._values)
+
+    @property
+    def mean(self):
+        values = self.values()
+        return float(np.mean(values)) if values else _NAN
+
+    @property
+    def max(self):
+        values = self.values()
+        return max(values) if values else _NAN
+
+    def percentile(self, q):
+        """Exact percentile of the samples (``q`` in [0, 100]).
+
+        ``nan`` for the empty histogram — empty-sample aggregates never
+        raise.
+        """
+        values = self.values()
+        if not values:
+            return _NAN
+        return float(np.percentile(np.asarray(values), q))
+
+    def describe(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when
+    the name is already registered (so independent publishers
+    accumulate into one instrument) and raise when the name is bound to
+    a different metric type.
+    """
+
+    _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    def _get_or_create(self, kind, name):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._TYPES[kind](name)
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise ValueError(
+                    "metric %r is a %s, not a %s"
+                    % (name, metric.kind, kind))
+            return metric
+
+    def counter(self, name):
+        return self._get_or_create("counter", name)
+
+    def gauge(self, name):
+        return self._get_or_create("gauge", name)
+
+    def histogram(self, name):
+        return self._get_or_create("histogram", name)
+
+    def get(self, name):
+        """The registered metric, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name, default=0):
+        """A counter/gauge value by name (``default`` when absent)."""
+        metric = self.get(name)
+        return default if metric is None else metric.value
+
+    def names(self):
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self):
+        """Flat ``{name: described value}`` dict of every metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {metric.name: metric.describe() for metric in metrics}

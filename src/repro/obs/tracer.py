@@ -1,0 +1,368 @@
+"""Span tracing: nested, thread-aware spans with a no-op default.
+
+Instrumented code calls the module-level helpers
+(:func:`span`, :func:`event`, :func:`annotate`, :func:`count`), which
+resolve the *active tracer* from a :class:`contextvars.ContextVar`.
+When no tracer is active — the default — every helper returns a shared
+no-op object and does no bookkeeping, so production joins pay nothing
+for being instrumented.  Activating a tracer is explicit and scoped::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        knn_join(points, points, k=10)
+    tracer.finished_spans()        # nested spans with timings
+
+Threads started *inside* a ``use_tracer`` block do **not** inherit the
+active tracer (each thread begins with a fresh context); cross-thread
+components such as :class:`~repro.serve.KNNServer` take an explicit
+``tracer=`` and re-activate it on their worker threads, carrying
+request identity through explicit ``parent=`` / ``trace_id=`` links.
+
+Span relationships:
+
+* ``span_id`` — unique per span within a tracer;
+* ``parent_id`` — the enclosing span at creation (context-var nesting
+  on one thread, or an explicit ``parent=``);
+* ``trace_id`` — the request/flow identity: inherited from the parent,
+  or set explicitly (the serving layer sets one id per request so the
+  queue → batch → kernel spans of a request correlate end to end).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "current_tracer", "use_tracer",
+           "span", "event", "annotate", "count"]
+
+_ACTIVE = contextvars.ContextVar("repro_obs_tracer", default=None)
+
+
+class Span:
+    """One timed, attributed operation.
+
+    Usable as a context manager (nests under the thread's current span
+    via the tracer's context variable) or started/finished manually
+    across threads with :meth:`Tracer.start_span` /
+    :meth:`Tracer.finish_span`.
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "trace_id",
+                 "start_s", "end_s", "attributes", "events", "thread_id",
+                 "thread_name", "_token")
+
+    def __init__(self, tracer, name, span_id, parent_id, trace_id,
+                 attributes):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.start_s = None
+        self.end_s = None
+        self.attributes = attributes
+        self.events = []
+        thread = threading.current_thread()
+        self.thread_id = thread.ident
+        self.thread_name = thread.name
+        self._token = None
+
+    # -- recording -----------------------------------------------------
+    def annotate(self, **attributes):
+        """Attach attributes to this span."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name, **attributes):
+        """Record a point-in-time event inside this span."""
+        self.events.append({"ts_s": self.tracer._clock(), "name": name,
+                            **attributes})
+        return self
+
+    @property
+    def finished(self):
+        return self.end_s is not None
+
+    @property
+    def duration_s(self):
+        if self.start_s is None or self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def to_dict(self):
+        """JSON-ready representation (the JSONL exporter's row)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self):
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc is not None:
+            self.attributes.setdefault("error", repr(exc))
+        self.tracer._exit(self)
+        return False
+
+    def __repr__(self):
+        return "Span(%r, id=%s, parent=%s, trace=%r)" % (
+            self.name, self.span_id, self.parent_id, self.trace_id)
+
+
+class _NullSpan:
+    """Shared no-op stand-in used when no tracer is active.
+
+    Stateless and reentrant: every method is a no-op returning ``self``
+    so instrumented code never branches on whether tracing is on.
+    """
+
+    __slots__ = ()
+    name = None
+    span_id = None
+    parent_id = None
+    trace_id = None
+    attributes = {}
+    events = ()
+
+    def annotate(self, **attributes):
+        return self
+
+    def event(self, name, **attributes):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans, instant events and metrics for one run.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` instrumented
+        code publishes into while this tracer is active (a fresh one by
+        default).
+    clock:
+        Monotonic time source (tests inject a fake).
+    """
+
+    def __init__(self, registry=None, clock=time.perf_counter):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._finished = []
+        self._instants = []
+        self._artifacts = []
+        self._ids = itertools.count(1)
+        self._current = contextvars.ContextVar(
+            "repro_obs_current_span", default=None)
+
+    # -- span construction ---------------------------------------------
+    def _new_span(self, name, parent, trace_id, attributes):
+        span_id = next(self._ids)
+        parent_id = parent.span_id if parent is not None else None
+        if trace_id is None:
+            trace_id = (parent.trace_id if parent is not None
+                        else "trace-%d" % span_id)
+        return Span(self, name, span_id, parent_id, trace_id, attributes)
+
+    def span(self, name, parent=None, trace_id=None, **attributes):
+        """A context-managed span.
+
+        Without an explicit ``parent`` the span nests under the
+        thread's current span at ``__enter__`` time.
+        """
+        span = self._new_span(name, parent, trace_id, attributes)
+        if parent is None:
+            # Parent resolution is deferred to __enter__ so a span
+            # constructed on one thread and entered on another nests
+            # under the *entering* thread's context.
+            span.parent_id = None
+            span.trace_id = trace_id
+        return span
+
+    def start_span(self, name, parent=None, trace_id=None, **attributes):
+        """Start a span immediately, without touching the context.
+
+        The manual half of the API: the serving layer starts request
+        and queue spans on the caller's thread and finishes them from
+        the scheduler thread with :meth:`finish_span`.
+        """
+        span = self._new_span(name, parent, trace_id, attributes)
+        span.start_s = self._clock()
+        return span
+
+    def finish_span(self, span):
+        """Finish a manually started span and record it."""
+        if span is None or span is NULL_SPAN or span.finished:
+            return span
+        span.end_s = self._clock()
+        self._record(span)
+        return span
+
+    # -- context-manager internals -------------------------------------
+    def _enter(self, span):
+        current = self._current.get()
+        if span.parent_id is None and current is not None:
+            span.parent_id = current.span_id
+            if span.trace_id is None:
+                span.trace_id = current.trace_id
+        if span.trace_id is None:
+            span.trace_id = "trace-%d" % span.span_id
+        thread = threading.current_thread()
+        span.thread_id = thread.ident
+        span.thread_name = thread.name
+        span._token = self._current.set(span)
+        span.start_s = self._clock()
+
+    def _exit(self, span):
+        span.end_s = self._clock()
+        if span._token is not None:
+            self._current.reset(span._token)
+            span._token = None
+        self._record(span)
+
+    def _record(self, span):
+        with self._lock:
+            self._finished.append(span)
+
+    # -- queries ---------------------------------------------------------
+    def current(self):
+        """This thread's innermost open span, or ``None``."""
+        return self._current.get()
+
+    def finished_spans(self, name=None, trace_id=None):
+        """Finished spans in completion order, optionally filtered."""
+        with self._lock:
+            spans = list(self._finished)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    # -- instant events and artifacts ------------------------------------
+    def instant(self, name, **attributes):
+        """Record a point-in-time event outside any span."""
+        thread = threading.current_thread()
+        record = {"ts_s": self._clock(), "name": name,
+                  "thread_id": thread.ident, "thread_name": thread.name,
+                  **attributes}
+        with self._lock:
+            self._instants.append(record)
+        return record
+
+    def instants(self):
+        with self._lock:
+            return list(self._instants)
+
+    def add_artifact(self, kind, payload):
+        """Attach a non-span artifact (e.g. a simulated GPU profile).
+
+        The Chrome-trace exporter turns ``"pipeline_profile"``
+        artifacts into simulated-timeline tracks.
+        """
+        with self._lock:
+            self._artifacts.append((kind, payload))
+
+    def artifacts(self, kind=None):
+        with self._lock:
+            pairs = list(self._artifacts)
+        if kind is None:
+            return pairs
+        return [payload for artifact_kind, payload in pairs
+                if artifact_kind == kind]
+
+
+# ----------------------------------------------------------------------
+# Active-tracer plumbing (the zero-overhead default path)
+# ----------------------------------------------------------------------
+def current_tracer():
+    """The active :class:`Tracer` of this context, or ``None``."""
+    return _ACTIVE.get()
+
+
+class use_tracer:
+    """Context manager activating a tracer for the current context.
+
+    Scoped to the current thread's context: worker threads spawned
+    elsewhere stay untraced unless they activate the tracer themselves
+    (see :class:`~repro.serve.KNNServer`'s ``tracer=`` hook).
+    """
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self._token = None
+
+    def __enter__(self):
+        self._token = _ACTIVE.set(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE.reset(self._token)
+        return False
+
+
+def span(name, parent=None, trace_id=None, **attributes):
+    """A span on the active tracer; :data:`NULL_SPAN` when untraced."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, parent=parent, trace_id=trace_id, **attributes)
+
+
+def event(name, **attributes):
+    """An event on the current span (or tracer-level when outside one)."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.event(name, **attributes)
+    else:
+        tracer.instant(name, **attributes)
+
+
+def annotate(**attributes):
+    """Attributes onto the current span; silently dropped untraced."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.annotate(**attributes)
+
+
+def count(name, n=1):
+    """Increment a counter on the active tracer's registry."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return
+    tracer.registry.counter(name).inc(n)

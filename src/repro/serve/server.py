@@ -36,11 +36,14 @@ engines and prepared indexes never race.
 
 from __future__ import annotations
 
+import itertools
+import logging
 import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import obs
 from ..core.api import _validate
 from ..engine.executor import execute
 from ..engine.planner import _DECIDE_KEYS, plan_shape
@@ -52,6 +55,8 @@ from .stats import StatsCollector
 from .store import IndexStore
 
 __all__ = ["KNNServer", "ServeConfig", "ServeResponse"]
+
+logger = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,14 @@ class ServeConfig:
         Device for simulated-GPU engines (defaults to the Tesla K20c).
     store_budget_bytes, store_max_entries:
         Index-cache eviction policy (see :class:`IndexStore`).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  The context-var tracer of
+        the submitting thread does **not** reach the scheduler thread,
+        so servers take the tracer explicitly; when set, every request
+        gets a ``serve.request`` span (one trace id per request) whose
+        children cover the queue wait, the coalesced batch, the engine
+        execution and the per-request result split, and the server's
+        ``serve.*`` metrics land in the tracer's registry.
     """
 
     method: str = "sweet"
@@ -102,6 +115,7 @@ class ServeConfig:
     device: object = None
     store_budget_bytes: int = None
     store_max_entries: int = None
+    tracer: object = None
 
 
 @dataclass(frozen=True)
@@ -122,6 +136,7 @@ class ServeResponse:
     latency_s: float
     batch_rows: int
     batch_requests: int
+    request_id: str = None
 
 
 @dataclass
@@ -135,6 +150,9 @@ class _Payload:
     single: bool
     cache_hit: bool
     row_slice: slice = field(default=None)
+    request_id: str = None
+    request_span: object = None
+    queue_span: object = None
 
 
 class KNNServer:
@@ -176,12 +194,15 @@ class KNNServer:
 
         self.store = IndexStore(budget_bytes=config.store_budget_bytes,
                                 max_entries=config.store_max_entries)
-        self.stats_collector = StatsCollector()
+        self._tracer = config.tracer
+        self._request_ids = itertools.count(1)
+        self.stats_collector = StatsCollector(
+            registry=(self._tracer.registry
+                      if self._tracer is not None else None))
         self._batcher = MicroBatcher(
             self._execute_batch, max_wait_s=config.max_wait_s,
             max_queue_depth=config.max_queue_depth,
-            on_expired=lambda request:
-                self.stats_collector.record_expired())
+            on_expired=self._on_expired)
         self._tile_cache = {}
 
     # ------------------------------------------------------------------
@@ -246,9 +267,18 @@ class KNNServer:
         store_key = self.store.key_for(index.targets, self.config.seed,
                                        self.config.mt)
         batch_key = (store_key, k, opts_key)
+        request_id = "req-%d" % next(self._request_ids)
         payload = _Payload(queries=queries, index=index, k=k,
                            options=dict(options), single=single,
-                           cache_hit=cache_hit)
+                           cache_hit=cache_hit, request_id=request_id)
+        if self._tracer is not None:
+            payload.request_span = self._tracer.start_span(
+                "serve.request", trace_id=request_id,
+                request_id=request_id, k=k, rows=len(queries),
+                cache_hit=cache_hit)
+            payload.queue_span = self._tracer.start_span(
+                "serve.queue", parent=payload.request_span,
+                trace_id=request_id)
         request = PendingRequest(
             key=batch_key, payload=payload, n_rows=len(queries),
             max_batch=self._tile_rows(index, k, options),
@@ -256,8 +286,12 @@ class KNNServer:
                         else self.config.default_deadline_s))
         try:
             return self._batcher.submit(request)
-        except Overloaded:
+        except Overloaded as exc:
             self.stats_collector.record_rejected()
+            logger.debug("admission control rejected %s: %s",
+                         request_id, exc)
+            self._close_request_spans(payload, outcome="rejected",
+                                      error=repr(exc))
             raise
 
     def query(self, queries, targets, k, deadline_s=None, timeout=None,
@@ -292,12 +326,47 @@ class KNNServer:
             self._tile_cache[key] = rows
         return rows
 
+    def _close_request_spans(self, payload, **attributes):
+        """Finish a request's queue + request spans (any outcome path)."""
+        if self._tracer is None:
+            return
+        if payload.queue_span is not None:
+            self._tracer.finish_span(payload.queue_span)
+        if payload.request_span is not None:
+            payload.request_span.annotate(**attributes)
+            self._tracer.finish_span(payload.request_span)
+
+    def _on_expired(self, request):
+        """Batcher callback: a request's deadline lapsed in the queue."""
+        self.stats_collector.record_expired()
+        payload = request.payload
+        logger.debug("deadline exceeded for %s after %.4fs in queue",
+                     payload.request_id, request.waited(time.monotonic()))
+        self._close_request_spans(payload, outcome="expired")
+
     def _execute_batch(self, requests, pressure):
         """Run one coalesced tile and split the answers per request.
 
         Called on the scheduler thread only, so prepared indexes and
         the landmark RNG are never shared across concurrent executes.
+        The scheduler thread has no context-var tracer of its own;
+        when the server was given one, it is re-activated here so the
+        engine/kernel spans of the batch nest under ``serve.batch``.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._run_batch(requests, pressure)
+        for request in requests:
+            tracer.finish_span(request.payload.queue_span)
+        request_ids = [r.payload.request_id for r in requests]
+        with obs.use_tracer(tracer):
+            with tracer.span("serve.batch", trace_id=request_ids[0],
+                             requests=len(requests),
+                             request_ids=request_ids,
+                             pressure=round(pressure, 4)):
+                return self._run_batch(requests, pressure)
+
+    def _run_batch(self, requests, pressure):
         first = requests[0].payload
         batch = (first.queries if len(requests) == 1
                  else np.vstack([r.payload.queries for r in requests]))
@@ -309,6 +378,13 @@ class KNNServer:
 
         degraded = (self._degraded_spec is not None
                     and pressure >= self.config.degrade_at)
+        if degraded:
+            logger.debug(
+                "queue pressure %.2f >= %.2f: degrading batch of %d "
+                "requests to %s", pressure, self.config.degrade_at,
+                len(requests), self._degraded_spec.name)
+            obs.event("serve.degraded", pressure=round(pressure, 4),
+                      engine=self._degraded_spec.name)
         try:
             if degraded:
                 spec = self._degraded_spec
@@ -326,22 +402,33 @@ class KNNServer:
             for request in requests:
                 request.future.set_exception(exc)
                 self.stats_collector.record_error()
+                self._close_request_spans(request.payload,
+                                          outcome="error", error=repr(exc))
             return
 
         self.stats_collector.record_batch(len(requests), len(batch))
-        now = time.monotonic()
-        for request in requests:
-            payload = request.payload
-            rows = payload.row_slice
-            distances = result.distances[rows]
-            indices = result.indices[rows]
-            if payload.single:
-                distances, indices = distances[0], indices[0]
-            latency = request.waited(now)
-            request.future.set_result(ServeResponse(
-                distances=distances, indices=indices,
-                method=result.method, engine=spec.name,
-                degraded=degraded, cache_hit=payload.cache_hit,
-                latency_s=latency, batch_rows=len(batch),
-                batch_requests=len(requests)))
-            self.stats_collector.record_served(latency, degraded=degraded)
+        with obs.span("serve.merge", requests=len(requests),
+                      rows=len(batch)):
+            now = time.monotonic()
+            for request in requests:
+                payload = request.payload
+                rows = payload.row_slice
+                distances = result.distances[rows]
+                indices = result.indices[rows]
+                if payload.single:
+                    distances, indices = distances[0], indices[0]
+                latency = request.waited(now)
+                request.future.set_result(ServeResponse(
+                    distances=distances, indices=indices,
+                    method=result.method, engine=spec.name,
+                    degraded=degraded, cache_hit=payload.cache_hit,
+                    latency_s=latency, batch_rows=len(batch),
+                    batch_requests=len(requests),
+                    request_id=payload.request_id))
+                self.stats_collector.record_served(latency,
+                                                   degraded=degraded)
+                self._close_request_spans(
+                    payload, outcome="served", engine=spec.name,
+                    degraded=degraded, latency_s=round(latency, 6),
+                    batch_rows=len(batch),
+                    batch_requests=len(requests))

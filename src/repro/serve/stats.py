@@ -2,23 +2,35 @@
 
 The collector is the single sink every server event reports into
 (admission rejections, deadline expiries, batch flushes, per-request
-completions).  :meth:`StatsCollector.snapshot` produces an immutable
+completions).  Since the observability PR it is a thin facade over an
+:class:`~repro.obs.metrics.MetricsRegistry` — pass the registry of an
+active :class:`~repro.obs.Tracer` and the ``serve.*`` metrics land in
+the same substrate as the ``join.*`` / ``gpu.*`` telemetry, exportable
+through the same JSONL/Chrome-trace writers.
+
+:meth:`StatsCollector.snapshot` produces an immutable
 :class:`ServerStats` record; :meth:`ServerStats.table` renders it with
 :func:`repro.bench.reporting.format_table`, the same formatter the
 paper-reproduction benchmarks use, so serving numbers land in
 ``benchmarks/results/`` in the house style.
+
+Empty-sample aggregates (percentiles, means, max of zero served
+requests) are ``float("nan")``, never an exception — matching the
+histogram semantics of :mod:`repro.obs.metrics`.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..bench.reporting import format_table
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerStats", "StatsCollector"]
+
+_NAN = float("nan")
 
 
 @dataclass(frozen=True)
@@ -50,18 +62,26 @@ class ServerStats:
     @property
     def mean_batch_requests(self):
         return (float(np.mean(self.batch_requests))
-                if self.batch_requests else 0.0)
+                if self.batch_requests else _NAN)
 
     @property
     def mean_batch_rows(self):
         """Mean batch occupancy in query rows per ``execute()`` call."""
-        return float(np.mean(self.batch_rows)) if self.batch_rows else 0.0
+        return float(np.mean(self.batch_rows)) if self.batch_rows else _NAN
 
     def latency_percentile(self, q):
-        """Latency percentile in seconds (q in [0, 100])."""
+        """Latency percentile in seconds (q in [0, 100]).
+
+        ``nan`` when no request has been served yet — empty-sample
+        aggregates never raise.
+        """
         if not self.latencies_s:
-            return 0.0
+            return _NAN
         return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def max_latency_s(self):
+        return max(self.latencies_s) if self.latencies_s else _NAN
 
     def describe(self):
         """Flat dict of the headline metrics (logging, run records)."""
@@ -104,74 +124,77 @@ class ServerStats:
             ["latency p50 ms", self.latency_percentile(50) * 1e3],
             ["latency p90 ms", self.latency_percentile(90) * 1e3],
             ["latency p99 ms", self.latency_percentile(99) * 1e3],
-            ["latency max ms",
-             (max(self.latencies_s) * 1e3 if self.latencies_s else 0.0)],
+            ["latency max ms", self.max_latency_s * 1e3],
         ]
         return format_table(title, ["metric", "value"], rows)
 
 
 class StatsCollector:
-    """Thread-safe accumulator behind :class:`ServerStats`."""
+    """Thread-safe accumulator behind :class:`ServerStats`.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._submitted = 0
-        self._served = 0
-        self._rejected = 0
-        self._expired = 0
-        self._errors = 0
-        self._degraded = 0
-        self._batch_requests = []
-        self._batch_rows = []
-        self._latencies = []
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the ``serve.*``
+        metrics live in.  Pass a tracer's registry to co-locate serving
+        metrics with the join/GPU telemetry; a private registry is
+        created by default so an untraced server keeps its statistics
+        without any tracer existing.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Create the instruments eagerly so a snapshot of an idle
+        # server reads zeros/empties instead of missing names.
+        for name in ("submitted", "served", "rejected", "expired",
+                     "errors", "degraded", "batches"):
+            self.registry.counter("serve." + name)
+        for name in ("latency_s", "batch_requests", "batch_rows"):
+            self.registry.histogram("serve." + name)
 
     def record_submitted(self):
-        with self._lock:
-            self._submitted += 1
+        self.registry.counter("serve.submitted").inc()
 
     def record_rejected(self):
-        with self._lock:
-            self._rejected += 1
+        self.registry.counter("serve.rejected").inc()
 
     def record_expired(self):
-        with self._lock:
-            self._expired += 1
+        self.registry.counter("serve.expired").inc()
 
     def record_error(self):
-        with self._lock:
-            self._errors += 1
+        self.registry.counter("serve.errors").inc()
 
     def record_batch(self, n_requests, n_rows):
-        with self._lock:
-            self._batch_requests.append(int(n_requests))
-            self._batch_rows.append(int(n_rows))
+        self.registry.counter("serve.batches").inc()
+        self.registry.histogram("serve.batch_requests").observe(n_requests)
+        self.registry.histogram("serve.batch_rows").observe(n_rows)
 
     def record_served(self, latency_s, degraded=False):
-        with self._lock:
-            self._served += 1
-            self._latencies.append(float(latency_s))
-            if degraded:
-                self._degraded += 1
+        self.registry.counter("serve.served").inc()
+        self.registry.histogram("serve.latency_s").observe(latency_s)
+        if degraded:
+            self.registry.counter("serve.degraded").inc()
 
     def snapshot(self, queue_depth=0, max_queue_depth=0, store_stats=None):
         """Build a :class:`ServerStats` from the current counters."""
-        with self._lock:
-            return ServerStats(
-                submitted=self._submitted,
-                served=self._served,
-                rejected=self._rejected,
-                expired=self._expired,
-                errors=self._errors,
-                degraded=self._degraded,
-                batches=len(self._batch_rows),
-                queue_depth=int(queue_depth),
-                max_queue_depth=int(max_queue_depth),
-                cache_hits=store_stats.hits if store_stats else 0,
-                cache_misses=store_stats.misses if store_stats else 0,
-                cache_evictions=(store_stats.evictions
-                                 if store_stats else 0),
-                cache_resident_bytes=(store_stats.resident_bytes
-                                      if store_stats else 0),
-                latencies_s=tuple(self._latencies),
-                batch_requests=tuple(self._batch_requests),
-                batch_rows=tuple(self._batch_rows))
+        registry = self.registry
+        return ServerStats(
+            submitted=registry.value("serve.submitted"),
+            served=registry.value("serve.served"),
+            rejected=registry.value("serve.rejected"),
+            expired=registry.value("serve.expired"),
+            errors=registry.value("serve.errors"),
+            degraded=registry.value("serve.degraded"),
+            batches=registry.value("serve.batches"),
+            queue_depth=int(queue_depth),
+            max_queue_depth=int(max_queue_depth),
+            cache_hits=store_stats.hits if store_stats else 0,
+            cache_misses=store_stats.misses if store_stats else 0,
+            cache_evictions=(store_stats.evictions
+                             if store_stats else 0),
+            cache_resident_bytes=(store_stats.resident_bytes
+                                  if store_stats else 0),
+            latencies_s=registry.histogram("serve.latency_s").values(),
+            batch_requests=registry.histogram(
+                "serve.batch_requests").values(),
+            batch_rows=registry.histogram("serve.batch_rows").values())

@@ -1,0 +1,117 @@
+"""Tests for the trace exporters: JSONL and Chrome trace-event JSON."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu.profiler import KernelProfile, PipelineProfile
+from repro.obs.export import (profile_trace_events, to_chrome_trace,
+                              tracer_records, write_chrome_trace, write_jsonl)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    ticks = iter(np.arange(0.0, 10.0, 0.125))
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("engine.execute", engine="sweet"):
+        with tracer.span("kernel:level2", k=5) as span:
+            span.event("partition", index=0)
+    tracer.instant("adaptive.filter_strength", choice="full")
+    tracer.registry.counter("funnel.candidates").inc(100)
+    return tracer
+
+
+def _profile():
+    profile = PipelineProfile(name="sweet-knn")
+    profile.add(KernelProfile(name="level2_filter", n_warps=4,
+                              warp_steps=10, lane_steps=200,
+                              sim_time_s=0.002,
+                              warp_cycles=[100.0, 50.0, 25.0, 10.0]))
+    profile.add(KernelProfile(name="merge", sim_time_s=0.001))
+    return profile
+
+
+class TestChromeTraceSchema:
+    def test_events_have_required_fields(self, tracer):
+        doc = to_chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in ("X", "M", "i")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["name"], str)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_document_is_json_serialisable(self, tracer):
+        text = json.dumps(to_chrome_trace(tracer))
+        assert json.loads(text)["traceEvents"]
+
+    def test_timestamps_rebased_to_zero(self, tracer):
+        events = to_chrome_trace(tracer)["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0
+
+    def test_span_args_carry_ids_and_attributes(self, tracer):
+        events = to_chrome_trace(tracer)["traceEvents"]
+        (level2,) = [e for e in events if e["name"] == "kernel:level2"]
+        assert level2["args"]["k"] == 5
+        assert level2["args"]["span_id"]
+        (outer,) = [e for e in events if e["name"] == "engine.execute"]
+        assert level2["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_empty_tracer_yields_empty_events(self):
+        assert to_chrome_trace(Tracer())["traceEvents"] == []
+
+
+class TestSimulatedGpuTracks:
+    def test_profile_becomes_own_process(self, tracer):
+        tracer.add_artifact("pipeline_profile", _profile())
+        events = to_chrome_trace(tracer)["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2}
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert any("simulated GPU" in name for name in names)
+
+    def test_kernel_stream_laid_end_to_end(self):
+        events = profile_trace_events(_profile())
+        stream = [e for e in events if e["ph"] == "X" and e["tid"] == 0]
+        assert [e["name"] for e in stream] == ["level2_filter", "merge"]
+        assert stream[1]["ts"] == pytest.approx(
+            stream[0]["ts"] + stream[0]["dur"])
+
+    def test_warps_land_on_sm_tracks_within_kernel_window(self):
+        events = profile_trace_events(_profile(), sm_tracks=2)
+        warps = [e for e in events if e.get("cat") == "sim-warp"]
+        assert len(warps) == 4
+        assert {e["tid"] for e in warps} <= {1, 2}
+        window_end = max(e["ts"] + e["dur"] for e in warps)
+        (kernel,) = [e for e in events if e["name"] == "level2_filter"]
+        assert window_end <= kernel["ts"] + kernel["dur"] + 1e-6
+
+
+class TestJsonl:
+    def test_records_cover_spans_instants_metrics(self, tracer):
+        records = tracer_records(tracer)
+        types = [record["type"] for record in records]
+        assert types.count("span") == 2
+        assert types.count("instant") == 1
+        assert types[-1] == "metrics"
+        assert records[-1]["metrics"]["funnel.candidates"] == 100
+
+    def test_write_jsonl_round_trips(self, tracer, tmp_path):
+        path = write_jsonl(tmp_path / "events.jsonl",
+                           tracer_records(tracer))
+        lines = [json.loads(line) for line in open(path)]
+        assert len(lines) == 4
+        assert lines[0]["type"] == "span"
+
+    def test_write_chrome_trace_loads_back(self, tracer, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        assert json.load(open(path))["traceEvents"]

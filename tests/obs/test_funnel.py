@@ -1,0 +1,84 @@
+"""Tests for the filtering funnel: counters, invariant, rendering."""
+
+import numpy as np
+import pytest
+
+from repro import knn_join, obs
+from repro.obs.funnel import (FUNNEL_STAGES, check_funnel, funnel_counts,
+                              funnel_from_stats, funnel_table)
+from repro.obs.tracer import Tracer, use_tracer
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(300, 8))
+
+
+def _traced_join(points, method, **kw):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = knn_join(points, points, 5, method=method, seed=1, **kw)
+    return tracer, result
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("method", ["sweet", "ti-cpu", "ti-gpu"])
+    def test_ti_engines_satisfy_funnel_invariant(self, points, method):
+        tracer, _ = _traced_join(points, method)
+        counts = funnel_counts(tracer.registry)
+        assert counts["candidates"] == 300 * 300
+        assert counts["level1_survivors"] <= counts["candidates"]
+        assert counts["level2_survivors"] <= counts["level1_survivors"]
+        assert counts["exact_distances"] >= counts["level2_survivors"]
+        assert check_funnel(counts) == []
+
+    def test_level1_actually_filters_on_clustered_data(self):
+        rng = np.random.default_rng(3)
+        centers = rng.normal(scale=50.0, size=(6, 8))
+        clustered = np.vstack([
+            center + rng.normal(scale=0.1, size=(80, 8))
+            for center in centers])
+        tracer, _ = _traced_join(clustered, "sweet")
+        counts = funnel_counts(tracer.registry)
+        assert counts["level1_survivors"] < counts["candidates"]
+
+    def test_brute_force_reports_no_level1_filtering(self, points):
+        tracer, _ = _traced_join(points, "brute")
+        counts = funnel_counts(tracer.registry)
+        assert counts["level1_survivors"] == counts["candidates"]
+        assert counts["level2_survivors"] == counts["candidates"]
+        assert check_funnel(counts) == []
+
+    def test_check_funnel_flags_violations(self):
+        bad = {"candidates": 10, "level1_survivors": 20,
+               "level2_survivors": 30, "exact_distances": 1}
+        violations = check_funnel(bad)
+        assert len(violations) == 3
+        assert any("exceed candidates" in v for v in violations)
+
+    def test_batched_join_accumulates_same_funnel(self, points):
+        whole_tracer, whole = _traced_join(points, "sweet")
+        batched_tracer, batched = _traced_join(points, "sweet",
+                                               query_batch_size=77)
+        assert np.allclose(whole.distances, batched.distances)
+        assert (funnel_counts(whole_tracer.registry)
+                == funnel_counts(batched_tracer.registry))
+
+
+class TestFromStats:
+    def test_stages_and_order(self, points):
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        funnel = funnel_from_stats(result.stats)
+        assert tuple(funnel) == FUNNEL_STAGES
+        assert all(isinstance(v, int) for v in funnel.values())
+
+
+class TestRendering:
+    def test_table_lists_every_stage_with_percent(self, points):
+        tracer, _ = _traced_join(points, "sweet")
+        text = funnel_table(funnel_counts(tracer.registry))
+        for stage in FUNNEL_STAGES:
+            assert stage in text
+        assert "% of candidates" in text
+        assert "100" in text

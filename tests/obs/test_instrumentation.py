@@ -1,0 +1,139 @@
+"""Tests for the telemetry threaded through planner/engine/GPU/adaptive."""
+
+import numpy as np
+import pytest
+
+from repro import knn_join, obs
+from repro.core.adaptive import decide
+from repro.engine.planner import plan_shape
+from repro.gpu.device import tesla_k20c
+from repro.obs.tracer import Tracer, use_tracer
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(250, 8))
+
+
+class TestEngineSpans:
+    def test_sweet_join_produces_nested_phase_spans(self, points):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            knn_join(points, points, 5, method="sweet", seed=1)
+        names = {span.name for span in tracer.finished_spans()}
+        assert {"engine.execute", "planner.plan", "prepare.clusters",
+                "kernel:init", "kernel:level1", "kernel:level2",
+                "kernel:merge"} <= names
+        (execute,) = tracer.finished_spans("engine.execute")
+        assert execute.parent_id is None
+        for kernel in ("kernel:init", "kernel:level1", "kernel:level2",
+                       "kernel:merge"):
+            (span,) = tracer.finished_spans(kernel)
+            assert span.trace_id == execute.trace_id
+
+    def test_execute_span_annotated_with_outcome(self, points):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            knn_join(points, points, 5, method="sweet", seed=1)
+        (span,) = tracer.finished_spans("engine.execute")
+        assert span.attributes["engine"] == "sweet"
+        assert 0.0 <= span.attributes["saved_fraction"] <= 1.0
+        assert span.attributes["sim_time_s"] > 0
+
+    def test_batched_execution_emits_batch_spans(self, points):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            knn_join(points, points, 5, method="sweet", seed=1,
+                     query_batch_size=100)
+        batches = tracer.finished_spans("engine.batch")
+        assert len(batches) == 3
+        (execute,) = tracer.finished_spans("engine.execute")
+        assert all(b.trace_id == execute.trace_id for b in batches)
+
+    def test_pipeline_profile_attached_as_artifact(self, points):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            knn_join(points, points, 5, method="sweet", seed=1)
+        (profile,) = tracer.artifacts("pipeline_profile")
+        assert profile.sim_time_s > 0
+        assert tracer.registry.value("gpu.pipeline.runs") == 1
+        eff = tracer.registry.histogram(
+            "gpu.kernel.level2_filter.warp_efficiency")
+        assert eff.count >= 1
+
+    def test_kernel_spans_carry_sim_time(self, points):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            knn_join(points, points, 5, method="sweet", seed=1)
+        (level2,) = tracer.finished_spans("kernel:level2")
+        assert level2.attributes["sim_time_s"] > 0
+        assert 0.0 < level2.attributes["warp_efficiency"] <= 1.0
+
+
+class TestAdaptiveDecisions:
+    def test_decide_records_which_branch_fired_and_why(self):
+        tracer = Tracer()
+        device = tesla_k20c()
+        with use_tracer(tracer):
+            decide(1000, 1000, 20, 16, 30.0, device)       # k/d <= 8
+            decide(100, 100, 200, 10, 10.0, device)        # k/d > 8
+        events = [instant for instant in tracer.instants()
+                  if instant["name"] == "adaptive.filter_strength"]
+        assert [event["choice"] for event in events] == ["full", "partial"]
+        assert "<= 8" in events[0]["reason"]
+        assert "> 8" in events[1]["reason"]
+        assert tracer.registry.value("adaptive.filter.full") == 1
+        assert tracer.registry.value("adaptive.filter.partial") == 1
+
+    def test_forced_filter_reason_is_forced(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            decide(100, 100, 20, 16, 10.0, tesla_k20c(),
+                   force_filter="partial")
+        (event,) = [instant for instant in tracer.instants()
+                    if instant["name"] == "adaptive.filter_strength"]
+        assert event["reason"] == "forced"
+
+    def test_placement_and_parallelism_events(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            decide(1000, 1000, 20, 16, 30.0, tesla_k20c())
+        names = [instant["name"] for instant in tracer.instants()]
+        assert "adaptive.placement" in names
+        assert "adaptive.parallelism" in names
+
+
+class TestPlannerSpan:
+    def test_plan_shape_annotates_batching_decision(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            plan_shape(500, 500, 10, 8, method="sweet",
+                       device=tesla_k20c())
+        (span,) = tracer.finished_spans("planner.plan")
+        assert span.attributes["method"] == "sweet"
+        assert span.attributes["rows_per_batch"] >= 1
+        assert span.attributes["query_batches"] >= 1
+
+
+class TestUntracedDefault:
+    def test_untraced_join_records_nothing_and_matches_traced(self, points):
+        assert obs.current_tracer() is None
+        untraced = knn_join(points, points, 5, method="sweet", seed=1)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = knn_join(points, points, 5, method="sweet", seed=1)
+        assert np.allclose(untraced.distances, traced.distances)
+        assert np.array_equal(untraced.indices, traced.indices)
+        assert untraced.stats.level2_distance_computations == \
+            traced.stats.level2_distance_computations
+
+    def test_stats_publish_writes_join_and_funnel_counters(self, points):
+        from repro.obs.metrics import MetricsRegistry
+
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        registry = MetricsRegistry()
+        result.stats.publish(registry)
+        assert registry.value("join.runs") == 1
+        assert registry.value("join.queries") == len(points)
+        assert registry.value("funnel.candidates") == len(points) ** 2

@@ -1,0 +1,95 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("join.runs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.counter("a").inc(4)
+        assert registry.value("a") == 7
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_nan_until_set_then_last_value_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pressure")
+        assert math.isnan(gauge.value)
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+
+class TestHistogram:
+    def test_empty_aggregates_are_nan_never_raise(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.max)
+        assert math.isnan(histogram.percentile(50))
+        assert histogram.count == 0
+        assert histogram.values() == ()
+
+    def test_percentiles_from_samples(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 4.0
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.max == 4.0
+
+    def test_describe_keys(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        info = histogram.describe()
+        assert set(info) == {"count", "mean", "p50", "p90", "p99", "max"}
+
+
+class TestRegistry:
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.histogram("x")
+
+    def test_value_default_for_missing_metric(self):
+        assert MetricsRegistry().value("nope", default=-1) == -1
+
+    def test_snapshot_covers_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1

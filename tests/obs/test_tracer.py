@@ -1,0 +1,172 @@
+"""Tests for span tracing: nesting, threads, and the no-op default."""
+
+import threading
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, Tracer, use_tracer
+
+
+class TestNesting:
+    def test_context_manager_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.finished_spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        assert all(span.duration_s >= 0 for span in spans)
+
+    def test_sibling_spans_share_parent_not_each_other(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("kernel exploded")
+        except RuntimeError:
+            pass
+        (span,) = tracer.finished_spans("boom")
+        assert "kernel exploded" in span.attributes["error"]
+
+    def test_events_and_annotations_attach_to_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.event("milestone", step=3)
+            span.annotate(rows=7)
+        (span,) = tracer.finished_spans()
+        assert span.attributes["rows"] == 7
+        assert span.events[0]["name"] == "milestone"
+
+
+class TestManualSpans:
+    def test_start_finish_across_threads(self):
+        """A span started on one thread may finish on another —
+        the serving layer's request/queue spans do exactly this."""
+        tracer = Tracer()
+        span = tracer.start_span("serve.request", trace_id="req-9")
+
+        def finisher():
+            tracer.finish_span(span)
+
+        thread = threading.Thread(target=finisher)
+        thread.start()
+        thread.join()
+        (finished,) = tracer.finished_spans()
+        assert finished.trace_id == "req-9"
+        assert finished.finished
+
+    def test_double_finish_records_once(self):
+        tracer = Tracer()
+        span = tracer.start_span("once")
+        tracer.finish_span(span)
+        tracer.finish_span(span)
+        assert len(tracer.finished_spans()) == 1
+
+    def test_explicit_parent_links_across_threads(self):
+        tracer = Tracer()
+        parent = tracer.start_span("request", trace_id="req-1")
+        child = tracer.start_span("queue", parent=parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == "req-1"
+
+
+class TestThreadSafety:
+    def test_concurrent_threads_keep_independent_nesting(self):
+        """Per-thread context vars: thread A's spans never become
+        parents of thread B's (the MicroBatcher scheduler thread runs
+        concurrently with caller threads)."""
+        tracer = Tracer()
+        errors = []
+
+        def work(label):
+            try:
+                with use_tracer(tracer):
+                    for i in range(50):
+                        with obs.span("outer-" + label) as outer:
+                            with obs.span("inner-" + label) as inner:
+                                if inner.parent_id != outer.span_id:
+                                    errors.append((label, i))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=("t%d" % n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        spans = tracer.finished_spans()
+        assert len(spans) == 4 * 50 * 2
+        assert len({span.span_id for span in spans}) == len(spans)
+
+    def test_threads_do_not_inherit_active_tracer(self):
+        tracer = Tracer()
+        seen = []
+        with use_tracer(tracer):
+            thread = threading.Thread(
+                target=lambda: seen.append(obs.current_tracer()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestNoOpDefault:
+    def test_helpers_are_noops_without_active_tracer(self):
+        assert obs.current_tracer() is None
+        assert obs.span("anything", k=1) is NULL_SPAN
+        obs.event("nothing", x=1)
+        obs.annotate(y=2)
+        obs.count("nope")
+        with obs.span("still-null") as span:
+            span.annotate(a=1).event("e")
+        assert span is NULL_SPAN
+
+    def test_use_tracer_scopes_activation(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert obs.current_tracer() is tracer
+            with obs.span("traced"):
+                obs.count("hits")
+        assert obs.current_tracer() is None
+        assert len(tracer.finished_spans("traced")) == 1
+        assert tracer.registry.value("hits") == 1
+
+    def test_null_span_is_shared_and_stateless(self):
+        a = obs.span("a")
+        b = obs.span("b")
+        assert a is b is NULL_SPAN
+
+
+class TestInstantsAndArtifacts:
+    def test_event_outside_span_becomes_instant(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            obs.event("loose", value=5)
+        (instant,) = tracer.instants()
+        assert instant["name"] == "loose"
+        assert instant["value"] == 5
+
+    def test_artifacts_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.add_artifact("pipeline_profile", "P")
+        tracer.add_artifact("other", "O")
+        assert tracer.artifacts("pipeline_profile") == ["P"]
+        assert len(tracer.artifacts()) == 2
+
+    def test_injected_clock_drives_durations(self):
+        ticks = iter([10.0, 12.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.finished_spans()
+        assert span.duration_s == 2.5

@@ -1,7 +1,10 @@
 """Tests for the serving metrics collector and snapshot."""
 
+import math
+
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serve import StatsCollector
 from repro.serve.store import IndexStoreStats
 
@@ -62,10 +65,24 @@ class TestSnapshot:
         assert 0 < p50 <= p90 <= p99 <= 0.5
         assert stats.latency_percentile(100) == pytest.approx(0.5)
 
-    def test_empty_percentiles_are_zero(self):
+    def test_empty_aggregates_are_nan_and_never_raise(self):
         stats = StatsCollector().snapshot()
-        assert stats.latency_percentile(99) == 0.0
-        assert stats.mean_batch_rows == 0.0
+        for q in (0, 50, 99, 100):
+            assert math.isnan(stats.latency_percentile(q))
+        assert math.isnan(stats.mean_batch_rows)
+        assert math.isnan(stats.mean_batch_requests)
+        assert math.isnan(stats.max_latency_s)
+        # The idle snapshot still renders and describes cleanly.
+        assert "latency p50 ms" in stats.table()
+        assert stats.describe()["served"] == 0
+
+    def test_shared_registry_receives_serve_metrics(self):
+        registry = MetricsRegistry()
+        collector = StatsCollector(registry=registry)
+        collector.record_submitted()
+        collector.record_served(0.25)
+        assert registry.value("serve.submitted") == 1
+        assert registry.histogram("serve.latency_s").values() == (0.25,)
 
 
 class TestRendering:

@@ -1,0 +1,119 @@
+"""Tests for end-to-end request tracing through the serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceeded, Overloaded
+from repro.obs.tracer import Tracer
+from repro.serve import KNNServer
+
+DIM = 8
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return np.random.default_rng(5).normal(size=(300, DIM))
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestRequestSpans:
+    def test_request_spans_share_one_trace_id(self, targets, tracer):
+        rng = np.random.default_rng(1)
+        with KNNServer(method="sweet", tracer=tracer) as server:
+            response = server.query(rng.normal(size=DIM), targets, 5)
+        rid = response.request_id
+        assert rid == "req-1"
+        names = {span.name for span in tracer.finished_spans(trace_id=rid)}
+        assert {"serve.request", "serve.queue", "serve.batch",
+                "engine.execute", "serve.merge",
+                "kernel:level2"} <= names
+
+    def test_span_tree_queue_under_request_engine_under_batch(
+            self, targets, tracer):
+        rng = np.random.default_rng(2)
+        with KNNServer(method="sweet", tracer=tracer) as server:
+            server.query(rng.normal(size=DIM), targets, 5)
+        (request,) = tracer.finished_spans("serve.request")
+        (queue,) = tracer.finished_spans("serve.queue")
+        (batch,) = tracer.finished_spans("serve.batch")
+        (execute,) = tracer.finished_spans("engine.execute")
+        assert queue.parent_id == request.span_id
+        assert execute.parent_id == batch.span_id
+        assert request.attributes["outcome"] == "served"
+        assert request.attributes["latency_s"] >= 0
+
+    def test_requests_get_distinct_trace_ids(self, targets, tracer):
+        rng = np.random.default_rng(3)
+        with KNNServer(method="sweet", tracer=tracer) as server:
+            first = server.query(rng.normal(size=DIM), targets, 5)
+            second = server.query(rng.normal(size=DIM), targets, 5)
+        assert first.request_id != second.request_id
+        for rid in (first.request_id, second.request_id):
+            assert tracer.finished_spans("serve.request", trace_id=rid)
+
+    def test_coalesced_batch_lists_all_request_ids(self, targets, tracer):
+        rng = np.random.default_rng(4)
+        queries = rng.normal(size=(6, DIM))
+        with KNNServer(method="sweet", tracer=tracer,
+                       max_wait_s=0.05) as server:
+            futures = [server.submit(query, targets, 5)
+                       for query in queries]
+            responses = [future.result(timeout=10) for future in futures]
+        rids = {response.request_id for response in responses}
+        batch_ids = set()
+        for span in tracer.finished_spans("serve.batch"):
+            batch_ids.update(span.attributes["request_ids"])
+        assert rids <= batch_ids
+
+    def test_serve_metrics_land_in_tracer_registry(self, targets, tracer):
+        rng = np.random.default_rng(6)
+        with KNNServer(method="sweet", tracer=tracer) as server:
+            server.query(rng.normal(size=DIM), targets, 5)
+        assert tracer.registry.value("serve.served") == 1
+        assert tracer.registry.histogram("serve.latency_s").count == 1
+        assert tracer.registry.value("funnel.candidates") > 0
+
+
+class TestFailureOutcomes:
+    def test_expired_request_span_closed_with_outcome(self, targets,
+                                                      tracer):
+        rng = np.random.default_rng(7)
+        with KNNServer(method="sweet", tracer=tracer,
+                       max_wait_s=0.0, default_deadline_s=-1.0) as server:
+            future = server.submit(rng.normal(size=DIM), targets, 5)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10)
+        spans = tracer.finished_spans("serve.request")
+        assert any(span.attributes.get("outcome") == "expired"
+                   for span in spans)
+
+    def test_rejected_request_span_closed_with_outcome(self, targets,
+                                                       tracer):
+        rng = np.random.default_rng(8)
+        server = KNNServer(method="sweet", tracer=tracer,
+                           max_queue_depth=1, max_wait_s=0.2)
+        server.start()
+        try:
+            server.submit(rng.normal(size=DIM), targets, 5)
+            with pytest.raises(Overloaded):
+                for _ in range(5):
+                    server.submit(rng.normal(size=DIM), targets, 5)
+        finally:
+            server.stop()
+        rejected = [span for span in tracer.finished_spans("serve.request")
+                    if span.attributes.get("outcome") == "rejected"]
+        assert rejected
+        assert tracer.registry.value("serve.rejected") >= 1
+
+
+class TestUntracedServer:
+    def test_server_without_tracer_still_reports_request_ids(self, targets):
+        rng = np.random.default_rng(9)
+        with KNNServer(method="sweet") as server:
+            response = server.query(rng.normal(size=DIM), targets, 5)
+        assert response.request_id == "req-1"
+        assert server.stats().served == 1

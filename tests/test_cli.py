@@ -129,3 +129,44 @@ class TestCommands:
         assert code == 0
         assert "exact vs brute force: True" in text
         assert "'query_batches': 5" in text
+
+
+class TestTraceCommand:
+    def test_traced_run_writes_valid_chrome_trace(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        code, text = _run(["trace", "--trace-out", str(trace_path),
+                           "--events-out", str(events_path),
+                           "--check-funnel",
+                           "run", "--n", "300", "--dim", "8", "-k", "5"])
+        assert code == 0
+        assert "filtering funnel" in text
+        assert "funnel invariant holds" in text
+        events = json.load(open(trace_path))["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in ("X", "M", "i")
+            assert "pid" in event and "tid" in event
+        names = {event["name"] for event in events}
+        assert "engine.execute" in names
+        assert sum(1 for _ in open(events_path)) > 1
+
+    def test_trace_without_command_errors(self, tmp_path):
+        code, text = _run(["trace", "--trace-out",
+                           str(tmp_path / "t.json")])
+        assert code == 2
+        assert "trace needs a command" in text
+
+    def test_traced_serve_bench_includes_request_spans(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "serve.json"
+        code, text = _run(["trace", "--trace-out", str(trace_path),
+                           "serve-bench", "--n", "300", "--dim", "6",
+                           "-k", "5", "--requests", "20"])
+        assert code == 0
+        names = {event["name"]
+                 for event in json.load(open(trace_path))["traceEvents"]}
+        assert {"serve.request", "serve.queue", "serve.batch"} <= names
