@@ -1,0 +1,89 @@
+"""Multi-core sharded execution — speedup vs worker count.
+
+Not a paper figure: the paper parallelises across GPU threads, while
+:mod:`repro.parallel` (PR 4) shards query tiles across host processes.
+This bench records the scaling trajectory of the sequential TI engine
+on the Fig. 9 medium shape (kegg, |Q| = |T| = 4096, k = 20): per
+worker count, the end-to-end wall clock, the parallelised query-phase
+wall clock, per-shard wall times and the bit-identity check against
+the serial run.
+
+The speedup assertion only applies where it can physically hold — on
+hosts with at least 4 usable cores; elsewhere (e.g. a 1-core CI
+container) the numbers are still recorded in ``BENCH_*.json``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_method
+from repro.bench.reporting import emit, emit_json, format_table
+
+DATASET = "kegg"   # the Fig. 9 medium shape (4096 x 29 stand-in)
+METHOD = "ti-cpu"  # host engine: wall clock is the real, unsimulated cost
+K = 20
+WORKER_COUNTS = (1, 2, 4)
+
+#: Acceptance floor for the 4-worker query-phase speedup (only
+#: asserted on hosts with >= 4 usable cores).
+MIN_SPEEDUP_AT_4 = 1.5
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@pytest.mark.paper_experiment("parallel_scaling")
+def test_parallel_scaling():
+    serial = run_method(DATASET, METHOD, K)
+    records = {1: serial}
+    for workers in WORKER_COUNTS[1:]:
+        records[workers] = run_method(DATASET, METHOD, K, workers=workers,
+                                      pool="process")
+
+    # The correctness contract: sharded results and counters are
+    # bit-for-bit the serial ones, at every worker count.
+    for workers, record in records.items():
+        assert np.array_equal(record.result.indices, serial.result.indices)
+        assert np.array_equal(record.result.distances,
+                              serial.result.distances)
+        assert record.funnel == serial.funnel, workers
+
+    rows = []
+    runs = []
+    for workers in WORKER_COUNTS:
+        record = records[workers]
+        query_speedup = serial.query_time_s / record.query_time_s
+        wall_speedup = serial.wall_time_s / record.wall_time_s
+        rows.append([workers, record.shards,
+                     record.wall_time_s * 1e3, record.query_time_s * 1e3,
+                     query_speedup, wall_speedup])
+        payload = record.payload()
+        payload["query_speedup"] = round(query_speedup, 4)
+        payload["wall_speedup"] = round(wall_speedup, 4)
+        runs.append(payload)
+
+    cpus = _usable_cpus()
+    emit("parallel_scaling", format_table(
+        "Sharded execution — %s, %s, k=%d (host: %d usable cores)"
+        % (METHOD, DATASET, K, cpus),
+        ["workers", "shards", "wall ms", "query ms",
+         "query speedup(x)", "wall speedup(x)"],
+        rows,
+        notes=["sharded results verified bit-identical to serial",
+               "speedups are host wall clock; the prepare phase is "
+               "shared and serial"]))
+    emit_json("parallel_scaling", {
+        "dataset": DATASET, "method": METHOD, "k": K,
+        "usable_cpus": cpus, "runs": runs})
+
+    if cpus >= 4:
+        four = records[4]
+        assert serial.query_time_s / four.query_time_s >= MIN_SPEEDUP_AT_4, (
+            "expected >= %.1fx query-phase speedup at 4 workers, got %.2fx"
+            % (MIN_SPEEDUP_AT_4, serial.query_time_s / four.query_time_s))

@@ -60,6 +60,9 @@ class RunRecord:
     warp_efficiency: float
     prepare_time_s: float = 0.0
     query_time_s: float = 0.0
+    workers: int = 1
+    shards: int = 1
+    shard_wall_s: list = field(default_factory=list)
     decisions: dict = field(default_factory=dict)
     plan: dict = field(default_factory=dict)
     stages: list = field(default_factory=list)
@@ -73,6 +76,9 @@ class RunRecord:
         simulated launch) and the filtering-funnel counters alongside
         the headline numbers, so benchmark trajectories record *where*
         simulated time and distance work went, not just totals.
+        ``workers``/``shards``/``shard_wall_s`` capture the sharded
+        execution shape (1/1/[] for serial runs), so BENCH files
+        record the scaling trajectory.
         """
         return {
             "dataset": self.dataset,
@@ -84,6 +90,9 @@ class RunRecord:
             "query_time_s": self.query_time_s,
             "saved_fraction": self.saved_fraction,
             "warp_efficiency": self.warp_efficiency,
+            "workers": self.workers,
+            "shards": self.shards,
+            "shard_wall_s": list(self.shard_wall_s),
             "decisions": dict(self.decisions),
             "plan": dict(self.plan),
             "stages": list(self.stages),
@@ -112,7 +121,9 @@ def run_method(dataset, method, k, **options):
         Neighbours per query (self-join, like the paper).
     options:
         Extra engine options (``force_filter``, ``threads_per_query``,
-        ``mq``/``mt``, ``remap``, ``force_layout``, ...).
+        ``mq``/``mt``, ``remap``, ``force_layout``, ...), plus the
+        execution keywords ``workers``/``pool`` (sharded execution;
+        part of the memo key like any other option).
 
     Returns
     -------
@@ -159,17 +170,26 @@ def run_method(dataset, method, k, **options):
 
     from ..obs.funnel import funnel_from_stats
 
+    # Host engines (ti-cpu, brute, kdtree) have no simulated-GPU
+    # profile; their records report wall clock only.
+    profile = result.profile
+    extra = result.stats.extra
     record = RunRecord(
         dataset=dataset, method=method, k=k,
-        sim_time_s=result.profile.sim_time_s,
+        sim_time_s=profile.sim_time_s if profile is not None else None,
         wall_time_s=prepare_s + query_s,
         prepare_time_s=prepare_s,
         query_time_s=query_s,
         saved_fraction=result.stats.saved_fraction,
-        warp_efficiency=result.profile.filter_warp_efficiency(),
-        decisions=dict(result.stats.extra),
+        warp_efficiency=(profile.filter_warp_efficiency()
+                         if profile is not None else None),
+        workers=int(extra.get("workers", 1)),
+        shards=int(extra.get("shards", 1)),
+        shard_wall_s=list(extra.get("shard_wall_s", [])),
+        decisions=dict(extra),
         plan=exec_plan.describe(),
-        stages=[kernel.summary() for kernel in result.profile.kernels],
+        stages=([kernel.summary() for kernel in profile.kernels]
+                if profile is not None else []),
         funnel=funnel_from_stats(result.stats),
         result=result,
     )

@@ -79,6 +79,7 @@ def build_parser():
     run = sub.add_parser("run", help="run one KNN join")
     _data_args(run)
     _method_arg(run)
+    _workers_arg(run)
     run.add_argument("--query-batch-size", type=int, default=None,
                      help="force the dispatcher's query-tile size")
     run.add_argument("--check", action="store_true",
@@ -87,6 +88,7 @@ def build_parser():
     compare = sub.add_parser("compare",
                              help="baseline vs KNN-TI vs Sweet KNN")
     _data_args(compare)
+    _workers_arg(compare)
     compare.add_argument(
         "--methods", type=_methods_list, default=["cublas", "ti-gpu",
                                                   "sweet"],
@@ -101,6 +103,7 @@ def build_parser():
         help="open-loop load generation against the KNN server")
     _data_args(serve)
     _method_arg(serve)
+    _workers_arg(serve)
     serve.add_argument("--requests", type=int, default=200,
                        help="number of single-point requests")
     serve.add_argument("--rate", type=float, default=None,
@@ -129,6 +132,7 @@ def build_parser():
         "plan", help="show the execution plan for a problem shape")
     _data_args(plan)
     _method_arg(plan)
+    _workers_arg(plan)
 
     trace = sub.add_parser(
         "trace", help="run another command with tracing enabled")
@@ -152,6 +156,17 @@ def _method_arg(parser):
     parser.add_argument("--method", default="sweet",
                         choices=list(engine_names()),
                         help="a registered engine")
+
+
+def _workers_arg(parser):
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard query tiles across this many worker "
+                             "processes (0 = one per core; default: "
+                             "REPRO_WORKERS or serial)")
+    parser.add_argument("--pool", default=None,
+                        choices=["process", "thread", "serial"],
+                        help="worker-pool kind (default: REPRO_POOL or "
+                             "process)")
 
 
 def _methods_list(text):
@@ -211,7 +226,8 @@ def cmd_run(args, out):
     result = knn_join(points, points, args.k, method=args.method,
                       seed=args.seed,
                       device=device if spec.caps.needs_device else None,
-                      query_batch_size=args.query_batch_size)
+                      query_batch_size=args.query_batch_size,
+                      workers=args.workers, pool=args.pool)
     out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
     if result.sim_time_s is not None:
         out.write("simulated K20c time: %.3f ms\n"
@@ -240,7 +256,8 @@ def cmd_compare(args, out):
         spec = get_engine(method)
         result = knn_join(points, points, args.k, method=method,
                           seed=args.seed,
-                          device=device if spec.caps.needs_device else None)
+                          device=device if spec.caps.needs_device else None,
+                          workers=args.workers, pool=args.pool)
         label = _COMPARE_LABELS.get(method, method)
         if baseline is None:
             baseline = result
@@ -295,7 +312,8 @@ def cmd_plan(args, out):
     points, device, name = _load_points(args)
     spec = get_engine(args.method)
     exec_plan = plan_join(points, points, args.k, method=args.method,
-                          device=device if spec.caps.needs_device else None)
+                          device=device if spec.caps.needs_device else None,
+                          workers=args.workers, pool=args.pool)
     out.write("execution plan for %s (method=%s):\n" % (name, args.method))
     for key, value in exec_plan.describe().items():
         out.write("  %-16s %s\n" % (key, value))
@@ -320,7 +338,8 @@ def cmd_serve_bench(args, out):
         max_queue_depth=args.queue_depth,
         default_deadline_s=(args.deadline_ms / 1e3
                             if args.deadline_ms is not None else None),
-        seed=args.seed, device=device, tracer=current_tracer())
+        seed=args.seed, device=device, workers=args.workers,
+        pool=args.pool, tracer=current_tracer())
     deadline_note = ("%.0f ms" % args.deadline_ms
                      if args.deadline_ms is not None else "none")
     out.write("serve-bench: %d single-point requests on %s, k=%d, "

@@ -73,7 +73,7 @@ def _validate(queries, targets, k):
 
 
 def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
-             query_batch_size=None, **options):
+             query_batch_size=None, workers=None, pool=None, **options):
     """Find the k nearest targets of every query point.
 
     Parameters
@@ -97,6 +97,12 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
         batches only when a prepared-index GPU engine's working set
         exceeds device memory; batched and unbatched runs return
         identical neighbours and identical summed work counters.
+    workers, pool:
+        Shard the query tiles across a :mod:`repro.parallel` worker
+        pool (``workers=0`` means one per core; ``pool`` is
+        ``"process"``, ``"thread"`` or ``"serial"``).  Defaults follow
+        ``REPRO_WORKERS``/``REPRO_POOL``; sharded runs are bit-for-bit
+        identical to serial ones.
     options:
         Forwarded to the engine (e.g. ``force_filter=...``,
         ``threads_per_query=...`` for ``"sweet"``).
@@ -111,7 +117,8 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
     if spec.caps.needs_device:
         device = device or tesla_k20c()
     return execute(spec, queries, targets, k, rng=rng, device=device,
-                   query_batch_size=query_batch_size, **options)
+                   query_batch_size=query_batch_size, workers=workers,
+                   pool=pool, **options)
 
 
 class SweetKNN:
@@ -135,7 +142,7 @@ class SweetKNN:
     """
 
     def __init__(self, targets, seed=0, device=None, mt=None,
-                 method="sweet"):
+                 method="sweet", workers=None, pool=None):
         targets = np.asarray(targets, dtype=np.float64)
         if targets.ndim != 2 or targets.shape[0] == 0:
             raise ValidationError("targets must be a non-empty 2-D array")
@@ -146,6 +153,8 @@ class SweetKNN:
             raise ValidationError(
                 "engine %r does not support a prepared index" % method)
         self._spec = spec
+        self.workers = workers
+        self.pool = pool
         self.device = (device or tesla_k20c()) if spec.caps.needs_device \
             else device
         self._rng = np.random.default_rng(seed)
@@ -164,21 +173,39 @@ class SweetKNN:
         queries of the same shape reuse the resolved plan.
         """
         queries, _, k = _validate(queries, self.targets, k)
-        return self._plan_for(queries.shape[0], k, mq, options)
+        return self._plan_for(queries.shape[0], k, mq, options,
+                              workers=self.workers, pool=self.pool)
 
-    def query(self, queries, k, mq=None, query_batch_size=None, **options):
-        """k nearest prepared targets of each query point."""
+    def query(self, queries, k, mq=None, query_batch_size=None,
+              workers=None, pool=None, **options):
+        """k nearest prepared targets of each query point.
+
+        ``workers``/``pool`` override the index-level defaults set at
+        construction; the prebuilt join plan ships to the pool workers,
+        where it is cached by content fingerprint across requests.
+        """
         if "mt" in options:
             raise ValidationError(
                 "mt is fixed when the index is built; pass it to SweetKNN()")
         queries, targets, k = _validate(queries, self.targets, k)
+        workers = workers if workers is not None else self.workers
+        pool = pool if pool is not None else self.pool
         join_plan = self._join_plan_for(queries, mq)
-        exec_plan = self._plan_for(queries.shape[0], k, mq, options)
-        rows = (query_batch_size if query_batch_size is not None
-                else exec_plan.batching.rows_per_batch)
+        exec_plan = self._plan_for(queries.shape[0], k, mq, options,
+                                   workers=workers, pool=pool)
+        sharding = exec_plan.sharding
+        if query_batch_size is not None:
+            rows = query_batch_size
+        elif sharding is not None and sharding.sharded:
+            # The planner's joint shard/tile decision: tiles shrink to
+            # an even split across the workers.
+            rows = sharding.rows_per_shard
+        else:
+            rows = exec_plan.batching.rows_per_batch
         return execute(self._spec, queries, self.targets, k, rng=self._rng,
                        device=self.device, plan=join_plan,
-                       query_batch_size=rows, **options)
+                       query_batch_size=rows, workers=workers, pool=pool,
+                       **options)
 
     def query_one(self, point, k, **options):
         """k nearest prepared targets of a single point.
@@ -205,16 +232,16 @@ class SweetKNN:
         """k nearest neighbours of every target within the target set."""
         return self.query(self.targets, k, **options)
 
-    def _plan_for(self, n_queries, k, mq, options):
+    def _plan_for(self, n_queries, k, mq, options, workers=None, pool=None):
         knobs = tuple(sorted((name, options[name]) for name in options
                              if name in _DECIDE_KEYS))
-        key = (n_queries, k, mq, knobs)
+        key = (n_queries, k, mq, knobs, workers, pool)
         plan = self._plans.get(key)
         if plan is None:
             plan = plan_shape(n_queries, len(self.targets), k,
                               self.index.dim, method=self._spec.name,
                               device=self.device, mq=mq, mt=self.index.mt,
-                              **dict(knobs))
+                              workers=workers, pool=pool, **dict(knobs))
             self._plans[key] = plan
         return plan
 

@@ -56,6 +56,10 @@ __all__ = [
 #: widens the examined set, so exactness is preserved.
 BOUND_COMPARISON_RTOL = 1e-12
 
+#: Chunk budget (in float64 elements, ~32 MB) for the batched ``calUB``
+#: pooling intermediate in :func:`cluster_upper_bounds`.
+_POOL_CHUNK_ELEMS = 4_000_000
+
 
 def bound_comparison_tol(q2tc, ub):
     """Absolute comparison slack for one cluster's member scan.
@@ -80,10 +84,21 @@ def tail_bound_matrix(target_clusters, k):
     ct = target_clusters
     k = int(k)
     tails = np.full((ct.n_clusters, k), np.inf, dtype=np.float64)
-    for cid, dists in enumerate(ct.member_dists):
-        take = min(k, dists.size)
-        if take:
-            tails[cid, :take] = dists[-take:][::-1]
+    sizes = np.array([dists.size for dists in ct.member_dists],
+                     dtype=np.int64)
+    total = int(sizes.sum())
+    if total == 0:
+        return tails
+    # One gather instead of a per-cluster Python loop: cluster ``cid``'s
+    # j-th smallest distance is ``dists[size - 1 - j]`` (members are
+    # stored descending), i.e. position ``end[cid] - 1 - j`` of the
+    # concatenated distance array.
+    flat = np.concatenate(ct.member_dists)
+    ends = np.cumsum(sizes)
+    cols = np.arange(k)
+    valid = cols[None, :] < np.minimum(sizes, k)[:, None]
+    source = ends[:, None] - 1 - cols[None, :]
+    tails[valid] = flat[source[valid]]
     return tails
 
 
@@ -105,14 +120,23 @@ def cluster_upper_bounds(query_clusters, target_clusters, center_dists, k,
     if tails is None:
         tails = tail_bound_matrix(target_clusters, k)
     k = int(k)
-    ubs = np.empty(query_clusters.n_clusters, dtype=np.float64)
-    radius_q = query_clusters.radius
-    for qc in range(query_clusters.n_clusters):
-        pooled = (radius_q[qc] + center_dists[qc][:, None] + tails).ravel()
-        if k < pooled.size:
-            ubs[qc] = np.partition(pooled, k - 1)[k - 1]
+    mq = query_clusters.n_clusters
+    radius_q = np.asarray(query_clusters.radius, dtype=np.float64)
+    center_dists = np.asarray(center_dists, dtype=np.float64)
+    pooled_per_qc = tails.size  # |CT| * k candidate bounds per query cluster
+    ubs = np.empty(mq, dtype=np.float64)
+    # Batched over query clusters, in chunks that keep the pooled
+    # (rows, |CT|, k) intermediate under a fixed footprint.
+    chunk = max(1, int(_POOL_CHUNK_ELEMS // max(1, pooled_per_qc)))
+    for start in range(0, mq, chunk):
+        stop = min(start + chunk, mq)
+        pooled = (radius_q[start:stop, None, None]
+                  + center_dists[start:stop, :, None]
+                  + tails[None, :, :]).reshape(stop - start, -1)
+        if k < pooled_per_qc:
+            ubs[start:stop] = np.partition(pooled, k - 1, axis=1)[:, k - 1]
         else:
-            ubs[qc] = pooled.max()
+            ubs[start:stop] = pooled.max(axis=1)
     return ubs
 
 
@@ -134,16 +158,23 @@ def level1_filter(query_clusters, target_clusters, center_dists, ubs):
     list of ndarray
         Per query cluster, the candidate target-cluster ids.
     """
-    radius_q = query_clusters.radius
-    radius_t = target_clusters.radius
-    sizes = target_clusters.cluster_sizes()
-    candidates = []
-    for qc in range(query_clusters.n_clusters):
-        lbs = center_dists[qc] - radius_q[qc] - radius_t
-        keep = np.flatnonzero((lbs <= ubs[qc]) & (sizes > 0))
-        order = np.argsort(center_dists[qc][keep], kind="stable")
-        candidates.append(keep[order])
-    return candidates
+    radius_q = np.asarray(query_clusters.radius, dtype=np.float64)
+    radius_t = np.asarray(target_clusters.radius, dtype=np.float64)
+    sizes = np.asarray(target_clusters.cluster_sizes())
+    center_dists = np.asarray(center_dists, dtype=np.float64)
+    # All |CQ| x |CT| pairs at once: the per-cluster Python loop this
+    # replaces computed the same lower bounds row by row.  Dropped pairs
+    # are masked to inf so a single stable argsort along axis 1 yields,
+    # per row, the survivors in ascending centre distance followed by
+    # the masked columns — exactly ``keep[argsort(cd[keep])]`` because
+    # a stable sort preserves index order among equal (inf) keys.
+    lbs = center_dists - radius_q[:, None] - radius_t[None, :]
+    keep = (lbs <= ubs[:, None]) & (sizes > 0)[None, :]
+    masked = np.where(keep, center_dists, np.inf)
+    order = np.argsort(masked, axis=1, kind="stable")
+    counts = keep.sum(axis=1)
+    return [order[qc, :counts[qc]].copy()
+            for qc in range(query_clusters.n_clusters)]
 
 
 # ----------------------------------------------------------------------

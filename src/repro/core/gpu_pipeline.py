@@ -129,11 +129,12 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     # Step 2: level-1 filtering (calUB + Algorithm 1)
     # ------------------------------------------------------------------
     with obs.span("kernel:level1", k=k) as level1_span:
-        plan.run_level1(k)
+        ubs_all, candidates = plan.level1(k)
+        cand_pairs = int(sum(c.size for c in candidates))
         if account_prepare:
             _account_level1(pipeline, plan, k, dim, point_txns, dist_flops,
-                            device, launch, cost_model)
-        level1_span.annotate(candidate_cluster_pairs=plan.candidate_pairs())
+                            device, launch, cost_model, cand_pairs)
+        level1_span.annotate(candidate_cluster_pairs=cand_pairs)
 
     # ------------------------------------------------------------------
     # Step 3: level-2 filtering (Algorithm 2 / partial variant)
@@ -155,8 +156,7 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
         init_distance_computations=(
             (cq.init_distance_computations + ct.init_distance_computations)
             if account_prepare else 0),
-        candidate_cluster_pairs=(plan.candidate_pairs()
-                                 if account_prepare else 0),
+        candidate_cluster_pairs=(cand_pairs if account_prepare else 0),
     )
 
     # The funnel's level-1 survivor pairs: for each active query, the
@@ -164,7 +164,7 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
     target_sizes = np.asarray(ct.cluster_sizes(), dtype=np.int64)
     survivors_per_qc = np.array(
         [int(target_sizes[cand].sum()) if cand.size else 0
-         for cand in plan.candidates], dtype=np.int64)
+         for cand in candidates], dtype=np.int64)
     stats.level1_survivor_pairs = int(
         survivors_per_qc[cq.assignment[active]].sum())
 
@@ -193,7 +193,7 @@ def run_ti_gpu(queries, targets, k, rng, config_for, device=None,
                 for q, spec in warp_lanes:
                     qc = cq.assignment[q]
                     result, trace, log = scan_query_logged(
-                        queries[q], ct, plan.candidates[qc], plan.ubs[qc], k,
+                        queries[q], ct, candidates[qc], ubs_all[qc], k,
                         config.layout, strength=config.filter_strength,
                         spec=spec if tpq > 1 else None,
                         point_hit_rate=point_hit, epsilon=epsilon)
@@ -370,7 +370,7 @@ def _account_init(pipeline, plan, dim, point_txns, dist_flops, device,
 
 
 def _account_level1(pipeline, plan, k, dim, point_txns, dist_flops, device,
-                    launch, cost_model):
+                    launch, cost_model, candidate_pairs):
     """Account the Step-2 kernels.
 
     * ``calUB``: |CQ| threads, each pooling k bounds from every target
@@ -392,7 +392,7 @@ def _account_level1(pipeline, plan, k, dim, point_txns, dist_flops, device,
     group = KernelProfile(name="level1_groupfilter")
     account_ragged(group, [1] * (mq * mt), flops_per_step=dist_flops + 4.0,
                    l2_per_warp_step=float(point_txns + dim),
-                   atomics_total=plan.candidate_pairs(),
+                   atomics_total=candidate_pairs,
                    cost_model=cost_model)
     finalize_kernel(group, device, launch, cost_model)
     pipeline.add(group)

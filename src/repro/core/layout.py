@@ -17,6 +17,7 @@ point load under each layout, used by the scan kernels' lane logs.
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 __all__ = ["Layout", "point_load_transactions"]
 
@@ -42,9 +43,11 @@ class Layout(str, Enum):
 _SECTOR_FRACTION = 32 / _TRANSACTION
 
 
+@lru_cache(maxsize=None)
 def point_load_transactions(dim, layout):
     """Memory cost of one scattered point load, in 128-byte
-    transaction equivalents.
+    transaction equivalents.  Pure in ``(dim, layout)`` and called once
+    per scan step by the lane logs, so the result is memoized.
 
     Row-major: the point is ``4 * dim`` contiguous bytes →
     ``ceil(4 dim / 128)`` full transactions (float4 vector loads do
@@ -65,8 +68,10 @@ def point_load_transactions(dim, layout):
     return dim * _SECTOR_FRACTION
 
 
+@lru_cache(maxsize=None)
 def point_load_instructions(dim, layout):
-    """Load instructions (steps) issued to read one point.
+    """Load instructions (steps) issued to read one point; memoized
+    like :func:`point_load_transactions`.
 
     Row-major uses ``float4`` vector loads (``ceil(d / 4)``
     instructions); column-major needs one scalar load per dimension.

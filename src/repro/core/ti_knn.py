@@ -13,12 +13,12 @@ sensitivity benches sweep k over fixed clusters).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..engine.base import EngineCaps, EngineSpec
-from .bounds import euclidean_many
 from .clustering import center_distances, cluster_points
 from .filters import (cluster_upper_bounds, level1_filter, point_filter_full,
                       point_filter_partial)
@@ -43,6 +43,20 @@ class JoinPlan:
     candidates: list = None
     _level1_cache: dict = field(default_factory=dict, repr=False)
 
+    def __post_init__(self):
+        self._level1_lock = threading.Lock()
+
+    def __getstate__(self):
+        # A JoinPlan is shipped to pool workers by pickle; the lock is
+        # process-local state and is recreated on unpickling.
+        state = self.__dict__.copy()
+        state.pop("_level1_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._level1_lock = threading.Lock()
+
     @property
     def mq(self):
         return self.query_clusters.n_clusters
@@ -51,25 +65,40 @@ class JoinPlan:
     def mt(self):
         return self.target_clusters.n_clusters
 
-    def run_level1(self, k):
-        """Compute the upper bounds and candidate lists for ``k``.
+    def level1(self, k):
+        """The ``(ubs, candidates)`` pair for ``k``, cached per ``k``.
 
-        Results are cached per ``k``: an index queried many times (or a
-        batched join re-entering the pipeline per tile) pays the
-        level-1 cost once per distinct ``k``.
+        Thread-safe and non-mutating: shard workers sharing one plan
+        (possibly with different ``k``) each read a consistent pair
+        instead of racing on the ``ubs``/``candidates`` attributes.
+        An index queried many times (or a batched join re-entering the
+        pipeline per tile) pays the level-1 cost once per distinct
+        ``k``.
         """
         k = int(k)
         cached = self._level1_cache.get(k)
         if cached is None:
-            ubs = cluster_upper_bounds(
-                self.query_clusters, self.target_clusters, self.center_dists,
-                k)
-            candidates = level1_filter(
-                self.query_clusters, self.target_clusters, self.center_dists,
-                ubs)
-            cached = (ubs, candidates)
-            self._level1_cache[k] = cached
-        self.ubs, self.candidates = cached
+            with self._level1_lock:
+                cached = self._level1_cache.get(k)
+                if cached is None:
+                    ubs = cluster_upper_bounds(
+                        self.query_clusters, self.target_clusters,
+                        self.center_dists, k)
+                    candidates = level1_filter(
+                        self.query_clusters, self.target_clusters,
+                        self.center_dists, ubs)
+                    cached = (ubs, candidates)
+                    self._level1_cache[k] = cached
+        return cached
+
+    def run_level1(self, k):
+        """Compute and store the bounds and candidate lists for ``k``.
+
+        Mutating convenience wrapper around :meth:`level1` (the stored
+        ``ubs``/``candidates`` attributes are what single-threaded
+        callers and older tests read).
+        """
+        self.ubs, self.candidates = self.level1(k)
         return self
 
     def candidate_pairs(self):
@@ -151,7 +180,7 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
 
     if plan is None:
         plan = prepare_clusters(queries, targets, rng, mq=mq, mt=mt)
-    plan.run_level1(k)
+    ubs_all, candidates = plan.level1(k)
 
     n_q = len(queries)
     if query_subset is None:
@@ -170,28 +199,32 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
         init_distance_computations=(
             (cq.init_distance_computations + ct.init_distance_computations)
             if account_prepare else 0),
-        candidate_cluster_pairs=(plan.candidate_pairs()
-                                 if account_prepare else 0),
+        candidate_cluster_pairs=(
+            int(sum(c.size for c in candidates)) if account_prepare else 0),
     )
 
     target_sizes = np.asarray(ct.cluster_sizes(), dtype=np.int64)
 
     per_query = [None] * len(active)
     for qc in range(cq.n_clusters):
-        ub = plan.ubs[qc]
-        cand = plan.candidates[qc]
+        ub = ubs_all[qc]
+        cand = candidates[qc]
+        members = cq.members[qc]
+        scanned = members[active_mask[members]] if members.size else members
+        if scanned.size == 0:
+            continue
         # Points inside this cluster's level-1 survivors: the funnel's
         # "level-1 survivor pairs" contribution of each member query.
         cluster_pairs = int(target_sizes[cand].sum()) if cand.size else 0
-        for q in cq.members[qc]:
-            if not active_mask[q]:
-                continue
+        # Algorithm 2 line 6 computes the query-to-centre distances
+        # inside the scan; precomputing the rows — batched over every
+        # active member of this cluster — keeps the counters identical
+        # while letting numpy do the arithmetic once per cluster.
+        rows = _center_rows(queries[scanned], ct, cand)
+        for local, q in enumerate(scanned):
             stats.level1_survivor_pairs += cluster_pairs
             query_point = queries[q]
-            # Algorithm 2 line 6 computes the query-to-centre distances
-            # inside the scan; precomputing the row keeps the counters
-            # identical while letting numpy do the arithmetic.
-            row = _center_row(query_point, ct, cand)
+            row = rows[local]
             if filter_strength == "full":
                 heap, trace = point_filter_full(
                     query_point, q, ct, cand, ub, k, center_dists_row=row)
@@ -211,13 +244,21 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
                      method="ti-knn-cpu/%s" % filter_strength)
 
 
-def _center_row(query_point, target_clusters, candidate_ids):
-    """Distances from one query to each candidate cluster's centre."""
-    row = np.full(target_clusters.n_clusters, np.nan)
+def _center_rows(query_points, target_clusters, candidate_ids):
+    """Distances from each query to each candidate cluster's centre.
+
+    Batched form of Algorithm 2 line 6 for one query cluster: one
+    (n_active, |candidates|) einsum replaces a per-query
+    ``euclidean_many`` call, bit-for-bit (same subtraction and
+    reduction per element).  Non-candidate columns stay NaN.
+    """
+    rows = np.full((len(query_points), target_clusters.n_clusters), np.nan)
     if candidate_ids.size:
-        row[candidate_ids] = euclidean_many(
-            target_clusters.centers[candidate_ids], query_point)
-    return row
+        diff = (target_clusters.centers[candidate_ids][None, :, :]
+                - query_points[:, None, :])
+        rows[:, candidate_ids] = np.sqrt(
+            np.einsum("ijk,ijk->ij", diff, diff))
+    return rows
 
 
 # ----------------------------------------------------------------------

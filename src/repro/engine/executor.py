@@ -20,6 +20,14 @@ unbatched totals (the shared preparation is accounted on the first
 batch only, via ``account_prepare``).  Engines without prepared-index
 support are batched by plain row slicing, which is counter-additive by
 construction.
+
+With ``workers > 1`` the same tiles fan out across a
+:mod:`repro.parallel` worker pool instead of running sequentially.
+Sharded execution inherits the batched path's contract wholesale —
+each worker rebuilds (or receives) the identical Step-1 plan, exactly
+one shard accounts the preparation, and the per-shard results merge in
+tile order — so results and summed counters stay bit-for-bit equal to
+the serial run.
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ import numpy as np
 
 from .. import obs
 from ..errors import ValidationError
+from ..parallel import get_pool, plan_shards, resolve_pool_kind, \
+    resolve_workers
+from ..parallel.worker import ShardJob, ShardTask, plan_cache_key
 from .base import ExecutionContext
 from .planner import partition_ranges, plan_shape
 
@@ -35,7 +46,7 @@ __all__ = ["execute"]
 
 
 def execute(spec, queries, targets, k, rng=None, device=None,
-            query_batch_size=None, **options):
+            query_batch_size=None, workers=None, pool=None, **options):
     """Run ``spec`` on the join, batching oversized query sets.
 
     Parameters
@@ -48,6 +59,12 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         Force a tile size (tests, experiments).  ``None`` asks the
         planner, which only batches prepared-index device engines whose
         working set exceeds device memory.
+    workers, pool:
+        Fan the query tiles across a :mod:`repro.parallel` worker pool
+        (``pool`` is ``"process"``/``"thread"``/``"serial"``).  Both
+        default to the ``REPRO_WORKERS``/``REPRO_POOL`` environment
+        and ultimately to serial execution; sharded and serial runs
+        return bit-identical results and summed counters.
     options:
         Engine options, forwarded verbatim.  ``plan`` (a prebuilt
         :class:`~repro.core.ti_knn.JoinPlan`) and ``mq``/``mt`` are
@@ -57,7 +74,8 @@ def execute(spec, queries, targets, k, rng=None, device=None,
     with obs.span("engine.execute", engine=spec.name, n_queries=int(n_q),
                   n_targets=int(len(targets)), k=int(k)) as sp:
         result = _execute(spec, queries, targets, k, rng=rng, device=device,
-                          query_batch_size=query_batch_size, **options)
+                          query_batch_size=query_batch_size, workers=workers,
+                          pool=pool, **options)
         sp.annotate(method=result.method,
                     saved_fraction=round(result.stats.saved_fraction, 4))
         if result.profile is not None:
@@ -72,12 +90,22 @@ def execute(spec, queries, targets, k, rng=None, device=None,
 
 
 def _execute(spec, queries, targets, k, rng=None, device=None,
-             query_batch_size=None, **options):
+             query_batch_size=None, workers=None, pool=None, **options):
     n_q = len(queries)
     prepared_plan = (options.pop("plan", None)
                      if spec.caps.supports_prepared_index else None)
     rows = _resolve_rows(spec, queries, targets, k, device,
                          query_batch_size, options)
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        shard_plan = plan_shards(n_q, rows, n_workers,
+                                 kind=resolve_pool_kind(pool),
+                                 fixed_rows=query_batch_size is not None)
+        if shard_plan.sharded:
+            return _execute_sharded(spec, queries, targets, k, shard_plan,
+                                    rng=rng, device=device,
+                                    prepared_plan=prepared_plan, **options)
 
     if rows >= n_q:
         ctx = ExecutionContext(rng=rng, device=device, plan=prepared_plan)
@@ -115,6 +143,77 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
 
     from ..core.result import merge_batch_results
     return merge_batch_results(batches, n_q, k)
+
+
+def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
+                     device=None, prepared_plan=None, **options):
+    """Fan the query tiles across the worker pool; merge in tile order.
+
+    Tiles are dealt round-robin into one task per worker, so the input
+    arrays (and, when the caller prebuilt one, the Step-1 plan) are
+    pickled once per worker rather than once per tile.  Tile 0 is the
+    job's accounting shard (``account_prepare``), mirroring the serial
+    batched path, so summed counters equal the unbatched totals.
+    """
+    n_q = len(queries)
+    mode = "shared" if spec.caps.supports_prepared_index else "slice"
+    mq = mt = None
+    plan_key = None
+    budget = device.global_mem_bytes if device is not None else None
+    if mode == "shared":
+        mq = options.pop("mq", None)
+        mt = options.pop("mt", None)
+        plan_key = plan_cache_key(queries, targets, rng=rng, mq=mq, mt=mt,
+                                  memory_budget_bytes=budget,
+                                  plan=prepared_plan)
+
+    job = ShardJob(engine=spec.name, mode=mode, queries=queries,
+                   targets=targets, k=int(k), rng=rng, device=device,
+                   options=dict(options), mq=mq, mt=mt,
+                   memory_budget_bytes=budget, plan=prepared_plan,
+                   plan_key=plan_key, account_index=0)
+    ranges = shard_plan.ranges(n_q)
+    chunks = [[] for _ in range(shard_plan.workers)]
+    for index, (start, stop) in enumerate(ranges):
+        chunks[index % shard_plan.workers].append(
+            (index, int(start), int(stop)))
+    tasks = [ShardTask(job=job, shards=tuple(chunk))
+             for chunk in chunks if chunk]
+
+    worker_pool = get_pool(shard_plan.workers, shard_plan.kind)
+    with obs.span("engine.shard_fanout", workers=shard_plan.workers,
+                  shards=len(ranges), pool=worker_pool.kind,
+                  rows_per_shard=shard_plan.rows_per_shard):
+        outcomes = worker_pool.run(tasks)
+    outcomes.sort(key=lambda outcome: outcome.index)
+
+    # Workers run without a tracer (fresh threads/processes), so the
+    # parent re-emits one span per shard and publishes the pool gauges;
+    # the merged stats are published once by execute()'s outer span.
+    tracer = obs.current_tracer()
+    if tracer is not None:
+        tracer.registry.gauge("parallel.workers").set(shard_plan.workers)
+        tracer.registry.counter("parallel.shards").inc(len(outcomes))
+    for outcome in outcomes:
+        with obs.span("engine.shard", index=outcome.index,
+                      start=outcome.start, stop=outcome.stop,
+                      worker=outcome.worker, cache_hit=outcome.cache_hit,
+                      wall_s=round(outcome.wall_s, 6)):
+            pass
+
+    from ..core.result import merge_batch_results
+    with obs.span("engine.shard_merge", shards=len(outcomes)):
+        merged = merge_batch_results(
+            [(np.arange(outcome.start, outcome.stop), outcome.result)
+             for outcome in outcomes], n_q, k)
+    merged.stats.extra["workers"] = shard_plan.workers
+    merged.stats.extra["shards"] = len(outcomes)
+    merged.stats.extra["pool"] = worker_pool.kind
+    merged.stats.extra["shard_cache_hits"] = sum(
+        1 for outcome in outcomes if outcome.cache_hit)
+    merged.stats.extra["shard_wall_s"] = [round(outcome.wall_s, 6)
+                                          for outcome in outcomes]
+    return merged
 
 
 def _resolve_rows(spec, queries, targets, k, device, query_batch_size,

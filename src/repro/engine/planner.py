@@ -132,6 +132,7 @@ class ExecutionPlan:
     config: object
     batching: QueryBatchPlan
     device: object = None
+    sharding: object = None  # repro.parallel.ShardPlan
 
     def describe(self):
         """Flat dict for logging (bench harness, CLI ``plan``)."""
@@ -143,6 +144,12 @@ class ExecutionPlan:
             "query_batches": self.batching.n_batches,
             "rows_per_batch": self.batching.rows_per_batch,
         }
+        if self.sharding is not None:
+            info["workers"] = self.sharding.workers
+            info["shards"] = self.sharding.n_shards
+            if self.sharding.sharded:
+                info["rows_per_shard"] = self.sharding.rows_per_shard
+                info["pool"] = self.sharding.kind
         if self.config is not None:
             info.update(self.config.describe())
         if self.device is not None:
@@ -151,23 +158,29 @@ class ExecutionPlan:
 
 
 def plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
-               mq=None, mt=None, **overrides):
+               mq=None, mt=None, workers=None, pool=None, **overrides):
     """Plan a join from its shape alone (no point data needed).
 
     This is the planner core; :func:`plan` is the array-taking wrapper.
+    ``workers``/``pool`` feed the sharding decision (see
+    :mod:`repro.parallel`); both default to the ``REPRO_WORKERS`` /
+    ``REPRO_POOL`` environment and ultimately to serial execution.
     """
     with obs.span("planner.plan", method=method, n_queries=int(n_queries),
                   n_targets=int(n_targets), k=int(k), dim=int(dim)) as sp:
         exec_plan = _plan_shape(n_queries, n_targets, k, dim, method=method,
-                                device=device, mq=mq, mt=mt, **overrides)
+                                device=device, mq=mq, mt=mt, workers=workers,
+                                pool=pool, **overrides)
         sp.annotate(mq=exec_plan.mq, mt=exec_plan.mt,
                     rows_per_batch=exec_plan.batching.rows_per_batch,
-                    query_batches=exec_plan.batching.n_batches)
+                    query_batches=exec_plan.batching.n_batches,
+                    workers=exec_plan.sharding.workers,
+                    shards=exec_plan.sharding.n_shards)
         return exec_plan
 
 
 def _plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
-                mq=None, mt=None, **overrides):
+                mq=None, mt=None, workers=None, pool=None, **overrides):
     # Imported lazily so the planner module itself has no core/gpu
     # dependencies (several core modules import the partition budgets
     # above at import time).
@@ -216,11 +229,16 @@ def _plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
     rows = max(1, int(rows))
     n_batches = max(1, -(-n_queries // rows))
 
+    from ..parallel.shard import plan_shards, resolve_pool_kind, \
+        resolve_workers
+    sharding = plan_shards(n_queries, rows, resolve_workers(workers),
+                           kind=resolve_pool_kind(pool))
+
     return ExecutionPlan(
         method=method, n_queries=n_queries, n_targets=n_targets, k=k,
         dim=dim, mq=int(mq), mt=int(mt), config=config,
         batching=QueryBatchPlan(rows_per_batch=rows, n_batches=n_batches),
-        device=device)
+        device=device, sharding=sharding)
 
 
 def plan(queries, targets, k, method="sweet", device=None, mq=None, mt=None,

@@ -1,0 +1,214 @@
+"""Worker-side shard execution and the per-worker prepared-state cache.
+
+A :class:`ShardTask` is what travels to a pool worker: one shared
+:class:`ShardJob` (the join inputs) plus the list of query tiles that
+worker owns.  For prepared-index engines the worker resolves the shared
+Step-1 state — the :class:`~repro.core.ti_knn.JoinPlan` — through a
+module-level cache keyed by the same content fingerprint the serving
+layer's ``IndexStore`` uses (:func:`repro.engine.prepared.\
+fingerprint_points`), so each worker process clusters a given input
+once and reuses it across shards *and* across requests.
+
+Determinism: when no prebuilt plan ships with the job, the worker
+rebuilds it with the caller's pickled ``numpy`` Generator.  Pickling
+preserves the generator's exact state and ``prepare_clusters`` is the
+only consumer of randomness in the pipeline, so every worker derives a
+bit-identical plan and every shard makes exactly the decisions the
+serial run would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ShardJob", "ShardTask", "ShardOutcome", "run_shard_task",
+    "plan_cache_key", "prepared_cache_info", "clear_prepared_cache",
+]
+
+#: Distinct prepared states kept per worker; each entry holds a full
+#: JoinPlan (clusters + centre-distance matrix), so the cache is small.
+PREPARED_CACHE_ENTRIES = 8
+
+_cache = OrderedDict()       # plan key -> JoinPlan
+_cache_lock = threading.Lock()
+_build_locks = {}            # plan key -> per-key build lock
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """The per-join inputs shared by every shard of one execution."""
+
+    engine: str
+    mode: str                # "shared" (prepared plan) | "slice" (row slice)
+    queries: np.ndarray
+    targets: np.ndarray
+    k: int
+    rng: object = None
+    device: object = None
+    options: dict = field(default_factory=dict)
+    mq: object = None
+    mt: object = None
+    memory_budget_bytes: object = None
+    plan: object = None      # prebuilt JoinPlan, when the caller has one
+    plan_key: str = None
+    account_index: int = 0   # the one shard that accounts preparation
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker's share of a job: the job plus its query tiles."""
+
+    job: ShardJob
+    shards: tuple            # ((tile index, start, stop), ...)
+
+
+@dataclass
+class ShardOutcome:
+    """One executed tile, tagged for deterministic tile-order merging."""
+
+    index: int
+    start: int
+    stop: int
+    result: object
+    worker: str = ""
+    cache_hit: bool = False
+    wall_s: float = 0.0
+
+
+def plan_cache_key(queries, targets, rng=None, mq=None, mt=None,
+                   memory_budget_bytes=None, plan=None):
+    """Content fingerprint identifying one shared prepared state.
+
+    Two executions share a worker-side plan entry exactly when they
+    would build (or shipped) the same Step-1 state: same query and
+    target contents, same landmark knobs, and — when the plan is built
+    worker-side — the same generator state.  Prebuilt plans are pinned
+    by their landmark selections and centre-distance table instead, so
+    two indexes over identical data but different seeds stay distinct.
+    """
+    from ..engine.prepared import fingerprint_points
+
+    digest = hashlib.sha1()
+    digest.update(fingerprint_points(np.asarray(queries)).encode())
+    digest.update(fingerprint_points(np.asarray(targets)).encode())
+    digest.update(repr((mq, mt, memory_budget_bytes)).encode())
+    if plan is not None:
+        digest.update(b"prebuilt")
+        digest.update(np.ascontiguousarray(
+            plan.query_clusters.center_indices).tobytes())
+        digest.update(np.ascontiguousarray(
+            plan.target_clusters.center_indices).tobytes())
+        digest.update(np.ascontiguousarray(plan.center_dists).tobytes())
+    else:
+        digest.update(b"build")
+        state = (repr(rng.bit_generator.state) if rng is not None
+                 else "no-rng")
+        digest.update(state.encode())
+    return digest.hexdigest()
+
+
+def _worker_name():
+    import multiprocessing
+
+    process = multiprocessing.current_process().name
+    if process != "MainProcess":
+        return process
+    return threading.current_thread().name
+
+
+def _prepared_plan(job):
+    """The job's shared JoinPlan, from the cache or built once per key.
+
+    Concurrent builders of the same key serialise on a per-key lock so
+    a plan is built (or adopted from the shipped copy) exactly once per
+    worker; late arrivals count as cache hits.
+    """
+    key = job.plan_key
+    with _cache_lock:
+        plan = _cache.get(key)
+        if plan is not None:
+            _cache.move_to_end(key)
+            return plan, True
+        lock = _build_locks.setdefault(key, threading.Lock())
+    with lock:
+        with _cache_lock:
+            plan = _cache.get(key)
+            if plan is not None:
+                _cache.move_to_end(key)
+                return plan, True
+        if job.plan is not None:
+            plan = job.plan
+        else:
+            from ..core.ti_knn import prepare_clusters
+
+            plan = prepare_clusters(
+                job.queries, job.targets, job.rng, mq=job.mq, mt=job.mt,
+                memory_budget_bytes=job.memory_budget_bytes)
+        with _cache_lock:
+            _cache[key] = plan
+            while len(_cache) > PREPARED_CACHE_ENTRIES:
+                _cache.popitem(last=False)
+            _build_locks.pop(key, None)
+        return plan, False
+
+
+def run_shard_task(task):
+    """Execute one worker's tiles; returns a list of ShardOutcomes.
+
+    Runs inside the pool worker (or inline for the serial pool).  The
+    engine call mirrors the executor's serial batched path exactly:
+    prepared-index engines get the shared plan plus a ``query_subset``,
+    other engines get a plain row slice; preparation work is accounted
+    on the job's designated shard only, so merged counters equal the
+    unbatched totals.
+    """
+    from ..engine.base import ExecutionContext
+    from ..engine.registry import get_engine
+
+    job = task.job
+    spec = get_engine(job.engine)
+    worker = _worker_name()
+    plan = None
+    cache_hit = False
+    if job.mode == "shared":
+        plan, cache_hit = _prepared_plan(job)
+
+    outcomes = []
+    for index, start, stop in task.shards:
+        begin = time.perf_counter()
+        if job.mode == "shared":
+            ctx = ExecutionContext(
+                rng=job.rng, device=job.device, plan=plan,
+                query_subset=np.arange(start, stop),
+                account_prepare=(index == job.account_index))
+            result = spec.run(job.queries, job.targets, job.k, ctx,
+                              **job.options)
+        else:
+            ctx = ExecutionContext(rng=job.rng, device=job.device)
+            result = spec.run(job.queries[start:stop], job.targets, job.k,
+                              ctx, **job.options)
+        outcomes.append(ShardOutcome(
+            index=index, start=start, stop=stop, result=result,
+            worker=worker, cache_hit=cache_hit,
+            wall_s=time.perf_counter() - begin))
+    return outcomes
+
+
+def prepared_cache_info():
+    """Snapshot of this process's prepared-state cache (tests, debug)."""
+    with _cache_lock:
+        return {"entries": len(_cache), "keys": list(_cache)}
+
+
+def clear_prepared_cache():
+    """Drop every cached prepared state in this process."""
+    with _cache_lock:
+        _cache.clear()
+        _build_locks.clear()

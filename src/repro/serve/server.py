@@ -89,6 +89,12 @@ class ServeConfig:
     seed, mt:
         Landmark seed / target landmark-count override used when
         preparing indexes (part of the cache key).
+    workers, pool:
+        Shard each coalesced batch across a :mod:`repro.parallel`
+        worker pool (``workers=0`` means one per core; ``pool`` is
+        ``"process"``/``"thread"``/``"serial"``).  Defaults follow
+        ``REPRO_WORKERS``/``REPRO_POOL``; answers are bit-identical to
+        serial execution either way.
     device:
         Device for simulated-GPU engines (defaults to the Tesla K20c).
     store_budget_bytes, store_max_entries:
@@ -112,6 +118,8 @@ class ServeConfig:
     default_deadline_s: float = None
     seed: int = 0
     mt: int = None
+    workers: int = None
+    pool: str = None
     device: object = None
     store_budget_bytes: int = None
     store_max_entries: int = None
@@ -390,13 +398,15 @@ class KNNServer:
                 spec = self._degraded_spec
                 result = execute(
                     spec, batch, first.index.targets, first.k,
-                    rng=self._rng, device=self._device)
+                    rng=self._rng, device=self._device,
+                    workers=self.config.workers, pool=self.config.pool)
             else:
                 spec = self._spec
                 join_plan = first.index.join_plan(batch)
                 result = execute(
                     spec, batch, first.index.targets, first.k,
                     rng=self._rng, device=self._device, plan=join_plan,
+                    workers=self.config.workers, pool=self.config.pool,
                     **first.options)
         except Exception as exc:
             for request in requests:

@@ -1,0 +1,117 @@
+"""Shard planning: joint shard/tile decisions and env resolution."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import (MIN_ROWS_PER_SHARD, ShardPlan, plan_shards,
+                            resolve_pool_kind, resolve_workers)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_zero_and_auto_mean_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(0) >= 1
+        assert resolve_workers("auto") == resolve_workers(0)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_workers("many")
+        with pytest.raises(ValidationError):
+            resolve_workers(-2)
+
+
+class TestResolvePoolKind:
+    def test_default_is_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL", raising=False)
+        assert resolve_pool_kind() == "process"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "thread")
+        assert resolve_pool_kind() == "thread"
+
+    def test_argument_wins_and_validates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "thread")
+        assert resolve_pool_kind("serial") == "serial"
+        with pytest.raises(ValidationError):
+            resolve_pool_kind("fibers")
+
+
+class TestPlanShards:
+    def test_serial_when_one_worker(self):
+        plan = plan_shards(1000, 1000, 1)
+        assert plan == ShardPlan(workers=1, n_shards=1,
+                                 rows_per_shard=1000, kind="process")
+        assert not plan.sharded
+
+    def test_even_split_across_workers(self):
+        plan = plan_shards(400, 400, 4)
+        assert plan.sharded
+        assert plan.workers == 4
+        assert plan.n_shards == 4
+        assert plan.rows_per_shard == 100
+        assert plan.ranges(400) == [(0, 100), (100, 200), (200, 300),
+                                    (300, 400)]
+
+    def test_device_budget_caps_tile_size(self):
+        # Budget rows smaller than the even split: tiles stay within
+        # the device budget and the shard count grows instead.
+        plan = plan_shards(1000, 100, 2)
+        assert plan.rows_per_shard == 100
+        assert plan.n_shards == 10
+        assert plan.workers == 2
+
+    def test_tiny_inputs_collapse_to_serial(self):
+        plan = plan_shards(20, 20, 4)
+        assert not plan.sharded
+        assert plan.workers == 1
+
+    def test_min_rows_floor(self):
+        plan = plan_shards(100, 100, 4)
+        assert plan.rows_per_shard == MIN_ROWS_PER_SHARD
+        assert plan.n_shards == 4
+
+    def test_fixed_rows_honours_forced_tile(self):
+        plan = plan_shards(300, 300, 4, fixed_rows=True)
+        assert plan.rows_per_shard == 300
+        assert plan.n_shards == 1
+        plan = plan_shards(300, 70, 4, fixed_rows=True)
+        assert plan.rows_per_shard == 70
+        assert plan.n_shards == 5
+        assert plan.workers == 4
+
+    def test_describe(self):
+        info = plan_shards(400, 400, 2, kind="thread").describe()
+        assert info == {"workers": 2, "shards": 2, "rows_per_shard": 200,
+                        "pool": "thread"}
+
+
+class TestPlannerIntegration:
+    def test_execution_plan_reports_sharding(self):
+        from repro.engine.planner import plan_shape
+
+        exec_plan = plan_shape(600, 600, 10, 8, method="ti-cpu", workers=3)
+        info = exec_plan.describe()
+        assert info["workers"] == 3
+        assert info["shards"] == 3
+        assert info["rows_per_shard"] == 200
+        assert exec_plan.sharding.sharded
+
+    def test_serial_plan_still_reports_workers(self):
+        from repro.engine.planner import plan_shape
+
+        info = plan_shape(600, 600, 10, 8, method="ti-cpu").describe()
+        assert info["workers"] == 1
+        assert info["shards"] == 1
+        assert "rows_per_shard" not in info

@@ -1,0 +1,35 @@
+"""Serving with sharded execution: answers stay exactly serial."""
+
+import numpy as np
+import pytest
+
+from repro import knn_join
+from repro.serve import KNNServer
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    targets = rng.normal(size=(300, 6))
+    queries = rng.normal(size=(120, 6))
+    return targets, queries
+
+
+class TestServerWorkers:
+    def test_sharded_server_matches_direct_join(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu", workers=2, pool="thread",
+                       max_batch_size=256, max_wait_s=0.005) as server:
+            response = server.query(queries, targets, k=5)
+        direct = knn_join(queries, targets, 5, method="ti-cpu")
+        assert np.array_equal(response.indices, direct.indices)
+        assert np.array_equal(response.distances, direct.distances)
+
+    def test_worker_config_defaults_to_serial(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu", max_wait_s=0.005) as server:
+            assert server.config.workers is None
+            response = server.query(queries[:10], targets, k=4)
+        direct = knn_join(queries[:10], targets, 4, method="ti-cpu")
+        assert np.array_equal(response.indices, direct.indices)
+        assert np.array_equal(response.distances, direct.distances)
