@@ -28,18 +28,20 @@ from .datasets import load as load_dataset
 from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
                      engine_names, get_engine, plan, register, unregister)
 from .gpu import DeviceSpec, tesla_k20c
+from .index import Index, UpdatePolicy
 from .serve import KNNServer, ServeConfig
 
 # Library logging convention: repro logs under the "repro" hierarchy
 # and stays silent unless the application configures handlers.
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
     "basic_ti_knn", "ti_knn_join",
     "brute_force_knn", "cublas_knn", "kdtree_knn",
+    "Index", "UpdatePolicy",
     "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",
     "engine_names", "get_engine", "plan", "register", "unregister",
     "KNNServer", "ServeConfig", "obs",

@@ -20,7 +20,14 @@ Commands
     Open-loop load generation against an in-process
     :class:`~repro.serve.KNNServer`; prints the serving stats table
     (latency percentiles, batch occupancy, cache hit rate, rejection
-    and expiry counts).
+    and expiry counts).  ``--index-dir`` preloads a saved index into
+    the server's store (memory-mapped) so the first request is warm.
+``index build`` / ``index inspect`` / ``index update``
+    The prepared-index lifecycle (:mod:`repro.index`): cluster a
+    target set once and persist it to a directory; print a saved
+    index's manifest; apply incremental add/remove updates in place.
+    ``run --index-dir`` executes the join against a saved index
+    without rebuilding it.
 ``trace``
     Run any other command under an active tracer and export the
     telemetry: a Perfetto-loadable Chrome trace (``--trace-out``,
@@ -40,6 +47,11 @@ Examples
 
     python -m repro run --dataset kegg -k 20
     python -m repro run --n 5000 --dim 32 -k 10 --method ti-gpu
+    python -m repro index build --n 5000 --dim 16 --out idx/
+    python -m repro index inspect idx/
+    python -m repro index update idx/ --add 100 --remove 3,17
+    python -m repro run --index-dir idx/ --n 500 --dim 16 -k 10
+    python -m repro serve-bench --index-dir idx/ --requests 200 -k 10
     python -m repro compare --dataset skin -k 20
     python -m repro compare --n 800 -k 10 --methods brute,ti-cpu,sweet
     python -m repro adaptive --n 100 --dim 10000 -k 20
@@ -82,8 +94,37 @@ def build_parser():
     _workers_arg(run)
     run.add_argument("--query-batch-size", type=int, default=None,
                      help="force the dispatcher's query-tile size")
+    run.add_argument("--index-dir", default=None, metavar="DIR",
+                     help="query against a saved index (mmap-loaded) "
+                          "instead of building one")
     run.add_argument("--check", action="store_true",
                      help="also run brute force and verify exactness")
+
+    index = sub.add_parser(
+        "index", help="build / inspect / update a saved index")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build", help="cluster a target set and save it to a directory")
+    _data_args(build)
+    build.add_argument("--out", required=True, metavar="DIR",
+                       help="index output directory")
+    build.add_argument("--mt", type=int, default=None,
+                       help="target landmark-count override")
+    inspect = index_sub.add_parser(
+        "inspect", help="print a saved index's manifest summary")
+    inspect.add_argument("dir", metavar="DIR",
+                         help="index directory to inspect")
+    update = index_sub.add_parser(
+        "update", help="apply incremental add/remove updates in place")
+    update.add_argument("dir", metavar="DIR",
+                        help="index directory to update")
+    update.add_argument("--add", type=int, default=0, metavar="N",
+                        help="insert N synthetic points drawn near "
+                             "existing targets")
+    update.add_argument("--remove", default=None, metavar="I,J,...",
+                        help="comma-separated row ids to tombstone")
+    update.add_argument("--seed", type=int, default=0,
+                        help="seed for the synthetic added points")
 
     compare = sub.add_parser("compare",
                              help="baseline vs KNN-TI vs Sweet KNN")
@@ -120,6 +161,9 @@ def build_parser():
     serve.add_argument("--degraded-method", default="brute",
                        help="fallback engine under overload "
                             "('none' disables degradation)")
+    serve.add_argument("--index-dir", default=None, metavar="DIR",
+                       help="preload a saved index into the server's "
+                            "store (memory-mapped warm start)")
     serve.add_argument("--check", action="store_true",
                        help="verify served answers against a direct "
                             "knn_join of the same queries")
@@ -221,13 +265,32 @@ def _profile_row(label, result, baseline=None):
 
 
 def cmd_run(args, out):
-    points, device, name = _load_points(args)
     spec = get_engine(args.method)
-    result = knn_join(points, points, args.k, method=args.method,
-                      seed=args.seed,
-                      device=device if spec.caps.needs_device else None,
-                      query_batch_size=args.query_batch_size,
-                      workers=args.workers, pool=args.pool)
+    index = None
+    if args.index_dir:
+        from .core.api import SweetKNN
+        from .index import Index
+
+        index = Index.load(args.index_dir)
+        if not args.dataset:
+            # Synthetic queries must live in the index's space, not the
+            # --dim default.
+            args.dim = index.dim
+    points, device, name = _load_points(args)
+    if args.index_dir:
+        knn = SweetKNN.from_index(
+            index, method=args.method,
+            device=device if spec.caps.needs_device else None,
+            workers=args.workers, pool=args.pool)
+        result = knn.query(points, args.k,
+                           query_batch_size=args.query_batch_size)
+        name = "%s -> index %s" % (name, args.index_dir)
+    else:
+        result = knn_join(points, points, args.k, method=args.method,
+                          seed=args.seed,
+                          device=device if spec.caps.needs_device else None,
+                          query_batch_size=args.query_batch_size,
+                          workers=args.workers, pool=args.pool)
     out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
     if result.sim_time_s is not None:
         out.write("simulated K20c time: %.3f ms\n"
@@ -238,8 +301,74 @@ def cmd_run(args, out):
     if result.stats.extra:
         out.write("decisions: %s\n" % (result.stats.extra,))
     if args.check:
-        oracle = knn_join(points, points, args.k, method="brute")
-        out.write("exact vs brute force: %s\n" % result.matches(oracle))
+        if index is not None:
+            active = index.active_ids()
+            oracle = knn_join(points, index.targets[active], args.k,
+                              method="brute")
+            exact = bool(
+                np.allclose(result.distances, oracle.distances,
+                            rtol=0, atol=1e-9)
+                and all(np.array_equal(np.sort(active[oracle.indices[i]]),
+                                       np.sort(result.indices[i]))
+                        for i in range(len(points))))
+        else:
+            oracle = knn_join(points, points, args.k, method="brute")
+            exact = result.matches(oracle)
+        out.write("exact vs brute force: %s\n" % exact)
+        if not exact:
+            return 1
+    return 0
+
+
+def cmd_index(args, out):
+    from .index import Index, read_manifest
+
+    if args.index_command == "build":
+        points, device, name = _load_points(args)
+        index = Index(points, seed=args.seed, mt=args.mt,
+                      memory_budget_bytes=device.global_mem_bytes)
+        path = index.save(args.out)
+        out.write("built index for %s: n=%d dim=%d mt=%d\n"
+                  % (name, index.n_points, index.dim, index.mt))
+        out.write("fingerprint %s version %d -> %s\n"
+                  % (index.fingerprint[:12], index.version, path))
+        return 0
+
+    if args.index_command == "inspect":
+        manifest = read_manifest(args.dir)
+        rows = [[key, manifest.get(key)] for key in (
+            "format_version", "fingerprint", "version", "build_count",
+            "n", "dim", "mt", "seed", "mt_requested", "n_tombstones",
+            "max_cluster_size_at_build")]
+        rows.append(["policy", manifest.get("policy")])
+        rows.append(["arrays", ", ".join(sorted(manifest["arrays"]))])
+        out.write(format_table("index %s" % args.dir,
+                               ["field", "value"], rows))
+        return 0
+
+    # update
+    index = Index.load(args.dir)
+    before = (index.version, index.build_count)
+    rng = np.random.default_rng(args.seed)
+    if args.add:
+        base = index.targets[rng.integers(0, index.n_points,
+                                          size=args.add)]
+        noise = rng.normal(scale=0.05, size=(args.add, index.dim))
+        added = index.add(base + noise)
+        out.write("added %d points (ids %d..%d)\n"
+                  % (len(added), added[0], added[-1]))
+    if args.remove:
+        ids = [int(part) for part in args.remove.split(",") if part.strip()]
+        index.remove(ids)
+        out.write("removed %d points\n" % len(ids))
+    if (index.version, index.build_count) == before:
+        out.write("no updates requested; index unchanged\n")
+        return 0
+    index.save(args.dir)
+    out.write("version %d -> %d (build_count %d, tombstones %d, "
+              "active %d)\n"
+              % (before[0], index.version, index.build_count,
+                 index.n_tombstones, index.n_active))
     return 0
 
 
@@ -339,7 +468,8 @@ def cmd_serve_bench(args, out):
         default_deadline_s=(args.deadline_ms / 1e3
                             if args.deadline_ms is not None else None),
         seed=args.seed, device=device, workers=args.workers,
-        pool=args.pool, tracer=current_tracer())
+        pool=args.pool, index_dir=args.index_dir,
+        tracer=current_tracer())
     deadline_note = ("%.0f ms" % args.deadline_ms
                      if args.deadline_ms is not None else "none")
     out.write("serve-bench: %d single-point requests on %s, k=%d, "
@@ -415,7 +545,7 @@ def cmd_trace(args, out):
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
              "plan": cmd_plan, "serve-bench": cmd_serve_bench,
-             "trace": cmd_trace}
+             "index": cmd_index, "trace": cmd_trace}
 
 
 def main(argv=None, out=None):

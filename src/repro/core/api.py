@@ -26,8 +26,9 @@ Third-party engines registered through :func:`repro.engine.register`
 are dispatched the same way, by name.
 
 :class:`SweetKNN` offers the index-like object API: cluster the target
-set once (:class:`~repro.engine.prepared.PreparedIndex`), answer many
-query batches against it.
+set once (:class:`repro.index.Index`), answer many query batches
+against it.  :meth:`SweetKNN.from_index` wraps a pre-built or
+disk-loaded index without re-clustering.
 """
 
 from __future__ import annotations
@@ -36,10 +37,11 @@ import numpy as np
 
 from ..engine.executor import execute
 from ..engine.planner import _DECIDE_KEYS, plan_shape
-from ..engine.prepared import PreparedIndex
 from ..engine.registry import METHODS, get_engine
 from ..errors import ValidationError
 from ..gpu.device import tesla_k20c
+from ..index import Index
+from .validate import check_points
 
 __all__ = ["knn_join", "SweetKNN", "METHODS"]
 
@@ -49,20 +51,12 @@ _JOIN_PLAN_CACHE_SIZE = 8
 
 
 def _validate(queries, targets, k):
-    queries = np.asarray(queries, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
-    if queries.ndim != 2 or targets.ndim != 2:
-        raise ValidationError("queries and targets must be 2-D arrays")
-    if queries.shape[0] == 0 or targets.shape[0] == 0:
-        raise ValidationError("queries and targets must be non-empty")
+    queries = check_points(queries, name="queries", require_finite=True)
+    targets = check_points(targets, name="targets", require_finite=True)
     if queries.shape[1] != targets.shape[1]:
         raise ValidationError(
             "dimension mismatch: queries d=%d, targets d=%d"
             % (queries.shape[1], targets.shape[1]))
-    if not np.isfinite(queries).all():
-        raise ValidationError("queries contain NaN or infinite values")
-    if not np.isfinite(targets).all():
-        raise ValidationError("targets contain NaN or infinite values")
     k = int(k)
     if k <= 0:
         raise ValidationError("k must be positive")
@@ -126,8 +120,8 @@ class SweetKNN:
 
     The target-side preparation (landmark selection, clustering, the
     descending member sort) is done exactly once, at construction, in a
-    :class:`~repro.engine.prepared.PreparedIndex`; every ``query`` call
-    clusters only its query points and reuses the prepared target side.
+    :class:`repro.index.Index`; every ``query`` call clusters only its
+    query points and reuses the prepared target side.
     Execution plans are cached per ``(|Q|, k)`` shape, and the level-1
     bounds of a reused query batch are cached per ``k`` inside the
     shared :class:`~repro.core.ti_knn.JoinPlan`.
@@ -143,11 +137,7 @@ class SweetKNN:
 
     def __init__(self, targets, seed=0, device=None, mt=None,
                  method="sweet", workers=None, pool=None):
-        targets = np.asarray(targets, dtype=np.float64)
-        if targets.ndim != 2 or targets.shape[0] == 0:
-            raise ValidationError("targets must be a non-empty 2-D array")
-        if not np.isfinite(targets).all():
-            raise ValidationError("targets contain NaN or infinite values")
+        targets = check_points(targets, name="targets", require_finite=True)
         spec = get_engine(method)
         if not spec.caps.supports_prepared_index:
             raise ValidationError(
@@ -160,11 +150,49 @@ class SweetKNN:
         self._rng = np.random.default_rng(seed)
         budget = (self.device.global_mem_bytes
                   if self.device is not None else None)
-        self.index = PreparedIndex(targets, rng=self._rng, mt=mt,
-                                   memory_budget_bytes=budget)
-        self.targets = self.index.targets
-        self._plans = {}       # (|Q|, k, mq, knobs) -> ExecutionPlan
-        self._join_plans = []  # [(query array, mq, JoinPlan)], capped
+        self.index = Index(targets, seed=seed, rng=self._rng, mt=mt,
+                           memory_budget_bytes=budget)
+        self._plans = {}       # (|Q|, k, mq, knobs, version) -> plan
+        self._join_plans = []  # [(query array, mq, version, JoinPlan)]
+
+    @classmethod
+    def from_index(cls, index, device=None, method="sweet", workers=None,
+                   pool=None):
+        """Wrap an existing :class:`repro.index.Index` (e.g. one loaded
+        from disk with ``Index.load``) without rebuilding anything.
+
+        The index's own landmark RNG keeps driving query-side landmark
+        selection, so a saved-and-loaded index answers queries
+        bit-identically to the instance that built it.
+
+        Example
+        -------
+        >>> knn = SweetKNN.from_index(Index.load("idx/"), method="ti-cpu")
+        """
+        if not isinstance(index, Index):
+            raise ValidationError(
+                "from_index expects a repro.index.Index, got %r"
+                % type(index).__name__)
+        spec = get_engine(method)
+        if not spec.caps.supports_prepared_index:
+            raise ValidationError(
+                "engine %r does not support a prepared index" % method)
+        self = cls.__new__(cls)
+        self._spec = spec
+        self.workers = workers
+        self.pool = pool
+        self.device = (device or tesla_k20c()) if spec.caps.needs_device \
+            else device
+        self._rng = index._rng
+        self.index = index
+        self._plans = {}
+        self._join_plans = []
+        return self
+
+    @property
+    def targets(self):
+        """The (possibly updated) target matrix of the wrapped index."""
+        return self.index.targets
 
     def plan(self, queries, k, mq=None, **options):
         """The :class:`~repro.engine.planner.ExecutionPlan` for a query.
@@ -203,7 +231,7 @@ class SweetKNN:
         else:
             rows = exec_plan.batching.rows_per_batch
         return execute(self._spec, queries, self.targets, k, rng=self._rng,
-                       device=self.device, plan=join_plan,
+                       device=self.device, plan=join_plan, index=self.index,
                        query_batch_size=rows, workers=workers, pool=pool,
                        **options)
 
@@ -235,7 +263,9 @@ class SweetKNN:
     def _plan_for(self, n_queries, k, mq, options, workers=None, pool=None):
         knobs = tuple(sorted((name, options[name]) for name in options
                              if name in _DECIDE_KEYS))
-        key = (n_queries, k, mq, knobs, workers, pool)
+        # The index version is part of the key: add/remove changes the
+        # target count and (after a rebuild) mt, both plan inputs.
+        key = (n_queries, k, mq, knobs, workers, pool, self.index.version)
         plan = self._plans.get(key)
         if plan is None:
             plan = plan_shape(n_queries, len(self.targets), k,
@@ -252,10 +282,13 @@ class SweetKNN:
         fixed probe set, or ``self_join``) reuses the query clustering
         and, through the JoinPlan's own per-k cache, the level-1 bounds.
         """
-        for cached_queries, cached_mq, cached_plan in self._join_plans:
-            if cached_queries is queries and cached_mq == mq:
+        version = self.index.version
+        for cached_queries, cached_mq, cached_version, cached_plan \
+                in self._join_plans:
+            if cached_queries is queries and cached_mq == mq \
+                    and cached_version == version:
                 return cached_plan
         join_plan = self.index.join_plan(queries, mq=mq)
-        self._join_plans.append((queries, mq, join_plan))
+        self._join_plans.append((queries, mq, version, join_plan))
         del self._join_plans[:-_JOIN_PLAN_CACHE_SIZE]
         return join_plan

@@ -38,6 +38,7 @@ from .. import obs
 from ..errors import ValidationError
 from ..parallel import get_pool, plan_shards, resolve_pool_kind, \
     resolve_workers
+from ..index.cache import PlanHandle
 from ..parallel.worker import ShardJob, ShardTask, plan_cache_key
 from .base import ExecutionContext
 from .planner import partition_ranges, plan_shape
@@ -46,7 +47,8 @@ __all__ = ["execute"]
 
 
 def execute(spec, queries, targets, k, rng=None, device=None,
-            query_batch_size=None, workers=None, pool=None, **options):
+            query_batch_size=None, workers=None, pool=None, index=None,
+            **options):
     """Run ``spec`` on the join, batching oversized query sets.
 
     Parameters
@@ -65,6 +67,13 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         default to the ``REPRO_WORKERS``/``REPRO_POOL`` environment
         and ultimately to serial execution; sharded and serial runs
         return bit-identical results and summed counters.
+    index:
+        The :class:`repro.index.Index` the prebuilt ``plan`` came
+        from, when the caller has one.  A disk-backed index lets
+        process-pool sharding ship a zero-copy
+        :class:`~repro.index.cache.PlanHandle` (index path +
+        ``(fingerprint, version)``) instead of pickling the target
+        arrays into every worker.
     options:
         Engine options, forwarded verbatim.  ``plan`` (a prebuilt
         :class:`~repro.core.ti_knn.JoinPlan`) and ``mq``/``mt`` are
@@ -75,7 +84,7 @@ def execute(spec, queries, targets, k, rng=None, device=None,
                   n_targets=int(len(targets)), k=int(k)) as sp:
         result = _execute(spec, queries, targets, k, rng=rng, device=device,
                           query_batch_size=query_batch_size, workers=workers,
-                          pool=pool, **options)
+                          pool=pool, index=index, **options)
         sp.annotate(method=result.method,
                     saved_fraction=round(result.stats.saved_fraction, 4))
         if result.profile is not None:
@@ -90,7 +99,8 @@ def execute(spec, queries, targets, k, rng=None, device=None,
 
 
 def _execute(spec, queries, targets, k, rng=None, device=None,
-             query_batch_size=None, workers=None, pool=None, **options):
+             query_batch_size=None, workers=None, pool=None, index=None,
+             **options):
     n_q = len(queries)
     prepared_plan = (options.pop("plan", None)
                      if spec.caps.supports_prepared_index else None)
@@ -105,7 +115,8 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
         if shard_plan.sharded:
             return _execute_sharded(spec, queries, targets, k, shard_plan,
                                     rng=rng, device=device,
-                                    prepared_plan=prepared_plan, **options)
+                                    prepared_plan=prepared_plan,
+                                    index=index, **options)
 
     if rows >= n_q:
         ctx = ExecutionContext(rng=rng, device=device, plan=prepared_plan)
@@ -146,12 +157,17 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
 
 
 def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
-                     device=None, prepared_plan=None, **options):
+                     device=None, prepared_plan=None, index=None, **options):
     """Fan the query tiles across the worker pool; merge in tile order.
 
     Tiles are dealt round-robin into one task per worker, so the input
     arrays (and, when the caller prebuilt one, the Step-1 plan) are
-    pickled once per worker rather than once per tile.  Tile 0 is the
+    pickled once per worker rather than once per tile.  When the plan
+    comes from a disk-backed :class:`repro.index.Index` and the pool is
+    process-based, the job ships a zero-copy
+    :class:`~repro.index.cache.PlanHandle` — index path plus
+    ``(fingerprint, version)`` — instead of the target arrays, and the
+    workers reattach them via a shared read-only mmap.  Tile 0 is the
     job's accounting shard (``account_prepare``), mirroring the serial
     batched path, so summed counters equal the unbatched totals.
     """
@@ -159,19 +175,31 @@ def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
     mode = "shared" if spec.caps.supports_prepared_index else "slice"
     mq = mt = None
     plan_key = None
+    handle = None
     budget = device.global_mem_bytes if device is not None else None
     if mode == "shared":
         mq = options.pop("mq", None)
         mt = options.pop("mt", None)
+        if (prepared_plan is not None and index is not None
+                and shard_plan.kind == "process"
+                and index.source_path is not None
+                and prepared_plan.target_clusters
+                is index.target_clusters):
+            handle = PlanHandle(index_path=index.source_path,
+                                index_key=index.key,
+                                query_clusters=prepared_plan.query_clusters,
+                                center_dists=prepared_plan.center_dists)
         plan_key = plan_cache_key(queries, targets, rng=rng, mq=mq, mt=mt,
                                   memory_budget_bytes=budget,
-                                  plan=prepared_plan)
+                                  plan=prepared_plan, handle=handle)
 
     job = ShardJob(engine=spec.name, mode=mode, queries=queries,
-                   targets=targets, k=int(k), rng=rng, device=device,
+                   targets=None if handle is not None else targets,
+                   k=int(k), rng=rng, device=device,
                    options=dict(options), mq=mq, mt=mt,
-                   memory_budget_bytes=budget, plan=prepared_plan,
-                   plan_key=plan_key, account_index=0)
+                   memory_budget_bytes=budget,
+                   plan=None if handle is not None else prepared_plan,
+                   handle=handle, plan_key=plan_key, account_index=0)
     ranges = shard_plan.ranges(n_q)
     chunks = [[] for _ in range(shard_plan.workers)]
     for index, (start, stop) in enumerate(ranges):
@@ -183,7 +211,8 @@ def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
     worker_pool = get_pool(shard_plan.workers, shard_plan.kind)
     with obs.span("engine.shard_fanout", workers=shard_plan.workers,
                   shards=len(ranges), pool=worker_pool.kind,
-                  rows_per_shard=shard_plan.rows_per_shard):
+                  rows_per_shard=shard_plan.rows_per_shard,
+                  zero_copy=handle is not None):
         outcomes = worker_pool.run(tasks)
     outcomes.sort(key=lambda outcome: outcome.index)
 
@@ -211,6 +240,7 @@ def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
     merged.stats.extra["pool"] = worker_pool.kind
     merged.stats.extra["shard_cache_hits"] = sum(
         1 for outcome in outcomes if outcome.cache_hit)
+    merged.stats.extra["zero_copy"] = handle is not None
     merged.stats.extra["shard_wall_s"] = [round(outcome.wall_s, 6)
                                           for outcome in outcomes]
     return merged

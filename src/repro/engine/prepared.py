@@ -1,136 +1,22 @@
-"""Prepared target index — "cluster once, query many" (Sec. III-A).
+"""Compatibility shim — prepared state now lives in :mod:`repro.index`.
 
-The TI preparation phase (landmark selection + clustering + descending
-member sort) depends only on the *target* set, yet the original
-``SweetKNN.query`` re-ran it per call.  :class:`PreparedIndex` performs
-it exactly once and is shared by every TI engine (``sweet``,
-``ti-gpu``, ``ti-cpu``): each query batch only clusters its own query
-points and combines them with the prepared target side into a
-:class:`~repro.core.ti_knn.JoinPlan`.
+The TI preparation phase ("cluster once, query many", Sec. III-A) used
+to be implemented here as ``PreparedIndex``.  The implementation moved
+to :class:`repro.index.Index`, which adds the full lifecycle — on-disk
+persistence with mmap loading, incremental ``add``/``remove`` with a
+rebuild policy, a versioned ``(fingerprint, version)`` cache identity —
+on top of the exact same build path and ``join_plan`` contract.
 
-This mirrors the plan/execute split of hybrid KNN-join systems: the
-expensive, query-independent state is built once, and arbitrarily many
-query tiles execute against it.
+``PreparedIndex`` remains importable from here (it *is* ``Index``), as
+does :func:`repro.index.fingerprint_points`, so engine-layer callers
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-
-import numpy as np
-
-from ..core.clustering import center_distances, cluster_points
-from ..core.landmarks import (determine_landmark_count,
-                              select_landmarks_random_spread)
-from ..core.ti_knn import JoinPlan
-from ..errors import ValidationError
+from ..index import Index, fingerprint_points
 
 __all__ = ["PreparedIndex", "fingerprint_points"]
 
-
-def fingerprint_points(points):
-    """Content hash of a point set: shape, dtype and raw bytes.
-
-    Two arrays with equal values (and shape/dtype) share a fingerprint
-    regardless of object identity, so an index cache keyed on it
-    (:class:`repro.serve.IndexStore`) recognises the same target set
-    arriving in different request payloads.
-    """
-    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
-    digest = hashlib.sha1()
-    digest.update(repr((points.shape, points.dtype.str)).encode())
-    digest.update(points.tobytes())
-    return digest.hexdigest()
-
-
-class PreparedIndex:
-    """Landmarks + clustered, sorted target set, computed exactly once.
-
-    Parameters
-    ----------
-    targets:
-        (n, d) target point set.
-    seed:
-        Landmark-selection seed (ignored when ``rng`` is given).
-    rng:
-        Optional ``numpy.random.Generator`` shared with the caller, so
-        an index owner like :class:`~repro.core.api.SweetKNN` keeps one
-        deterministic stream across preparation and queries.
-    mt:
-        Optional target landmark-count override (defaults to
-        ``detLmNum``'s ``3 * sqrt(|T|)``).
-    memory_budget_bytes:
-        Caps the landmark counts like the device memory budget does.
-    """
-
-    def __init__(self, targets, seed=0, rng=None, mt=None,
-                 memory_budget_bytes=None):
-        targets = np.asarray(targets, dtype=np.float64)
-        if targets.ndim != 2 or targets.shape[0] == 0:
-            raise ValidationError("targets must be a non-empty 2-D array")
-        self.targets = targets
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
-        self._budget = memory_budget_bytes
-        if mt is None:
-            mt = determine_landmark_count(len(targets), memory_budget_bytes)
-        landmarks = select_landmarks_random_spread(targets, mt, self._rng)
-        self.target_clusters = cluster_points(targets, landmarks,
-                                              sort_descending=True)
-        #: Times the target side has been prepared; must stay 1 for the
-        #: lifetime of the index (regression-tested).
-        self.build_count = 1
-
-    @property
-    def mt(self):
-        return self.target_clusters.n_clusters
-
-    @property
-    def dim(self):
-        return self.targets.shape[1]
-
-    @property
-    def nbytes(self):
-        """Approximate resident size of the prepared target state.
-
-        Counts the target matrix once plus the cluster metadata (the
-        centres, assignments, per-member distances and sorted member
-        lists).  This is the currency of the serving layer's
-        byte-budgeted index cache.
-        """
-        ct = self.target_clusters
-        total = self.targets.nbytes
-        total += ct.centers.nbytes + ct.center_indices.nbytes
-        total += ct.assignment.nbytes + ct.dist_to_center.nbytes
-        total += sum(m.nbytes for m in ct.members)
-        total += sum(d.nbytes for d in ct.member_dists)
-        if ct.radius is not None:
-            total += ct.radius.nbytes
-        return int(total)
-
-    def join_plan(self, queries, mq=None, rng=None):
-        """Cluster ``queries`` against the prepared target side.
-
-        Only the query side is clustered here — the target clusters,
-        their sorted member lists and radii are reused as built.
-
-        Returns
-        -------
-        JoinPlan
-        """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim != 2 or queries.shape[0] == 0:
-            raise ValidationError("queries must be a non-empty 2-D array")
-        if queries.shape[1] != self.dim:
-            raise ValidationError(
-                "dimension mismatch: queries d=%d, prepared index d=%d"
-                % (queries.shape[1], self.dim))
-        rng = rng if rng is not None else self._rng
-        if mq is None:
-            mq = determine_landmark_count(len(queries), self._budget)
-        q_landmarks = select_landmarks_random_spread(queries, mq, rng)
-        query_clusters = cluster_points(queries, q_landmarks,
-                                        sort_descending=False)
-        cdist = center_distances(query_clusters, self.target_clusters)
-        return JoinPlan(query_clusters=query_clusters,
-                        target_clusters=self.target_clusters,
-                        center_dists=cdist)
+#: The prepared target index; see :class:`repro.index.Index`.
+PreparedIndex = Index

@@ -1,0 +1,169 @@
+"""Process-level prepared-state caches and the zero-copy plan handle.
+
+Two caches, both keyed by content identity:
+
+* :func:`shared_plan` — the per-process LRU of shared
+  :class:`~repro.core.ti_knn.JoinPlan`s that pool workers resolve
+  Step-1 state through.  Concurrent builders of one key serialise on a
+  per-key lock, so each worker process builds (or adopts) a given plan
+  exactly once; late arrivals count as cache hits.  This machinery
+  used to live inside :mod:`repro.parallel.worker`; it is owned here
+  so every prepared-state cache lives in ``repro.index``.
+* :func:`load_cached` — the per-process LRU of disk-loaded
+  :class:`~repro.index.Index` objects, memory-mapped read-only.  All
+  shards, requests and threads of one process that reference the same
+  index directory share a single mapping (and all *processes* share
+  the physical pages through the OS page cache).
+
+:class:`PlanHandle` ties them together: it is what ships to a process
+pool instead of the target arrays.  A handle carries the index
+*directory path* plus its ``(fingerprint, version)`` identity and the
+already-clustered query side; the worker resolves the target side via
+:func:`load_cached` and assembles the same
+:class:`~repro.core.ti_knn.JoinPlan` the parent holds — bit-identical,
+but with a pickled payload that is O(queries), not O(targets).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+__all__ = ["PlanHandle", "shared_plan", "load_cached",
+           "plan_cache_info", "clear_plan_cache",
+           "index_cache_info", "clear_index_cache"]
+
+#: Distinct prepared states kept per process; each entry holds a full
+#: JoinPlan (clusters + centre-distance matrix), so the cache is small.
+PLAN_CACHE_ENTRIES = 8
+
+#: Distinct disk-loaded indexes kept mapped per process.  Entries are
+#: mmap-backed, so the resident cost is page-cache pressure, not heap.
+INDEX_CACHE_ENTRIES = 4
+
+_plans = OrderedDict()       # plan key -> JoinPlan
+_plans_lock = threading.Lock()
+_build_locks = {}            # plan key -> per-key build lock
+
+_indexes = OrderedDict()     # abspath -> Index (mmap-loaded)
+_indexes_lock = threading.Lock()
+
+
+def shared_plan(key, builder):
+    """The JoinPlan for ``key``, from the cache or built exactly once.
+
+    Returns ``(plan, cache_hit)``.  ``builder`` runs at most once per
+    key per process; concurrent callers of the same key block on a
+    per-key lock and then count as hits.
+    """
+    with _plans_lock:
+        plan = _plans.get(key)
+        if plan is not None:
+            _plans.move_to_end(key)
+            return plan, True
+        lock = _build_locks.setdefault(key, threading.Lock())
+    with lock:
+        with _plans_lock:
+            plan = _plans.get(key)
+            if plan is not None:
+                _plans.move_to_end(key)
+                return plan, True
+        plan = builder()
+        with _plans_lock:
+            _plans[key] = plan
+            while len(_plans) > PLAN_CACHE_ENTRIES:
+                _plans.popitem(last=False)
+            _build_locks.pop(key, None)
+        return plan, False
+
+
+def load_cached(path, expect_key=None, mmap=True):
+    """A process-shared, mmap-backed Index for directory ``path``.
+
+    ``expect_key`` is the ``(fingerprint, version)`` the caller built
+    against; a cached *or* freshly loaded index that does not match it
+    raises :class:`ValidationError` (the directory was overwritten by a
+    different or newer index since the handle was made) rather than
+    silently serving different data.  A stale cached entry whose
+    on-disk directory has moved on is reloaded once before failing.
+    """
+    from .index import Index
+
+    path = os.path.abspath(os.fspath(path))
+    with _indexes_lock:
+        index = _indexes.get(path)
+        if index is not None:
+            _indexes.move_to_end(path)
+    if index is not None and (expect_key is None or index.key == expect_key):
+        return index
+
+    loaded = Index.load(path, mmap=mmap)
+    if expect_key is not None and loaded.key != expect_key:
+        raise ValidationError(
+            "index at %r is (fingerprint=%s..., version=%d) but the "
+            "execution expected (fingerprint=%s..., version=%d); the "
+            "directory changed since the plan was made"
+            % (path, loaded.fingerprint[:12], loaded.version,
+               expect_key[0][:12], expect_key[1]))
+    with _indexes_lock:
+        _indexes[path] = loaded
+        while len(_indexes) > INDEX_CACHE_ENTRIES:
+            _indexes.popitem(last=False)
+    return loaded
+
+
+@dataclass(frozen=True)
+class PlanHandle:
+    """A JoinPlan by reference: query side by value, target side by path.
+
+    Shipping a prepared plan to a process pool used to mean pickling
+    the full target matrix and cluster metadata into every worker.  A
+    handle instead carries the saved index's directory path and its
+    ``(fingerprint, version)`` identity next to the (small) query-side
+    clusters; :meth:`resolve` reattaches the target side through
+    :func:`load_cached`, so the pickled payload no longer scales with
+    the target set and all workers share one mapped copy.
+    """
+
+    index_path: str
+    index_key: tuple          # (fingerprint, version)
+    query_clusters: object    # ClusteredSet of the query batch
+    center_dists: object      # |CQ| x |CT| centre-distance matrix
+
+    def resolve(self):
+        """Load (or reuse) the target side and assemble the JoinPlan."""
+        from ..core.ti_knn import JoinPlan
+
+        index = load_cached(self.index_path, expect_key=self.index_key)
+        return JoinPlan(query_clusters=self.query_clusters,
+                        target_clusters=index.target_clusters,
+                        center_dists=self.center_dists)
+
+
+def plan_cache_info():
+    """Snapshot of this process's shared-plan cache (tests, debug)."""
+    with _plans_lock:
+        return {"entries": len(_plans), "keys": list(_plans)}
+
+
+def clear_plan_cache():
+    """Drop every cached shared plan in this process."""
+    with _plans_lock:
+        _plans.clear()
+        _build_locks.clear()
+
+
+def index_cache_info():
+    """Snapshot of this process's loaded-index cache (tests, debug)."""
+    with _indexes_lock:
+        return {"entries": len(_indexes), "paths": list(_indexes)}
+
+
+def clear_index_cache():
+    """Drop every process-cached loaded index."""
+    with _indexes_lock:
+        _indexes.clear()

@@ -1,0 +1,102 @@
+"""Content fingerprints of point sets, cached by array identity.
+
+A fingerprint is the SHA-1 of a point set's canonical form (shape,
+dtype, raw C-order float64 bytes); two arrays with equal values share
+one regardless of object identity, dtype of origin (float32 inputs
+normalize first) or memory order.  It is the identity every
+prepared-state cache keys on: the serving layer's
+:class:`~repro.serve.IndexStore`, the worker-side plan cache, and the
+on-disk index manifest.
+
+Hashing is O(n * d).  Uncached, that cost landed on the serving hot
+path *per request* — ``IndexStore.key_for`` re-hashed the full target
+array on every lookup.  The memo below makes repeat lookups O(1): the
+digest is cached per array **object** (validated by a weak reference,
+so a garbage-collected array can never alias a recycled ``id``) and
+:meth:`repro.index.Index` registers its target array at build/load
+time, so steady-state serving never re-reads the target bytes at all.
+
+The memo treats fingerprinted arrays as immutable — the contract every
+index structure here already imposes on its target set.  Mutating an
+array in place after fingerprinting it yields a stale digest, exactly
+as it would invalidate the clusters built from it; go through
+:meth:`repro.index.Index.add` / :meth:`~repro.index.Index.remove`
+instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+
+import numpy as np
+
+from ..core.validate import as_points
+
+__all__ = ["fingerprint_points", "register_fingerprint",
+           "cached_fingerprints", "clear_memo"]
+
+_memo = {}            # id(array) -> (weakref to array, digest)
+_memo_lock = threading.Lock()
+
+
+def _compute(canonical):
+    """SHA-1 of a canonical (C-contiguous float64) point array."""
+    digest = hashlib.sha1()
+    digest.update(repr((canonical.shape, canonical.dtype.str)).encode())
+    digest.update(canonical.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_points(points):
+    """Content hash of a point set: shape, dtype and raw bytes.
+
+    Repeat calls with the *same array object* return the memoized
+    digest without touching the array's bytes (O(1)); equal-valued
+    arrays always share the digest, whatever their object identity,
+    input dtype or memory order.
+    """
+    if isinstance(points, np.ndarray):
+        key = id(points)
+        with _memo_lock:
+            entry = _memo.get(key)
+            if entry is not None and entry[0]() is points:
+                return entry[1]
+    canonical = as_points(points)
+    digest = _compute(canonical)
+    _remember(points, digest)
+    if canonical is not points:
+        _remember(canonical, digest)
+    return digest
+
+
+def _remember(array, digest):
+    """Memoize ``digest`` for ``array`` (no-op for non-weakref-ables)."""
+    if not isinstance(array, np.ndarray):
+        return
+    key = id(array)
+    try:
+        ref = weakref.ref(array,
+                          lambda _ref, _key=key: _memo.pop(_key, None))
+    except TypeError:
+        return
+    with _memo_lock:
+        _memo[key] = (ref, digest)
+
+
+def register_fingerprint(array, digest):
+    """Pre-seed the memo (an index registering its loaded targets)."""
+    _remember(array, digest)
+
+
+def cached_fingerprints():
+    """Number of live memo entries (tests, debugging)."""
+    with _memo_lock:
+        return len(_memo)
+
+
+def clear_memo():
+    """Drop every memoized fingerprint (tests)."""
+    with _memo_lock:
+        _memo.clear()

@@ -1,0 +1,217 @@
+"""Versioned on-disk persistence of a prepared index.
+
+An index directory holds one JSON manifest plus one ``.npy`` file per
+array::
+
+    <dir>/
+      manifest.json        format version, shapes, knobs, fingerprint
+      targets.npy          (n, d) float64 target matrix
+      centers.npy          (mt, d) landmark coordinates
+      center_indices.npy   (mt,)  landmark rows in ``targets``
+      assignment.npy       (n,)   cluster of each row (-1 = tombstoned)
+      dist_to_center.npy   (n,)   distance of each row to its centre
+      radius.npy           (mt,)  per-cluster radius
+      members.npy          flat descending-sorted member rows (CSR)
+      member_offsets.npy   (mt+1,) cluster boundaries into the flat rows
+      member_dists.npy     flat member distances, aligned with members
+      tombstones.npy       (n,) bool live/dead mask
+
+The per-cluster member lists are stored flattened (CSR-style) so every
+array is a plain contiguous ``.npy`` that ``np.load(mmap_mode="r")``
+can map directly; the per-cluster views reconstructed from the offsets
+are slices of the mapped file, so N worker processes loading the same
+directory share one copy of the index through the page cache instead
+of holding N pickled duplicates.
+
+The manifest is written last (via a temp file + rename), so a crash
+mid-save leaves a directory without a manifest — which :func:`load`
+rejects with a typed :class:`~repro.errors.ValidationError` — never a
+manifest describing half-written arrays.  Every malformed-input path
+(missing files, corrupt JSON, format-version or shape/dtype
+mismatches) raises :class:`ValidationError` as well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["FORMAT_VERSION", "MANIFEST_NAME", "write_index", "read_index",
+           "read_manifest", "is_index_dir"]
+
+#: On-disk format version; bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: name -> (expected dtype, expected ndim)
+_ARRAYS = {
+    "targets": ("<f8", 2),
+    "centers": ("<f8", 2),
+    "center_indices": ("<i8", 1),
+    "assignment": ("<i8", 1),
+    "dist_to_center": ("<f8", 1),
+    "radius": ("<f8", 1),
+    "members": ("<i8", 1),
+    "member_offsets": ("<i8", 1),
+    "member_dists": ("<f8", 1),
+    "tombstones": ("|b1", 1),
+}
+
+
+def is_index_dir(path):
+    """Whether ``path`` looks like a saved index (has a manifest)."""
+    return os.path.isfile(os.path.join(path, MANIFEST_NAME))
+
+
+def write_index(index, path):
+    """Serialize ``index`` into directory ``path`` (created if needed).
+
+    Arrays are written first, the manifest last and atomically, so a
+    directory with a readable manifest always has consistent arrays.
+    """
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    ct = index.target_clusters
+
+    sizes = np.asarray([len(m) for m in ct.members], dtype=np.int64)
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    members = (np.concatenate(ct.members) if sizes.sum()
+               else np.empty(0, dtype=np.int64)).astype(np.int64)
+    member_dists = (np.concatenate(ct.member_dists) if sizes.sum()
+                    else np.empty(0, dtype=np.float64)).astype(np.float64)
+
+    arrays = {
+        "targets": np.ascontiguousarray(index.targets, dtype=np.float64),
+        "centers": np.ascontiguousarray(ct.centers, dtype=np.float64),
+        "center_indices": np.ascontiguousarray(ct.center_indices,
+                                               dtype=np.int64),
+        "assignment": np.ascontiguousarray(ct.assignment, dtype=np.int64),
+        "dist_to_center": np.ascontiguousarray(ct.dist_to_center,
+                                               dtype=np.float64),
+        "radius": np.ascontiguousarray(ct.radius, dtype=np.float64),
+        "members": members,
+        "member_offsets": offsets,
+        "member_dists": member_dists,
+        "tombstones": np.ascontiguousarray(index.tombstones, dtype=bool),
+    }
+    manifest = {
+        "format": "repro-index",
+        "format_version": FORMAT_VERSION,
+        "created_unix_s": time.time(),
+        "fingerprint": index.fingerprint,
+        "version": int(index.version),
+        "build_count": int(index.build_count),
+        "n": int(index.targets.shape[0]),
+        "dim": int(index.targets.shape[1]),
+        "mt": int(ct.n_clusters),
+        "seed": index.seed,
+        "mt_requested": index.mt_requested,
+        "memory_budget_bytes": index.memory_budget_bytes,
+        "init_distance_computations": int(ct.init_distance_computations),
+        "n_tombstones": int(index.n_tombstones),
+        "tombstones_since_rebuild": int(index._dead_since_rebuild),
+        "max_cluster_size_at_build": int(index._max_size_at_build),
+        "policy": index.policy.describe(),
+        "rng_state": index.rng_state(),
+        "arrays": {name: {"shape": list(array.shape),
+                          "dtype": array.dtype.str}
+                   for name, array in arrays.items()},
+    }
+
+    for name, array in arrays.items():
+        np.save(os.path.join(path, name + ".npy"), array)
+    tmp = os.path.join(path, MANIFEST_NAME + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, os.path.join(path, MANIFEST_NAME))
+    return manifest
+
+
+def read_manifest(path):
+    """Load and validate the manifest of an index directory."""
+    path = os.fspath(path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.isdir(path):
+        raise ValidationError("index directory %r does not exist" % path)
+    if not os.path.isfile(manifest_path):
+        raise ValidationError(
+            "%r is not a saved index (no %s)" % (path, MANIFEST_NAME))
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ValidationError(
+            "corrupt index manifest %r: %s" % (manifest_path, exc)) from exc
+    if not isinstance(manifest, dict) \
+            or manifest.get("format") != "repro-index":
+        raise ValidationError(
+            "%r is not a repro index manifest" % manifest_path)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValidationError(
+            "index format version %r is not the supported %d"
+            % (manifest.get("format_version"), FORMAT_VERSION))
+    for key in ("fingerprint", "version", "n", "dim", "mt", "arrays"):
+        if key not in manifest:
+            raise ValidationError(
+                "index manifest %r is missing %r" % (manifest_path, key))
+    return manifest
+
+
+def read_index(path, mmap=True):
+    """Load ``(manifest, arrays)`` from an index directory.
+
+    With ``mmap=True`` every array is opened with
+    ``np.load(..., mmap_mode="r")`` — read-only views backed by the
+    page cache, shared zero-copy across processes.  Shapes and dtypes
+    are validated against the manifest; any mismatch (truncated file,
+    edited manifest) raises :class:`ValidationError`.
+    """
+    path = os.fspath(path)
+    manifest = read_manifest(path)
+    declared = manifest["arrays"]
+    arrays = {}
+    for name, (dtype, ndim) in _ARRAYS.items():
+        if name not in declared:
+            raise ValidationError(
+                "index manifest lists no %r array" % name)
+        file_path = os.path.join(path, name + ".npy")
+        try:
+            array = np.load(file_path, mmap_mode="r" if mmap else None,
+                            allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ValidationError(
+                "cannot load index array %r: %s" % (file_path, exc)) from exc
+        spec = declared[name]
+        if list(array.shape) != list(spec.get("shape", [])) \
+                or array.dtype.str != spec.get("dtype"):
+            raise ValidationError(
+                "index array %r does not match its manifest entry "
+                "(file %s %s, manifest %s %s)"
+                % (name, array.shape, array.dtype.str,
+                   tuple(spec.get("shape", [])), spec.get("dtype")))
+        if array.ndim != ndim or array.dtype.str != dtype:
+            raise ValidationError(
+                "index array %r has unsupported layout %s %s"
+                % (name, array.shape, array.dtype.str))
+        arrays[name] = array
+
+    n, dim, mt = manifest["n"], manifest["dim"], manifest["mt"]
+    if arrays["targets"].shape != (n, dim) \
+            or arrays["centers"].shape != (mt, dim) \
+            or arrays["member_offsets"].shape != (mt + 1,) \
+            or arrays["assignment"].shape != (n,) \
+            or arrays["tombstones"].shape != (n,):
+        raise ValidationError(
+            "index arrays do not match the manifest shape "
+            "(n=%d, dim=%d, mt=%d)" % (n, dim, mt))
+    if arrays["members"].shape != arrays["member_dists"].shape:
+        raise ValidationError("members and member_dists are misaligned")
+    return manifest, arrays

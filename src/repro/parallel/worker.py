@@ -1,20 +1,29 @@
-"""Worker-side shard execution and the per-worker prepared-state cache.
+"""Worker-side shard execution against shared prepared state.
 
 A :class:`ShardTask` is what travels to a pool worker: one shared
 :class:`ShardJob` (the join inputs) plus the list of query tiles that
 worker owns.  For prepared-index engines the worker resolves the shared
-Step-1 state — the :class:`~repro.core.ti_knn.JoinPlan` — through a
-module-level cache keyed by the same content fingerprint the serving
-layer's ``IndexStore`` uses (:func:`repro.engine.prepared.\
-fingerprint_points`), so each worker process clusters a given input
-once and reuses it across shards *and* across requests.
+Step-1 state — the :class:`~repro.core.ti_knn.JoinPlan` — through the
+process-level cache in :mod:`repro.index.cache`, keyed by the same
+content identity the serving layer's ``IndexStore`` uses, so each
+worker process materialises a given plan once and reuses it across
+shards *and* across requests.
 
-Determinism: when no prebuilt plan ships with the job, the worker
-rebuilds it with the caller's pickled ``numpy`` Generator.  Pickling
-preserves the generator's exact state and ``prepare_clusters`` is the
-only consumer of randomness in the pipeline, so every worker derives a
-bit-identical plan and every shard makes exactly the decisions the
-serial run would.
+Zero-copy: when the execution runs against a disk-backed
+:class:`repro.index.Index`, the job carries a
+:class:`~repro.index.cache.PlanHandle` — the index *directory path*
+plus its ``(fingerprint, version)`` identity and the query-side
+clusters — instead of the target arrays.  The worker reattaches the
+target side via ``np.load(..., mmap_mode="r")`` through the
+process-level index cache, so every worker shares one page-cache copy
+of the targets and the pickled payload is O(queries), not O(targets).
+
+Determinism: when no prebuilt plan or handle ships with the job, the
+worker rebuilds the plan with the caller's pickled ``numpy`` Generator.
+Pickling preserves the generator's exact state and
+``prepare_clusters`` is the only consumer of randomness in the
+pipeline, so every worker derives a bit-identical plan and every shard
+makes exactly the decisions the serial run would.
 """
 
 from __future__ import annotations
@@ -22,7 +31,6 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,18 +40,18 @@ __all__ = [
     "plan_cache_key", "prepared_cache_info", "clear_prepared_cache",
 ]
 
-#: Distinct prepared states kept per worker; each entry holds a full
-#: JoinPlan (clusters + centre-distance matrix), so the cache is small.
-PREPARED_CACHE_ENTRIES = 8
-
-_cache = OrderedDict()       # plan key -> JoinPlan
-_cache_lock = threading.Lock()
-_build_locks = {}            # plan key -> per-key build lock
-
 
 @dataclass(frozen=True)
 class ShardJob:
-    """The per-join inputs shared by every shard of one execution."""
+    """The per-join inputs shared by every shard of one execution.
+
+    Exactly one of three prepared-state transports applies in
+    ``"shared"`` mode: a :class:`~repro.index.cache.PlanHandle`
+    (disk-backed index, zero-copy), a prebuilt ``plan`` (in-memory
+    index, pickled by value), or neither (the worker rebuilds from
+    ``rng``).  With a handle the ``targets`` field ships as ``None``
+    and the worker derives the target matrix from the resolved plan.
+    """
 
     engine: str
     mode: str                # "shared" (prepared plan) | "slice" (row slice)
@@ -57,6 +65,7 @@ class ShardJob:
     mt: object = None
     memory_budget_bytes: object = None
     plan: object = None      # prebuilt JoinPlan, when the caller has one
+    handle: object = None    # PlanHandle, when the index is disk-backed
     plan_key: str = None
     account_index: int = 0   # the one shard that accounts preparation
 
@@ -83,23 +92,32 @@ class ShardOutcome:
 
 
 def plan_cache_key(queries, targets, rng=None, mq=None, mt=None,
-                   memory_budget_bytes=None, plan=None):
+                   memory_budget_bytes=None, plan=None, handle=None):
     """Content fingerprint identifying one shared prepared state.
 
     Two executions share a worker-side plan entry exactly when they
     would build (or shipped) the same Step-1 state: same query and
     target contents, same landmark knobs, and — when the plan is built
     worker-side — the same generator state.  Prebuilt plans are pinned
-    by their landmark selections and centre-distance table instead, so
-    two indexes over identical data but different seeds stay distinct.
+    by their landmark selections and centre-distance table, and handles
+    by the index's ``(fingerprint, version)`` identity, so two indexes
+    over identical data but different seeds (or update histories) stay
+    distinct.
     """
-    from ..engine.prepared import fingerprint_points
+    from ..index import fingerprint_points
 
     digest = hashlib.sha1()
-    digest.update(fingerprint_points(np.asarray(queries)).encode())
-    digest.update(fingerprint_points(np.asarray(targets)).encode())
+    digest.update(fingerprint_points(queries).encode())
+    if targets is not None:
+        digest.update(fingerprint_points(targets).encode())
     digest.update(repr((mq, mt, memory_budget_bytes)).encode())
-    if plan is not None:
+    if handle is not None:
+        digest.update(b"handle")
+        digest.update(repr(handle.index_key).encode())
+        digest.update(np.ascontiguousarray(
+            handle.query_clusters.center_indices).tobytes())
+        digest.update(np.ascontiguousarray(handle.center_dists).tobytes())
+    elif plan is not None:
         digest.update(b"prebuilt")
         digest.update(np.ascontiguousarray(
             plan.query_clusters.center_indices).tobytes())
@@ -123,40 +141,17 @@ def _worker_name():
     return threading.current_thread().name
 
 
-def _prepared_plan(job):
-    """The job's shared JoinPlan, from the cache or built once per key.
+def _build_plan(job):
+    """Materialise the job's shared JoinPlan (runs once per key)."""
+    if job.handle is not None:
+        return job.handle.resolve()
+    if job.plan is not None:
+        return job.plan
+    from ..core.ti_knn import prepare_clusters
 
-    Concurrent builders of the same key serialise on a per-key lock so
-    a plan is built (or adopted from the shipped copy) exactly once per
-    worker; late arrivals count as cache hits.
-    """
-    key = job.plan_key
-    with _cache_lock:
-        plan = _cache.get(key)
-        if plan is not None:
-            _cache.move_to_end(key)
-            return plan, True
-        lock = _build_locks.setdefault(key, threading.Lock())
-    with lock:
-        with _cache_lock:
-            plan = _cache.get(key)
-            if plan is not None:
-                _cache.move_to_end(key)
-                return plan, True
-        if job.plan is not None:
-            plan = job.plan
-        else:
-            from ..core.ti_knn import prepare_clusters
-
-            plan = prepare_clusters(
-                job.queries, job.targets, job.rng, mq=job.mq, mt=job.mt,
-                memory_budget_bytes=job.memory_budget_bytes)
-        with _cache_lock:
-            _cache[key] = plan
-            while len(_cache) > PREPARED_CACHE_ENTRIES:
-                _cache.popitem(last=False)
-            _build_locks.pop(key, None)
-        return plan, False
+    return prepare_clusters(
+        job.queries, job.targets, job.rng, mq=job.mq, mt=job.mt,
+        memory_budget_bytes=job.memory_budget_bytes)
 
 
 def run_shard_task(task):
@@ -171,14 +166,21 @@ def run_shard_task(task):
     """
     from ..engine.base import ExecutionContext
     from ..engine.registry import get_engine
+    from ..index.cache import shared_plan
 
     job = task.job
     spec = get_engine(job.engine)
     worker = _worker_name()
     plan = None
     cache_hit = False
+    targets = job.targets
     if job.mode == "shared":
-        plan, cache_hit = _prepared_plan(job)
+        plan, cache_hit = shared_plan(job.plan_key,
+                                      lambda: _build_plan(job))
+        if targets is None:
+            # Handle-shipped job: the target matrix is the mmap-backed
+            # point set of the resolved plan, shared process-wide.
+            targets = plan.target_clusters.points
 
     outcomes = []
     for index, start, stop in task.shards:
@@ -188,11 +190,11 @@ def run_shard_task(task):
                 rng=job.rng, device=job.device, plan=plan,
                 query_subset=np.arange(start, stop),
                 account_prepare=(index == job.account_index))
-            result = spec.run(job.queries, job.targets, job.k, ctx,
+            result = spec.run(job.queries, targets, job.k, ctx,
                               **job.options)
         else:
             ctx = ExecutionContext(rng=job.rng, device=job.device)
-            result = spec.run(job.queries[start:stop], job.targets, job.k,
+            result = spec.run(job.queries[start:stop], targets, job.k,
                               ctx, **job.options)
         outcomes.append(ShardOutcome(
             index=index, start=start, stop=stop, result=result,
@@ -203,12 +205,13 @@ def run_shard_task(task):
 
 def prepared_cache_info():
     """Snapshot of this process's prepared-state cache (tests, debug)."""
-    with _cache_lock:
-        return {"entries": len(_cache), "keys": list(_cache)}
+    from ..index.cache import plan_cache_info
+
+    return plan_cache_info()
 
 
 def clear_prepared_cache():
     """Drop every cached prepared state in this process."""
-    with _cache_lock:
-        _cache.clear()
-        _build_locks.clear()
+    from ..index.cache import clear_plan_cache
+
+    clear_plan_cache()

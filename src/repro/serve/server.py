@@ -4,8 +4,9 @@
 PR-1 execution-engine layer:
 
 * the :class:`~repro.serve.store.IndexStore` resolves each request's
-  target set to a cached :class:`~repro.engine.prepared.PreparedIndex`
-  (cluster once, serve forever);
+  target set to a cached :class:`repro.index.Index` (cluster once,
+  serve forever — optionally preloaded from a saved index directory,
+  memory-mapped);
 * the :class:`~repro.serve.batcher.MicroBatcher` coalesces concurrent
   small requests into planner-sized tiles, bounds the queue
   (:class:`~repro.errors.Overloaded`) and drops expired work
@@ -89,6 +90,13 @@ class ServeConfig:
     seed, mt:
         Landmark seed / target landmark-count override used when
         preparing indexes (part of the cache key).
+    index_dir:
+        Optional saved-index directory (``python -m repro index build``
+        / :meth:`repro.index.Index.save`) preloaded into the store at
+        construction, memory-mapped.  Requests whose target set matches
+        its fingerprint — and whose ``seed``/``mt`` match the knobs it
+        was built with — are warm from the first query, with the target
+        arrays shared zero-copy through the page cache.
     workers, pool:
         Shard each coalesced batch across a :mod:`repro.parallel`
         worker pool (``workers=0`` means one per core; ``pool`` is
@@ -118,6 +126,7 @@ class ServeConfig:
     default_deadline_s: float = None
     seed: int = 0
     mt: int = None
+    index_dir: str = None
     workers: int = None
     pool: str = None
     device: object = None
@@ -202,6 +211,8 @@ class KNNServer:
 
         self.store = IndexStore(budget_bytes=config.store_budget_bytes,
                                 max_entries=config.store_max_entries)
+        if config.index_dir is not None:
+            self.store.preload(config.index_dir)
         self._tracer = config.tracer
         self._request_ids = itertools.count(1)
         self.stats_collector = StatsCollector(
@@ -406,8 +417,8 @@ class KNNServer:
                 result = execute(
                     spec, batch, first.index.targets, first.k,
                     rng=self._rng, device=self._device, plan=join_plan,
-                    workers=self.config.workers, pool=self.config.pool,
-                    **first.options)
+                    index=first.index, workers=self.config.workers,
+                    pool=self.config.pool, **first.options)
         except Exception as exc:
             for request in requests:
                 request.future.set_exception(exc)

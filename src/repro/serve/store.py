@@ -1,16 +1,26 @@
-"""Byte-budgeted LRU cache of :class:`~repro.engine.prepared.PreparedIndex`.
+"""Byte-budgeted LRU cache of :class:`repro.index.Index` objects.
 
 The expensive, query-independent TI state (landmark selection,
 clustering, the descending member sort — Sec. III-A) depends only on
 the target set, the landmark seed and ``mt``.  The store keys prepared
 indexes on exactly that triple — the target-set *content* fingerprint
-(:func:`repro.engine.prepared.fingerprint_points`), not object
-identity — so repeated traffic against the same target set never
-re-clusters, no matter which array object each request carries.
+(:func:`repro.index.fingerprint_points`, O(1) on repeat lookups thanks
+to the identity memo), not object identity — so repeated traffic
+against the same target set never re-clusters, no matter which array
+object each request carries.
+
+The store holds no clustering or rebuild logic of its own: indexes are
+built by :class:`repro.index.Index`, preloaded from disk with
+:meth:`IndexStore.preload`, or adopted with :meth:`IndexStore.put`.
+Each entry remembers the ``(fingerprint, version)`` identity it was
+admitted under; an index whose ``version`` has moved on (incremental
+``add``/``remove``) is re-admitted with fresh size accounting, counted
+as an invalidation, so byte budgets and cache identity stay honest
+across updates.
 
 Eviction is least-recently-used under a byte budget measured by
-:attr:`PreparedIndex.nbytes` (target matrix + cluster metadata), the
-in-process analogue of the paper's device-memory budget: the store
+:attr:`repro.index.Index.nbytes` (target matrix + cluster metadata),
+the in-process analogue of the paper's device-memory budget: the store
 holds as many target sets as fit, and drops the coldest one when a new
 set would overflow.
 """
@@ -21,8 +31,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..engine.prepared import PreparedIndex, fingerprint_points
 from ..errors import ValidationError
+from ..index import Index, fingerprint_points
 
 __all__ = ["IndexStore", "IndexStoreStats"]
 
@@ -37,11 +47,25 @@ class IndexStoreStats:
     entries: int
     resident_bytes: int
     budget_bytes: int
+    #: Entries re-admitted because their index's ``version`` moved on
+    #: (incremental add/remove) since admission.
+    invalidations: int = 0
 
     @property
     def hit_rate(self):
         looked_up = self.hits + self.misses
         return self.hits / looked_up if looked_up else 0.0
+
+
+class _Entry:
+    """One cached index plus the identity and size it was admitted under."""
+
+    __slots__ = ("index", "version", "nbytes")
+
+    def __init__(self, index):
+        self.index = index
+        self.version = index.version
+        self.nbytes = index.nbytes
 
 
 class IndexStore:
@@ -67,11 +91,12 @@ class IndexStore:
         self._max_entries = (None if max_entries is None
                              else int(max_entries))
         self._lock = threading.Lock()
-        self._entries = OrderedDict()  # key -> PreparedIndex
+        self._entries = OrderedDict()  # key -> _Entry
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     @staticmethod
     def key_for(targets, seed=0, mt=None):
@@ -83,27 +108,68 @@ class IndexStore:
 
         Returns
         -------
-        (PreparedIndex, bool)
+        (Index, bool)
             The index and whether it was a cache hit.  Building happens
             under the store lock, so concurrent first requests for the
-            same target set build it exactly once.
+            same target set build it exactly once.  An entry whose
+            index has been incrementally updated since admission
+            (``version`` moved on) is revalidated in place — fresh
+            size accounting, counted as an invalidation, still a hit.
         """
         key = self.key_for(targets, seed=seed, mt=mt)
         with self._lock:
-            index = self._entries.get(key)
-            if index is not None:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
+                if entry.version != entry.index.version:
+                    self._invalidations += 1
+                    self._readmit(key, entry.index)
                 self._hits += 1
-                return index, True
+                return entry.index, True
             self._misses += 1
-            index = PreparedIndex(targets, seed=seed, mt=mt,
-                                  memory_budget_bytes=memory_budget_bytes)
+            index = Index(targets, seed=seed, mt=mt,
+                          memory_budget_bytes=memory_budget_bytes)
             self._admit(key, index)
             return index, False
 
+    def put(self, index, seed=None, mt=None):
+        """Admit an existing :class:`~repro.index.Index` (warm start).
+
+        The key derives from the index's own identity — its build-time
+        fingerprint, seed and requested ``mt`` — so a later
+        :meth:`get` with the same target content and knobs hits it.
+        """
+        seed = index.seed if seed is None else seed
+        mt = index.mt_requested if mt is None else mt
+        key = (index.fingerprint, int(seed), mt)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._admit(key, index)
+        return key
+
+    def preload(self, path, mmap=True):
+        """Load a saved index directory into the store (zero-copy).
+
+        Returns the loaded :class:`~repro.index.Index`; serving traffic
+        whose target set matches its fingerprint (and knobs) is then a
+        hit from request one, with the arrays memory-mapped instead of
+        rebuilt.
+        """
+        index = Index.load(path, mmap=mmap)
+        self.put(index)
+        return index
+
+    def _readmit(self, key, index):
+        entry = self._entries.pop(key)
+        self._bytes -= entry.nbytes
+        self._admit(key, index)
+
     def _admit(self, key, index):
-        self._entries[key] = index
-        self._bytes += index.nbytes
+        entry = _Entry(index)
+        self._entries[key] = entry
+        self._bytes += entry.nbytes
         while self._entries and self._over_capacity(newest=key):
             old_key, old = self._entries.popitem(last=False)
             self._bytes -= old.nbytes
@@ -124,7 +190,9 @@ class IndexStore:
         with self._lock:
             return IndexStoreStats(
                 hits=self._hits, misses=self._misses,
-                evictions=self._evictions, entries=len(self._entries),
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
                 resident_bytes=self._bytes,
                 budget_bytes=self._budget if self._budget is not None else 0)
 

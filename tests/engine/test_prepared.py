@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro import SweetKNN, knn_join
-from repro.engine import prepared
 from repro.engine.prepared import PreparedIndex
 from repro.errors import ValidationError
+from repro.index import index as index_module
 
 
 class TestPreparedIndex:
@@ -51,13 +51,13 @@ class TestSweetKNNReuse:
             self, clustered_points, rng, monkeypatch):
         """Regression: query() used to re-cluster the target set."""
         calls = []
-        real = prepared.select_landmarks_random_spread
+        real = index_module.select_landmarks_random_spread
 
         def counting(points, m, rng_):
             calls.append(points)
             return real(points, m, rng_)
 
-        monkeypatch.setattr(prepared, "select_landmarks_random_spread",
+        monkeypatch.setattr(index_module, "select_landmarks_random_spread",
                             counting)
         index = SweetKNN(clustered_points, seed=0)
         dim = clustered_points.shape[1]
@@ -72,9 +72,9 @@ class TestSweetKNNReuse:
         index = SweetKNN(clustered_points, seed=0)
         queries = rng.normal(size=(20, clustered_points.shape[1]))
         index.query(queries, 3)
-        first = index._join_plans[-1][2]
+        first = index._join_plans[-1][-1]
         index.query(queries, 5)  # same array object, different k
-        assert index._join_plans[-1][2] is first
+        assert index._join_plans[-1][-1] is first
         assert len(index._join_plans) == 1
 
     def test_execution_plans_cached_per_shape(self, clustered_points, rng):

@@ -1,0 +1,105 @@
+"""The Index object: build semantics, identity, and the update policy."""
+
+import numpy as np
+import pytest
+
+from repro import SweetKNN
+from repro.errors import ValidationError
+from repro.index import Index, UpdatePolicy, fingerprint_points
+
+
+class TestBuild:
+    def test_build_is_single_clustering(self, clustered_points):
+        index = Index(clustered_points, seed=0)
+        assert index.build_count == 1
+        assert index.version == 1
+        assert index.mt == index.target_clusters.n_clusters
+        assert index.n_points == len(clustered_points)
+        assert index.n_active == len(clustered_points)
+        assert index.n_tombstones == 0
+
+    def test_key_is_fingerprint_and_version(self, clustered_points):
+        index = Index(clustered_points, seed=0)
+        assert index.key == (fingerprint_points(clustered_points), 1)
+
+    def test_same_content_same_fingerprint_distinct_rng(self,
+                                                       clustered_points):
+        a = Index(clustered_points, seed=0)
+        b = Index(clustered_points.copy(), seed=1)
+        assert a.fingerprint == b.fingerprint
+        assert a.key == b.key  # seed is not part of the content identity
+
+    def test_matches_legacy_prepared_index_build(self, clustered_points,
+                                                 rng):
+        from repro.engine.prepared import PreparedIndex
+
+        assert PreparedIndex is Index
+        index = PreparedIndex(clustered_points, seed=0)
+        queries = rng.normal(size=(20, clustered_points.shape[1]))
+        plan = index.join_plan(queries)
+        assert plan.target_clusters is index.target_clusters
+
+    def test_rejects_bad_inputs(self, clustered_points):
+        with pytest.raises(ValidationError):
+            Index(np.empty((0, 3)))
+        with pytest.raises(ValidationError):
+            Index(np.zeros(5))
+        index = Index(clustered_points)
+        with pytest.raises(ValidationError):
+            index.join_plan(np.zeros((4, clustered_points.shape[1] + 1)))
+
+    def test_describe_round_trips_the_essentials(self, clustered_points):
+        index = Index(clustered_points, seed=5)
+        info = index.describe()
+        assert info["n"] == len(clustered_points)
+        assert info["fingerprint"] == index.fingerprint
+        assert info["version"] == 1
+        assert info["mmapped"] is False
+        assert info["policy"] == index.policy.describe()
+
+
+class TestUpdatePolicy:
+    def test_validates_bounds(self):
+        with pytest.raises(ValidationError):
+            UpdatePolicy(max_tombstone_fraction=0.0)
+        with pytest.raises(ValidationError):
+            UpdatePolicy(max_tombstone_fraction=1.5)
+        with pytest.raises(ValidationError):
+            UpdatePolicy(max_cluster_growth=1.0)
+
+    def test_describe_from_dict_round_trip(self):
+        policy = UpdatePolicy(max_tombstone_fraction=0.5,
+                              max_cluster_growth=8.0)
+        clone = UpdatePolicy.from_dict(policy.describe())
+        assert clone.describe() == policy.describe()
+
+
+class TestSweetKNNIntegration:
+    def test_sweetknn_owns_an_index(self, clustered_points):
+        knn = SweetKNN(clustered_points, seed=0)
+        assert isinstance(knn.index, Index)
+        assert knn.targets is knn.index.targets
+
+    def test_from_index_reuses_prepared_state(self, clustered_points, rng):
+        index = Index(clustered_points, seed=0)
+        knn = SweetKNN.from_index(index, method="ti-cpu")
+        queries = rng.normal(size=(15, clustered_points.shape[1]))
+        result = knn.query(queries, 4)
+        assert knn.index is index
+        assert index.build_count == 1
+        assert result.indices.shape == (15, 4)
+
+    def test_from_index_rejects_non_index(self):
+        with pytest.raises(ValidationError):
+            SweetKNN.from_index(object())
+
+    def test_from_index_matches_direct_sweetknn(self, clustered_points,
+                                                rng):
+        queries = rng.normal(size=(25, clustered_points.shape[1]))
+        direct = SweetKNN(clustered_points, seed=4, method="ti-cpu")
+        wrapped = SweetKNN.from_index(Index(clustered_points, seed=4),
+                                      method="ti-cpu")
+        a = direct.query(queries, 5)
+        b = wrapped.query(queries, 5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)

@@ -1,0 +1,177 @@
+"""Persistence: save -> load(mmap) must be bit-identical to fresh state,
+and every malformed on-disk input must raise a typed ValidationError."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import SweetKNN, knn_join
+from repro.errors import ValidationError
+from repro.index import (Index, clear_index_cache, is_index_dir,
+                         read_manifest)
+from repro.obs.funnel import funnel_from_stats
+
+COUNTERS = ("level2_distance_computations", "center_distance_computations",
+            "init_distance_computations", "examined_points",
+            "candidate_cluster_pairs", "heap_updates")
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    for counter in COUNTERS:
+        assert getattr(a.stats, counter) == getattr(b.stats, counter), \
+            counter
+    assert funnel_from_stats(a.stats) == funnel_from_stats(b.stats)
+
+
+@pytest.fixture
+def saved_dir(tmp_path, clustered_points):
+    path = tmp_path / "idx"
+    Index(clustered_points, seed=3).save(path)
+    return path
+
+
+class TestRoundTrip:
+    def test_loaded_index_equals_fresh(self, saved_dir, clustered_points):
+        fresh = Index(clustered_points, seed=3)
+        loaded = Index.load(saved_dir)
+        assert loaded.key == fresh.key
+        assert loaded.mt == fresh.mt
+        np.testing.assert_array_equal(loaded.targets, fresh.targets)
+        ct_fresh, ct_loaded = fresh.target_clusters, loaded.target_clusters
+        np.testing.assert_array_equal(ct_loaded.center_indices,
+                                      ct_fresh.center_indices)
+        np.testing.assert_array_equal(ct_loaded.assignment,
+                                      ct_fresh.assignment)
+        np.testing.assert_array_equal(ct_loaded.radius, ct_fresh.radius)
+        for m_l, m_f in zip(ct_loaded.members, ct_fresh.members):
+            np.testing.assert_array_equal(m_l, m_f)
+        assert ct_loaded.check_invariants()
+
+    def test_mmap_load_is_read_only_views(self, saved_dir):
+        loaded = Index.load(saved_dir, mmap=True)
+        assert loaded.mmapped
+        assert isinstance(loaded.targets, np.memmap)
+        assert not loaded.targets.flags.writeable
+        # Per-cluster member lists are slices of the mapped file.
+        assert isinstance(loaded.target_clusters.members[0], np.memmap)
+
+    def test_eager_load_works_too(self, saved_dir):
+        loaded = Index.load(saved_dir, mmap=False)
+        assert not loaded.mmapped
+        assert not isinstance(loaded.targets, np.memmap)
+
+    def test_is_index_dir(self, saved_dir, tmp_path):
+        assert is_index_dir(saved_dir)
+        assert not is_index_dir(tmp_path / "nope")
+
+    @pytest.mark.parametrize("method", ["ti-cpu", "sweet"])
+    @pytest.mark.parametrize("workers,pool", [
+        (1, None), (4, "process"), (4, "thread")])
+    def test_query_parity_across_engines_and_pools(
+            self, saved_dir, clustered_points, rng, method, workers, pool):
+        """The acceptance matrix: a loaded mmap index must answer every
+        engine x worker x pool combination bit-identically (results,
+        counters, funnel) to a freshly built index."""
+        queries = rng.normal(size=(40, clustered_points.shape[1]))
+        fresh = SweetKNN.from_index(Index(clustered_points, seed=3),
+                                    method=method)
+        loaded = SweetKNN.from_index(Index.load(saved_dir), method=method)
+        kwargs = {} if workers == 1 else {"workers": workers, "pool": pool}
+        _assert_identical(loaded.query(queries, 6, **kwargs),
+                          fresh.query(queries, 6, **kwargs))
+
+    def test_loaded_matches_serial_reference(self, saved_dir,
+                                             clustered_points):
+        """Served-from-disk answers equal a plain knn_join."""
+        loaded = SweetKNN.from_index(Index.load(saved_dir), method="ti-cpu")
+        result = loaded.query(clustered_points, 6)
+        reference = knn_join(clustered_points, clustered_points, 6,
+                             method="brute")
+        assert result.matches(reference)
+
+    def test_second_rng_draw_matches_after_reload(self, saved_dir,
+                                                  clustered_points, rng):
+        """The manifest's rng_state must cover later query batches, not
+        just the first one."""
+        fresh = Index(clustered_points, seed=3)
+        loaded = Index.load(saved_dir)
+        for size in (20, 35, 10):
+            queries = rng.normal(size=(size, clustered_points.shape[1]))
+            plan_f = fresh.join_plan(queries)
+            plan_l = loaded.join_plan(queries)
+            np.testing.assert_array_equal(
+                plan_l.query_clusters.center_indices,
+                plan_f.query_clusters.center_indices)
+            np.testing.assert_array_equal(plan_l.center_dists,
+                                          plan_f.center_dists)
+
+
+class TestCorruption:
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            Index.load(tmp_path / "absent")
+
+    def test_dir_without_manifest(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValidationError, match="not a saved index"):
+            Index.load(empty)
+
+    def test_corrupt_manifest_json(self, saved_dir):
+        (saved_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(ValidationError, match="corrupt"):
+            Index.load(saved_dir)
+
+    def test_wrong_format_marker(self, saved_dir):
+        (saved_dir / "manifest.json").write_text(
+            json.dumps({"format": "something-else"}))
+        with pytest.raises(ValidationError, match="not a repro index"):
+            Index.load(saved_dir)
+
+    def test_unsupported_format_version(self, saved_dir):
+        manifest = read_manifest(saved_dir)
+        manifest["format_version"] = 999
+        (saved_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError, match="format version"):
+            Index.load(saved_dir)
+
+    def test_missing_required_key(self, saved_dir):
+        manifest = read_manifest(saved_dir)
+        del manifest["fingerprint"]
+        (saved_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError, match="missing"):
+            Index.load(saved_dir)
+
+    def test_missing_array_file(self, saved_dir):
+        os.remove(saved_dir / "members.npy")
+        with pytest.raises(ValidationError, match="cannot load"):
+            Index.load(saved_dir)
+
+    def test_truncated_array_file(self, saved_dir, clustered_points):
+        np.save(saved_dir / "targets.npy", clustered_points[:10])
+        with pytest.raises(ValidationError, match="manifest"):
+            Index.load(saved_dir)
+
+    def test_mismatched_manifest_shape(self, saved_dir):
+        manifest = read_manifest(saved_dir)
+        manifest["arrays"]["targets"]["shape"][0] += 1
+        (saved_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError, match="manifest"):
+            Index.load(saved_dir)
+
+    def test_stale_cache_key_mismatch(self, saved_dir, clustered_points,
+                                      rng):
+        """load_cached with an expectation from a different index state
+        fails loudly instead of serving different data."""
+        from repro.index import load_cached
+
+        clear_index_cache()
+        index = Index.load(saved_dir)
+        with pytest.raises(ValidationError, match="expected"):
+            load_cached(saved_dir, expect_key=(index.fingerprint,
+                                              index.version + 7))
+        clear_index_cache()

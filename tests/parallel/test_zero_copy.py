@@ -1,0 +1,147 @@
+"""Zero-copy fan-out: disk-backed indexes ship a PlanHandle, not arrays.
+
+When a query runs against a saved :class:`repro.index.Index` on a
+process pool, each ShardJob must carry only the index *path* and its
+``(fingerprint, version)`` key — never the target points or member
+lists — and the workers must reattach the shared read-only mmap and
+still return bit-identical answers.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import SweetKNN
+from repro.index import Index
+from repro.parallel import shutdown_pools
+
+
+@pytest.fixture
+def big_saved(tmp_path):
+    """A target set large enough that shipping it would dominate the
+    pickled payload, saved to disk."""
+    rng = np.random.default_rng(11)
+    centers = rng.normal(scale=6.0, size=(12, 10))
+    targets = np.concatenate(
+        [center + rng.normal(scale=0.5, size=(200, 10))
+         for center in centers])
+    path = tmp_path / "big"
+    Index(targets, seed=2).save(path)
+    return path, targets
+
+
+class _CapturingPool:
+    def __init__(self, inner, captured):
+        self._inner = inner
+        self._captured = captured
+        self.kind = inner.kind
+
+    def run(self, tasks):
+        self._captured.extend(tasks)
+        return self._inner.run(tasks)
+
+
+def _capture_tasks(monkeypatch, captured):
+    from repro.engine import executor
+    from repro.parallel import get_pool as real_get_pool
+
+    monkeypatch.setattr(
+        executor, "get_pool",
+        lambda workers, kind: _CapturingPool(real_get_pool(workers, kind),
+                                             captured))
+
+
+class TestPayload:
+    def test_process_pool_ships_handle_not_arrays(self, big_saved, rng,
+                                                  monkeypatch):
+        path, targets = big_saved
+        index = Index.load(path, mmap=True)
+        knn = SweetKNN.from_index(index, method="ti-cpu")
+        queries = rng.normal(size=(40, targets.shape[1]))
+
+        captured = []
+        _capture_tasks(monkeypatch, captured)
+        result = knn.query(queries, 5, workers=2, pool="process")
+
+        assert result.stats.extra["zero_copy"] is True
+        assert captured, "no tasks reached the pool"
+        for task in captured:
+            job = task.job
+            assert job.targets is None
+            assert job.plan is None
+            assert job.handle is not None
+            assert job.handle.index_path == index.source_path
+            assert job.handle.index_key == index.key
+            # The wire payload is O(queries), not O(targets): the
+            # 2400x10 target set (plus member lists of the same order)
+            # never crosses the process boundary.
+            payload = len(pickle.dumps(task))
+            assert payload < targets.nbytes // 2, payload
+
+    def test_thread_pool_keeps_in_process_plan(self, big_saved, rng,
+                                               monkeypatch):
+        """Threads share memory already; the mmap indirection is only
+        for process pools."""
+        path, targets = big_saved
+        knn = SweetKNN.from_index(Index.load(path), method="ti-cpu")
+        queries = rng.normal(size=(64, targets.shape[1]))
+
+        captured = []
+        _capture_tasks(monkeypatch, captured)
+        result = knn.query(queries, 5, workers=2, pool="thread")
+
+        assert result.stats.extra["zero_copy"] is False
+        assert all(task.job.handle is None for task in captured)
+
+    def test_in_memory_index_still_ships_arrays(self, clustered_points,
+                                                rng, monkeypatch):
+        """No disk image -> nothing for workers to reattach; the job
+        must fall back to shipping the plan."""
+        knn = SweetKNN.from_index(Index(clustered_points, seed=2),
+                                  method="ti-cpu")
+        queries = rng.normal(size=(64, clustered_points.shape[1]))
+
+        captured = []
+        _capture_tasks(monkeypatch, captured)
+        result = knn.query(queries, 5, workers=2, pool="process")
+
+        assert result.stats.extra["zero_copy"] is False
+        assert all(task.job.handle is None for task in captured)
+
+
+class TestParity:
+    @pytest.mark.parametrize("method", ["ti-cpu", "sweet"])
+    def test_mmap_served_results_bit_identical(self, big_saved, rng,
+                                               method):
+        path, targets = big_saved
+        knn = SweetKNN.from_index(Index.load(path, mmap=True),
+                                  method=method)
+        queries = rng.normal(size=(64, targets.shape[1]))
+        serial = knn.query(queries, 6)
+        sharded = knn.query(queries, 6, workers=2, pool="process")
+        assert sharded.stats.extra["zero_copy"] is True
+        np.testing.assert_array_equal(sharded.indices, serial.indices)
+        np.testing.assert_array_equal(sharded.distances, serial.distances)
+        assert sharded.stats.level2_distance_computations == \
+            serial.stats.level2_distance_computations
+        assert sharded.stats.examined_points == serial.stats.examined_points
+
+    def test_two_pools_share_one_disk_image(self, big_saved, rng):
+        """Successive zero-copy queries keep answering correctly once
+        the workers hold the mmap (the reuse path, not just cold
+        attach)."""
+        path, targets = big_saved
+        knn = SweetKNN.from_index(Index.load(path, mmap=True),
+                                  method="ti-cpu")
+        for size in (20, 45):
+            queries = rng.normal(size=(size, targets.shape[1]))
+            serial = knn.query(queries, 4)
+            sharded = knn.query(queries, 4, workers=2, pool="process")
+            np.testing.assert_array_equal(sharded.indices, serial.indices)
+            np.testing.assert_array_equal(sharded.distances,
+                                          serial.distances)
+
+
+def teardown_module(module):
+    shutdown_pools()
