@@ -1,0 +1,91 @@
+"""Extension: TI pruning for the three predicate-join shapes.
+
+Not a paper figure — the paper builds its triangle-inequality funnel
+for top-k only; this experiment shows the factored predicate core
+carries the same pruning to ε-range self-join, ε-range join, and
+reverse-KNN on clusterable data.  For each shape we run the TI engine
+and its brute reference on the same Gaussian-mixture set, check the
+pair sets match exactly, and record the level-2 distance computations
+both sides paid.
+
+Recorded in ``BENCH_join_shapes.json``: per shape the pair count, the
+TI and dense level-2 distance counts, and the saved fraction.  The
+gate: TI must beat dense on every shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import emit, emit_json, format_table
+from repro.baselines.brute_joins import brute_range_join, brute_reverse_knn
+from repro.core.joins import (range_join, reverse_knn_join,
+                              self_range_join)
+from repro.datasets.synthetic import gaussian_mixture
+
+N = 1500
+DIM = 12
+K = 10
+EXPERIMENT_SEED = 1
+
+
+def _median_kth_eps(points, k=K):
+    """ε at the median k-th NN distance: every query keeps roughly k
+    neighbours, the densest regime where pruning still matters."""
+    diff = points[:, None, :] - points[None, :, :]
+    full = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    np.fill_diagonal(full, np.inf)
+    return float(np.median(np.partition(full, k - 1, axis=1)[:, k - 1]))
+
+
+@pytest.mark.paper_experiment("join_shapes")
+def test_join_shapes():
+    rng = np.random.default_rng(EXPERIMENT_SEED)
+    points = gaussian_mixture(N, DIM, rng)
+    # Queries live in the same mixture: jittered resamples of the
+    # target set, so the asymmetric shapes have non-trivial answers.
+    queries = (points[rng.permutation(N)[:N // 3]]
+               + rng.normal(scale=0.1, size=(N // 3, DIM)))
+    eps = _median_kth_eps(points)
+
+    shapes = []
+
+    ti = self_range_join(points, eps, np.random.default_rng(2))
+    dense = brute_range_join(points, points, eps, skip_self=True)
+    assert ti.matches(dense)
+    shapes.append(("self-join-eps", ti, dense))
+
+    ti = range_join(queries, points, eps, np.random.default_rng(2))
+    dense = brute_range_join(queries, points, eps)
+    assert ti.matches(dense)
+    shapes.append(("range-join", ti, dense))
+
+    ti = reverse_knn_join(queries, points, K, np.random.default_rng(2))
+    dense = brute_reverse_knn(queries, points, K)
+    assert ti.matches(dense)
+    shapes.append(("rknn", ti, dense))
+
+    rows, payload = [], {"n": N, "dim": DIM, "k": K, "eps": eps,
+                         "shapes": {}}
+    for name, ti, dense in shapes:
+        ti_l2 = ti.stats.level2_distance_computations
+        dense_l2 = dense.stats.level2_distance_computations
+        # The gate: the factored predicate core must prune on
+        # clusterable data, for every join shape.
+        assert ti_l2 < dense_l2, name
+        saved = 1.0 - ti_l2 / dense_l2
+        rows.append((name, ti.n_pairs, ti_l2, dense_l2, 100.0 * saved))
+        payload["shapes"][name] = {
+            "pairs": int(ti.n_pairs),
+            "ti_level2_distances": int(ti_l2),
+            "dense_level2_distances": int(dense_l2),
+            "saved_fraction": saved,
+        }
+
+    emit_json("join_shapes", payload)
+    emit("join_shapes", format_table(
+        "Extension - TI pruning across predicate-join shapes "
+        "(gaussian mixture, n=%d, dim=%d)" % (N, DIM),
+        ["shape", "pairs", "TI level-2", "dense level-2", "saved %"],
+        rows,
+        notes=["eps = median %d-th NN distance = %.4f" % (K, eps),
+               "Every shape's pair set checked exact vs brute force."]))

@@ -20,10 +20,12 @@ paper-versus-measured record of every reproduced table and figure.
 import logging as _logging
 
 from . import obs
-from .core import METHODS, KNNResult, SweetKNN, knn_join, sweet_knn
+from .core import (METHODS, KNNResult, RangeResult, SweetKNN, knn_join,
+                   range_join, reverse_knn_join, self_range_join, sweet_knn)
 from .core.basic_gpu import basic_ti_knn
 from .core.ti_knn import ti_knn_join
 from .baselines import brute_force_knn, cublas_knn, kdtree_knn
+from .workloads import knn_classify, novelty_scores
 from .datasets import load as load_dataset
 from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
                      engine_names, get_engine, plan, register, unregister)
@@ -38,8 +40,10 @@ _logging.getLogger("repro").addHandler(_logging.NullHandler())
 __version__ = "1.4.0"
 
 __all__ = [
-    "METHODS", "KNNResult", "SweetKNN", "knn_join", "sweet_knn",
-    "basic_ti_knn", "ti_knn_join",
+    "METHODS", "KNNResult", "RangeResult", "SweetKNN", "knn_join",
+    "sweet_knn", "basic_ti_knn", "ti_knn_join",
+    "range_join", "self_range_join", "reverse_knn_join",
+    "knn_classify", "novelty_scores",
     "brute_force_knn", "cublas_knn", "kdtree_knn",
     "Index", "UpdatePolicy",
     "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",

@@ -1,8 +1,10 @@
-"""Baselines: exact brute force, the CUBLAS-style GPU KNN, KD-tree."""
+"""Baselines: exact brute force, the CUBLAS-style GPU KNN, KD-tree,
+and the brute-force predicate-join oracles."""
 
 from .brute_force import brute_force_knn
+from .brute_joins import brute_range_join, brute_reverse_knn
 from .cublas_knn import cublas_knn, plan_partitions
 from .kdtree import KDTree, kdtree_knn
 
-__all__ = ["brute_force_knn", "cublas_knn", "plan_partitions", "KDTree",
-           "kdtree_knn"]
+__all__ = ["brute_force_knn", "brute_range_join", "brute_reverse_knn",
+           "cublas_knn", "plan_partitions", "KDTree", "kdtree_knn"]

@@ -56,6 +56,7 @@ def brute_force_knn(queries, targets, k):
         n_queries=n_q, n_targets=len(targets), k=k,
         dim=queries.shape[1],
         level2_distance_computations=n_q * len(targets),
+        predicate_accepted_pairs=n_q * k,
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      method="brute-force-cpu")

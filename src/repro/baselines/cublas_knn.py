@@ -117,6 +117,7 @@ def cublas_knn(queries, targets, k, device=None, cost_model=None):
     stats = JoinStats(
         n_queries=n_q, n_targets=n_t, k=k, dim=dim,
         level2_distance_computations=n_q * n_t,
+        predicate_accepted_pairs=n_q * k,
         extra={"partitions": len(partitions)},
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,

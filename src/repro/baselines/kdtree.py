@@ -107,6 +107,7 @@ def kdtree_knn(queries, targets, k, leaf_size=_LEAF_SIZE):
         n_queries=len(queries), n_targets=len(targets), k=k,
         dim=queries.shape[1],
         level2_distance_computations=tree.distance_computations,
+        predicate_accepted_pairs=len(queries) * k,
         extra={"tree_nodes": tree.nodes},
     )
     return KNNResult(distances=distances, indices=indices, stats=stats,

@@ -16,6 +16,14 @@ Commands
     The full execution plan (engine, adaptive configuration, landmark
     counts, query batching) the dispatcher would use — the CLI view of
     :func:`repro.plan`.
+``classify``
+    Majority-vote KNN classification on a labelled synthetic mixture
+    (train/test split), via :func:`repro.workloads.knn_classify`;
+    prints the held-out accuracy.
+``novelty``
+    Average-distance novelty scoring: scores a held-out sample plus
+    injected far-away outliers against the reference set and reports
+    the separation (:func:`repro.workloads.novelty_scores`).
 ``serve-bench``
     Open-loop load generation against an in-process
     :class:`~repro.serve.KNNServer`; prints the serving stats table
@@ -39,7 +47,10 @@ Commands
 The ``--method`` choices come straight from the engine registry
 (:func:`repro.engine.engine_names`), so engines registered by plugins
 are runnable by name; ``compare --methods`` takes a comma-separated
-registry-validated list.
+registry-validated list.  The predicate-join engines (``range-join``,
+``self-join-eps``, ``range-join-brute``) additionally need ``--eps``;
+``run``/``compare`` fail fast with a clear message when the knob is
+missing (the engine's ``required_options`` drive the check).
 
 Examples
 --------
@@ -52,8 +63,14 @@ Examples
     python -m repro index update idx/ --add 100 --remove 3,17
     python -m repro run --index-dir idx/ --n 500 --dim 16 -k 10
     python -m repro serve-bench --index-dir idx/ --requests 200 -k 10
+    python -m repro run --n 800 --dim 8 --method self-join-eps --eps 1.5
+    python -m repro run --n 800 --method rknn -k 10 --check
+    python -m repro classify --n 2000 --dim 16 -k 10
+    python -m repro novelty --n 2000 --dim 16 -k 10 --outliers 25
     python -m repro compare --dataset skin -k 20
     python -m repro compare --n 800 -k 10 --methods brute,ti-cpu,sweet
+    python -m repro compare --n 600 --eps 1.5 \
+        --methods range-join-brute,range-join
     python -m repro adaptive --n 100 --dim 10000 -k 20
     python -m repro plan --dataset kegg -k 20 --method sweet
     python -m repro serve-bench --requests 200 --rate 500 -k 10
@@ -91,6 +108,7 @@ def build_parser():
     run = sub.add_parser("run", help="run one KNN join")
     _data_args(run)
     _method_arg(run)
+    _eps_arg(run)
     _workers_arg(run)
     run.add_argument("--query-batch-size", type=int, default=None,
                      help="force the dispatcher's query-tile size")
@@ -129,6 +147,7 @@ def build_parser():
     compare = sub.add_parser("compare",
                              help="baseline vs KNN-TI vs Sweet KNN")
     _data_args(compare)
+    _eps_arg(compare)
     _workers_arg(compare)
     compare.add_argument(
         "--methods", type=_methods_list, default=["cublas", "ti-gpu",
@@ -176,7 +195,27 @@ def build_parser():
         "plan", help="show the execution plan for a problem shape")
     _data_args(plan)
     _method_arg(plan)
+    _eps_arg(plan)
     _workers_arg(plan)
+
+    classify = sub.add_parser(
+        "classify", help="majority-vote KNN classification workload")
+    _data_args(classify)
+    _method_arg(classify)
+    _workers_arg(classify)
+    classify.add_argument("--classes", type=int, default=4,
+                          help="label count of the synthetic mixture")
+    classify.add_argument("--train-frac", type=float, default=0.7,
+                          help="fraction of points used as the "
+                               "labelled reference set")
+
+    novelty = sub.add_parser(
+        "novelty", help="average-distance novelty-scoring workload")
+    _data_args(novelty)
+    _method_arg(novelty)
+    _workers_arg(novelty)
+    novelty.add_argument("--outliers", type=int, default=20,
+                         help="far-away outlier points to inject")
 
     trace = sub.add_parser(
         "trace", help="run another command with tracing enabled")
@@ -200,6 +239,37 @@ def _method_arg(parser):
     parser.add_argument("--method", default="sweet",
                         choices=list(engine_names()),
                         help="a registered engine")
+
+
+def _eps_arg(parser):
+    parser.add_argument("--eps", type=float, default=None,
+                        help="range radius for the ε-range join engines "
+                             "(required by methods declaring the knob)")
+
+
+def _range_options(method, eps, out):
+    """Resolve a range engine's option dict from the CLI knobs.
+
+    Returns ``(options, error_code)``; prints the clear what-to-pass
+    message (driven by the engine's ``required_options``) when a
+    predicate-specific knob is missing or extraneous.
+    """
+    spec = get_engine(method)
+    options = {}
+    if "eps" in spec.required_options:
+        if eps is None:
+            out.write(
+                "method %r needs --eps (the range predicate's radius); "
+                "e.g. --eps 1.5\n" % method)
+            return None, 2
+        options["eps"] = eps
+    elif eps is not None:
+        needs = [name for name in engine_names()
+                 if "eps" in get_engine(name).required_options]
+        out.write("--eps only applies to %s (not %r)\n"
+                  % (", ".join(needs), method))
+        return None, 2
+    return options, 0
 
 
 def _workers_arg(parser):
@@ -266,8 +336,17 @@ def _profile_row(label, result, baseline=None):
 
 def cmd_run(args, out):
     spec = get_engine(args.method)
+    range_kind = spec.caps.result_kind == "range"
+    options, code = _range_options(args.method, args.eps, out)
+    if code:
+        return code
     index = None
     if args.index_dir:
+        if range_kind:
+            out.write("the range/rknn methods answer from their own "
+                      "prepared plan; --index-dir is not supported for "
+                      "%r\n" % args.method)
+            return 2
         from .core.api import SweetKNN
         from .index import Index
 
@@ -290,7 +369,7 @@ def cmd_run(args, out):
                           seed=args.seed,
                           device=device if spec.caps.needs_device else None,
                           query_batch_size=args.query_batch_size,
-                          workers=args.workers, pool=args.pool)
+                          workers=args.workers, pool=args.pool, **options)
     out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
     if result.sim_time_s is not None:
         out.write("simulated K20c time: %.3f ms\n"
@@ -298,10 +377,27 @@ def cmd_run(args, out):
     out.write("distance computations: %d (saved %.2f%%)\n" % (
         result.stats.level2_distance_computations,
         100 * result.stats.saved_fraction))
+    if range_kind:
+        counts = result.counts()
+        out.write("accepted pairs: %d (per query min/mean/max "
+                  "%d/%.1f/%d)\n"
+                  % (result.n_pairs, counts.min(), counts.mean(),
+                     counts.max()))
     if result.stats.extra:
         out.write("decisions: %s\n" % (result.stats.extra,))
     if args.check:
-        if index is not None:
+        if range_kind:
+            from .baselines.brute_joins import (brute_range_join,
+                                                brute_reverse_knn)
+            if args.method == "self-join-eps":
+                oracle = brute_range_join(points, points, args.eps,
+                                          skip_self=True)
+            elif "eps" in spec.required_options:
+                oracle = brute_range_join(points, points, args.eps)
+            else:
+                oracle = brute_reverse_knn(points, points, args.k)
+            exact = result.matches(oracle)
+        elif index is not None:
             active = index.active_ids()
             oracle = knn_join(points, index.targets[active], args.k,
                               method="brute")
@@ -383,14 +479,23 @@ def cmd_compare(args, out):
     rows = []
     for method in args.methods:
         spec = get_engine(method)
+        options, code = _range_options(method, args.eps, out) \
+            if spec.required_options else ({}, 0)
+        if code:
+            return code
         result = knn_join(points, points, args.k, method=method,
                           seed=args.seed,
                           device=device if spec.caps.needs_device else None,
-                          workers=args.workers, pool=args.pool)
+                          workers=args.workers, pool=args.pool, **options)
         label = _COMPARE_LABELS.get(method, method)
         if baseline is None:
             baseline = result
             label = _COMPARE_LABELS.get(method, "%s baseline" % method)
+        elif type(result) is not type(baseline):
+            out.write("NOTE: %s returns %s rows; not comparable with the "
+                      "baseline's %s\n"
+                      % (label, type(result).__name__,
+                         type(baseline).__name__))
         elif not result.matches(baseline):
             out.write("WARNING: %s disagrees with the baseline\n" % label)
         rows.append(_profile_row(label, result, baseline))
@@ -438,15 +543,98 @@ def cmd_adaptive(args, out):
 
 
 def cmd_plan(args, out):
+    options, code = _range_options(args.method, args.eps, out)
+    if code:
+        return code
     points, device, name = _load_points(args)
     spec = get_engine(args.method)
     exec_plan = plan_join(points, points, args.k, method=args.method,
                           device=device if spec.caps.needs_device else None,
                           workers=args.workers, pool=args.pool)
     out.write("execution plan for %s (method=%s):\n" % (name, args.method))
+    if options:
+        out.write("  %-16s %s\n" % ("knobs", options))
     for key, value in exec_plan.describe().items():
         out.write("  %-16s %s\n" % (key, value))
     return 0
+
+
+def _labelled_mixture(n, dim, rng, n_classes):
+    """A labelled Gaussian mixture: one blob per class."""
+    centers = rng.normal(scale=4.0, size=(n_classes, dim))
+    labels = rng.integers(0, n_classes, size=n)
+    points = centers[labels] + rng.normal(size=(n, dim))
+    return points, labels
+
+
+def cmd_classify(args, out):
+    from .workloads import knn_classify
+
+    spec = get_engine(args.method)
+    rng = np.random.default_rng(args.seed)
+    points, labels = _labelled_mixture(args.n, args.dim, rng, args.classes)
+    if not 0.0 < args.train_frac < 1.0:
+        out.write("--train-frac must be in (0, 1)\n")
+        return 2
+    split = int(args.n * args.train_frac)
+    if split < args.k or split >= args.n:
+        out.write("train split of %d rows cannot serve k=%d "
+                  "(raise --n or lower --train-frac/-k)\n"
+                  % (split, args.k))
+        return 2
+    prediction = knn_classify(
+        points[split:], points[:split], labels[:split], args.k,
+        method=args.method, seed=args.seed,
+        device=tesla_k20c() if spec.caps.needs_device else None,
+        workers=args.workers, pool=args.pool)
+    accuracy = prediction.accuracy(labels[split:])
+    stats = prediction.result.stats
+    out.write("knn-classify via %s: %d train / %d test, %d classes, "
+              "k=%d\n" % (prediction.result.method, split, args.n - split,
+                          args.classes, args.k))
+    out.write("held-out accuracy: %.4f\n" % accuracy)
+    out.write("distance computations: %d (saved %.2f%%)\n"
+              % (stats.level2_distance_computations,
+                 100 * stats.saved_fraction))
+    return 0
+
+
+def cmd_novelty(args, out):
+    from .workloads import novelty_scores
+
+    spec = get_engine(args.method)
+    rng = np.random.default_rng(args.seed)
+    points = gaussian_mixture(args.n, args.dim, rng,
+                              n_clusters=max(4, args.n // 100),
+                              intrinsic_dim=min(args.dim, 8))
+    if args.outliers <= 0:
+        out.write("--outliers must be positive\n")
+        return 2
+    # Inliers: a held-out resample of the mixture; outliers: points far
+    # outside the blobs' span.
+    sample = points[rng.integers(0, args.n, size=args.outliers)] \
+        + rng.normal(scale=0.05, size=(args.outliers, args.dim))
+    span = float(np.abs(points).max())
+    outliers = rng.normal(scale=span * 3.0,
+                          size=(args.outliers, args.dim)) \
+        + np.sign(rng.normal(size=(args.outliers, args.dim))) * span * 3.0
+    queries = np.vstack([sample, outliers])
+    scored = novelty_scores(queries, points, args.k, method=args.method,
+                            seed=args.seed,
+                            device=(tesla_k20c()
+                                    if spec.caps.needs_device else None),
+                            workers=args.workers, pool=args.pool)
+    inlier = scored.scores[:args.outliers]
+    outlier = scored.scores[args.outliers:]
+    separated = int(np.sum(outlier > inlier.max()))
+    out.write("novelty via %s: %d inliers / %d outliers, k=%d\n"
+              % (scored.result.method, args.outliers, args.outliers,
+                 args.k))
+    out.write("mean score: inliers %.4f, outliers %.4f\n"
+              % (float(inlier.mean()), float(outlier.mean())))
+    out.write("outliers above every inlier score: %d/%d\n"
+              % (separated, args.outliers))
+    return 0 if separated == args.outliers else 1
 
 
 def cmd_serve_bench(args, out):
@@ -545,6 +733,7 @@ def cmd_trace(args, out):
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
              "plan": cmd_plan, "serve-bench": cmd_serve_bench,
+             "classify": cmd_classify, "novelty": cmd_novelty,
              "index": cmd_index, "trace": cmd_trace}
 
 

@@ -7,9 +7,13 @@ from .bounds import (euclidean, euclidean_many, lb_one_landmark,
                      lb_two_landmarks, pairwise_distances, ub_one_landmark,
                      ub_two_landmarks)
 from .clustering import ClusteredSet, center_distances, cluster_points
+from .joins import range_join, reverse_knn_join, self_range_join
 from .landmarks import (determine_landmark_count, select_landmarks_maxmin,
                         select_landmarks_random_spread)
-from .result import JoinStats, KNNResult, merge_batch_results
+from .predicates import (EpsilonRangePredicate, ReverseKNNPredicate,
+                         TopKPredicate)
+from .result import (JoinStats, KNNResult, RangeResult, merge_batch_results,
+                     merge_range_batches, merge_results)
 from .sweet import sweet_knn
 from .ti_knn import JoinPlan, prepare_clusters, ti_knn_join
 
@@ -23,6 +27,9 @@ __all__ = [
     "ClusteredSet", "center_distances", "cluster_points",
     "determine_landmark_count", "select_landmarks_maxmin",
     "select_landmarks_random_spread",
-    "JoinStats", "KNNResult", "merge_batch_results",
+    "JoinStats", "KNNResult", "RangeResult", "merge_batch_results",
+    "merge_range_batches", "merge_results",
     "JoinPlan", "prepare_clusters", "ti_knn_join",
+    "range_join", "self_range_join", "reverse_knn_join",
+    "TopKPredicate", "EpsilonRangePredicate", "ReverseKNNPredicate",
 ]

@@ -38,13 +38,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kselect import KNearestHeap, select_k_from_pairs
+from ..kselect import select_k_from_pairs
 from .bounds import euclidean
+from .predicates import CollectAccumulator, TopKAccumulator
 
 __all__ = [
-    "cluster_upper_bounds", "level1_filter", "point_filter_full",
-    "point_filter_partial", "ScanTrace", "tail_bound_matrix",
-    "bound_comparison_tol",
+    "cluster_upper_bounds", "level1_filter", "point_scan",
+    "point_filter_full", "point_filter_partial", "ScanTrace",
+    "tail_bound_matrix", "bound_comparison_tol", "center_distance_rows",
 ]
 
 #: Relative slack for the level-2 bound comparisons.  ``theta`` descends
@@ -146,7 +147,11 @@ def level1_filter(query_clusters, target_clusters, center_dists, ubs):
     A target cluster j survives for query cluster i when the
     group-to-group lower bound
     ``d(cq_i, ct_j) - radius_q[i] - radius_t[j]`` does not exceed
-    ``UB_i``.  (The paper's pseudo-code uses a strict ``<``; we keep
+    ``UB_i``.  ``ubs`` is the per-query-cluster bound vector (|CQ|,);
+    predicates whose bound lives on the *target* side (reverse-KNN's
+    per-cluster max k-th distance) pass a broadcastable
+    (1, |CT|)-shaped bound matrix instead.
+    (The paper's pseudo-code uses a strict ``<``; we keep
     exact ties, which is required for exactness on degenerate inputs
     where the bound and the k-th distance coincide, e.g. duplicated
     points.)  Survivors are sorted by ascending centre distance (the
@@ -168,8 +173,11 @@ def level1_filter(query_clusters, target_clusters, center_dists, ubs):
     # per row, the survivors in ascending centre distance followed by
     # the masked columns — exactly ``keep[argsort(cd[keep])]`` because
     # a stable sort preserves index order among equal (inf) keys.
+    bounds = np.asarray(ubs, dtype=np.float64)
+    if bounds.ndim == 1:
+        bounds = bounds[:, None]
     lbs = center_dists - radius_q[:, None] - radius_t[None, :]
-    keep = (lbs <= ubs[:, None]) & (sizes > 0)[None, :]
+    keep = (lbs <= bounds) & (sizes > 0)[None, :]
     masked = np.where(keep, center_dists, np.inf)
     order = np.argsort(masked, axis=1, kind="stable")
     counts = keep.sum(axis=1)
@@ -188,6 +196,7 @@ class ScanTrace:
     distance_computations: int = 0
     center_distance_computations: int = 0
     heap_updates: int = 0
+    accepted: int = 0
     breaks: int = 0
     steps: int = 0  # lock-step-equivalent inner iterations
 
@@ -196,27 +205,35 @@ class ScanTrace:
         self.distance_computations += other.distance_computations
         self.center_distance_computations += other.center_distance_computations
         self.heap_updates += other.heap_updates
+        self.accepted += other.accepted
         self.breaks += other.breaks
         self.steps += other.steps
         return self
 
 
-def point_filter_full(query_point, query_index, target_clusters,
-                      candidate_ids, ub, k, center_dists_row=None):
-    """Algorithm 2 for one query point, with an updating ``theta``.
+def point_scan(query_point, query_index, target_clusters, candidate_ids,
+               accumulator, center_dists_row=None):
+    """One query's level-2 member scan against a predicate accumulator.
+
+    This is Algorithm 2's loop with the bound machinery factored out:
+    the accumulator supplies the pruning limit (``limit()``), the
+    comparison-slack reference (``tol_ref``), a pre-distance admission
+    gate (``admit``) and the acceptance check (``offer``) — the top-k,
+    ε-range and reverse-KNN predicates all run through this one loop
+    (see :mod:`repro.core.predicates`).
 
     Parameters
     ----------
     query_point:
         The query's coordinates.
     query_index:
-        Its index (for the trace only).
+        Its index (for self-join admission and the trace).
     target_clusters:
         :class:`~repro.core.clustering.ClusteredSet` of the targets.
     candidate_ids:
         Level-1 survivors, ascending by centre distance.
-    ub:
-        The query cluster's level-1 upper bound (initial ``theta``).
+    accumulator:
+        The predicate's scan state (see :mod:`repro.core.predicates`).
     center_dists_row:
         Optional precomputed distances from this query to every target
         centre; when absent they are computed (and counted) here, like
@@ -224,12 +241,12 @@ def point_filter_full(query_point, query_index, target_clusters,
 
     Returns
     -------
-    (heap, trace)
-        The filled :class:`KNearestHeap` and a :class:`ScanTrace`.
+    ScanTrace
+        The scan's work counters; accepted pairs live in the
+        accumulator.
     """
-    heap = KNearestHeap(k)
+    acc = accumulator
     trace = ScanTrace()
-    theta = float(ub)
     points = target_clusters.points
 
     for tc in candidate_ids:
@@ -240,25 +257,52 @@ def point_filter_full(query_point, query_index, target_clusters,
         trace.center_distance_computations += 1
         member_idx = target_clusters.members[tc]
         member_dists = target_clusters.member_dists[tc]
-        tol = bound_comparison_tol(q2tc, ub)
+        acc.enter_cluster(tc)
+        tol = bound_comparison_tol(q2tc, acc.tol_ref)
 
         for pos in range(member_idx.size):
             trace.steps += 1
             lb = q2tc - member_dists[pos]
-            if lb > theta + tol:
+            limit = acc.limit() + tol
+            if lb > limit:
                 trace.breaks += 1
                 break
-            if lb < -(theta + tol):
+            if lb < -limit:
                 continue
             trace.examined += 1
             t = member_idx[pos]
+            if not acc.admit(t):
+                continue
             dist = euclidean(query_point, points[t])
             trace.distance_computations += 1
-            if heap.push(dist, t):
-                trace.heap_updates += 1
-                if heap.full:
-                    theta = min(float(ub), heap.max_distance)
-    return heap, trace
+            acc.offer(dist, t)
+
+    trace.heap_updates = acc.updates
+    trace.accepted = acc.accepted
+    return trace
+
+
+def point_filter_full(query_point, query_index, target_clusters,
+                      candidate_ids, ub, k, center_dists_row=None):
+    """Algorithm 2 for one query point, with an updating ``theta``.
+
+    A thin wrapper binding :func:`point_scan` to a
+    :class:`~repro.core.predicates.TopKAccumulator` — decision-for-
+    decision identical to the historical inlined scan (``theta``
+    descends from ``ub`` via ``min(ub, heap.max_distance)``; the
+    comparison slack is computed from ``ub``).
+
+    Returns
+    -------
+    (heap, trace)
+        The filled :class:`~repro.kselect.KNearestHeap` and a
+        :class:`ScanTrace`.
+    """
+    acc = TopKAccumulator(k, ub)
+    trace = point_scan(query_point, query_index, target_clusters,
+                       candidate_ids, acc,
+                       center_dists_row=center_dists_row)
+    return acc.heap, trace
 
 
 def point_filter_partial(query_point, query_index, target_clusters,
@@ -266,44 +310,37 @@ def point_filter_partial(query_point, query_index, target_clusters,
     """Sweet KNN's weakened level-2 filter (Section IV-B1).
 
     ``theta`` is the level-1 ``UB`` and is never updated; no
-    ``kNearests`` is consulted during the scan.  Every computed
-    distance is stored (modelling the write to global memory) and a
-    final k-selection recovers the answer — "a later launched GPU
-    kernel finds the k minimal distances".
+    ``kNearests`` is consulted during the scan
+    (:class:`~repro.core.predicates.CollectAccumulator`).  Every
+    computed distance is stored (modelling the write to global memory)
+    and a final k-selection recovers the answer — "a later launched
+    GPU kernel finds the k minimal distances".
 
     Returns
     -------
     (distances, indices, trace)
         The k nearest (ascending) and the scan trace.
     """
-    theta = float(ub)
-    trace = ScanTrace()
-    survivors = []
-    points = target_clusters.points
-
-    for tc in candidate_ids:
-        if center_dists_row is not None:
-            q2tc = center_dists_row[tc]
-        else:
-            q2tc = euclidean(query_point, target_clusters.centers[tc])
-        trace.center_distance_computations += 1
-        member_idx = target_clusters.members[tc]
-        member_dists = target_clusters.member_dists[tc]
-        tol = bound_comparison_tol(q2tc, ub)
-
-        for pos in range(member_idx.size):
-            trace.steps += 1
-            lb = q2tc - member_dists[pos]
-            if lb > theta + tol:
-                trace.breaks += 1
-                break
-            if lb < -(theta + tol):
-                continue
-            trace.examined += 1
-            t = member_idx[pos]
-            dist = euclidean(query_point, points[t])
-            trace.distance_computations += 1
-            survivors.append((dist, t))
-
-    dists, idx = select_k_from_pairs(survivors, k)
+    acc = CollectAccumulator(ub)
+    trace = point_scan(query_point, query_index, target_clusters,
+                       candidate_ids, acc,
+                       center_dists_row=center_dists_row)
+    dists, idx = select_k_from_pairs(acc.pairs, k)
     return dists, idx, trace
+
+
+def center_distance_rows(query_points, target_clusters, candidate_ids):
+    """Distances from each query to each candidate cluster's centre.
+
+    Batched form of Algorithm 2 line 6 for one query cluster: one
+    (n_active, |candidates|) einsum replaces a per-query
+    ``euclidean_many`` call, bit-for-bit (same subtraction and
+    reduction per element).  Non-candidate columns stay NaN.
+    """
+    rows = np.full((len(query_points), target_clusters.n_clusters), np.nan)
+    if candidate_ids.size:
+        diff = (target_clusters.centers[candidate_ids][None, :, :]
+                - query_points[:, None, :])
+        rows[:, candidate_ids] = np.sqrt(
+            np.einsum("ijk,ijk->ij", diff, diff))
+    return rows

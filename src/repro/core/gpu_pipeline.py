@@ -246,6 +246,7 @@ def _merge_trace(stats, trace):
     stats.center_distance_computations += trace.center_distance_computations
     stats.examined_points += trace.examined
     stats.heap_updates += trace.heap_updates
+    stats.predicate_accepted_pairs += trace.accepted
 
 
 def _store_partial_result(per_query, q, result, full, tpq):

@@ -1,0 +1,291 @@
+"""TI-filtered predicate joins: ε-range, self-join and reverse-KNN.
+
+The two-level filter chain of Fig. 4 never inspects what is being
+collected (see :mod:`repro.core.predicates`); this module drives the
+same chain — Step-1 preparation, level-1 group filter, level-2 member
+scan — for the non-top-k join shapes and packs the variable-
+cardinality answers into :class:`~repro.core.result.RangeResult`:
+
+``range_join``
+    All pairs ``(q, t)`` with ``d(q, t) <= eps``
+    (:class:`~repro.core.predicates.EpsilonRangePredicate`).
+``self_range_join``
+    The ε-range self-join (``queries is targets``).  Exploits the
+    symmetry of the distance matrix: trivial self-matches are dropped
+    at the admission gate, each unordered pair's distance is computed
+    once and the accepted pair is mirrored into the partner's row —
+    bit-identical both ways because ``(x - y)^2 == (y - x)^2``
+    element-wise in IEEE arithmetic.
+``reverse_knn_join``
+    ``rknn(q) = {t : d(q, t) <= kdist(t)}`` where ``kdist(t)`` is t's
+    k-th NN distance within the target set
+    (:class:`~repro.core.predicates.ReverseKNNPredicate`).
+
+All three register as engines (``method="range-join"``,
+``"self-join-eps"``, ``"rknn"``) and inherit the execution layer's
+batching/sharding contract: the scan of a query depends only on its
+own cluster's candidate list and the predicate's (plan-deterministic)
+level-1 state, so per-row results are independent of tiling.  The
+self-join's *counters* are the one exception — which side of a
+mirrored pair pays the distance depends on which rows share a tile —
+but its result rows are a pure function of the accepted pair set and
+stay bit-identical across workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.base import EngineCaps, EngineSpec
+from .predicates import EpsilonRangePredicate, ReverseKNNPredicate
+from .result import JoinStats, RangeResult
+from .ti_knn import prepare_clusters
+
+__all__ = ["range_join", "self_range_join", "reverse_knn_join", "ENGINES"]
+
+
+class _SelfJoinFilter:
+    """Accumulator wrapper implementing the symmetric-tile optimisation.
+
+    Scanning query ``q``: the trivial pair ``t == q`` is dropped, and a
+    partner ``t < q`` that is *active in this call* is skipped because
+    t's own scan computes ``d(t, q)`` (the same value) and the driver
+    mirrors the accepted pair into q's row.  Inactive partners (rows of
+    another tile/shard) are never skipped, so tiled execution stays
+    exact without cross-tile communication.
+    """
+
+    def __init__(self, inner, query_index, active_mask):
+        self._inner = inner
+        self._q = query_index
+        self._active = active_mask
+
+    @property
+    def tol_ref(self):
+        return self._inner.tol_ref
+
+    @property
+    def pairs(self):
+        return self._inner.pairs
+
+    @property
+    def accepted(self):
+        return self._inner.accepted
+
+    @property
+    def updates(self):
+        return self._inner.updates
+
+    def enter_cluster(self, tc):
+        self._inner.enter_cluster(tc)
+
+    def limit(self):
+        return self._inner.limit()
+
+    def admit(self, t):
+        if t == self._q or (t < self._q and self._active[t]):
+            return False
+        return self._inner.admit(t)
+
+    def offer(self, dist, t):
+        return self._inner.offer(dist, t)
+
+
+def _predicate_join(queries, targets, predicate, rng, mq=None, mt=None,
+                    plan=None, query_subset=None, account_prepare=True,
+                    method="", k_stat=0, self_join=False):
+    """Drive the TI filter chain for one predicate; pack a RangeResult.
+
+    Mirrors :func:`~repro.core.ti_knn.ti_knn_join`'s structure — Step-1
+    plan, per-query-cluster level-1 state, per-query
+    :func:`~repro.core.filters.point_scan` — with the predicate
+    supplying bounds and acceptance.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+
+    if plan is None:
+        plan = prepare_clusters(queries, targets, rng, mq=mq, mt=mt)
+    state = plan.level1_for(predicate)
+
+    n_q = len(queries)
+    if query_subset is None:
+        active = np.arange(n_q)
+    else:
+        active = np.asarray(query_subset, dtype=np.int64)
+    active_mask = np.zeros(n_q, dtype=bool)
+    active_mask[active] = True
+    local_row = np.full(n_q, -1, dtype=np.int64)
+    local_row[active] = np.arange(len(active))
+
+    cq, ct = plan.query_clusters, plan.target_clusters
+    stats = JoinStats(
+        n_queries=len(active), n_targets=len(targets), k=k_stat,
+        dim=queries.shape[1], mq=plan.mq, mt=plan.mt,
+        init_distance_computations=(
+            (cq.init_distance_computations + ct.init_distance_computations)
+            if account_prepare else 0),
+        candidate_cluster_pairs=(
+            state.candidate_pairs() if account_prepare else 0),
+    )
+    stats.extra["predicate"] = predicate.name
+    prep = state.prep_trace
+    if account_prepare and prep is not None:
+        # Reverse-KNN's kdist preparation computes exact distances
+        # inside the target set; they are part of this join's work.
+        prep_dists = (prep.distance_computations
+                      + prep.center_distance_computations)
+        stats.init_distance_computations += prep_dists
+        stats.extra["rknn_prep_distances"] = prep_dists
+
+    target_sizes = np.asarray(ct.cluster_sizes(), dtype=np.int64)
+
+    # Imported lazily through ti_knn's own imports to keep this module
+    # free of a filters import cycle via predicates.
+    from .filters import center_distance_rows, point_scan
+
+    rows_out = [[] for _ in range(len(active))]
+    for qc in range(cq.n_clusters):
+        cand = state.candidates[qc]
+        members = cq.members[qc]
+        scanned = members[active_mask[members]] if members.size else members
+        if scanned.size == 0:
+            continue
+        cluster_pairs = int(target_sizes[cand].sum()) if cand.size else 0
+        rows = center_distance_rows(queries[scanned], ct, cand)
+        for local, q in enumerate(scanned):
+            stats.level1_survivor_pairs += cluster_pairs
+            acc = predicate.accumulator(state, qc)
+            if self_join:
+                acc = _SelfJoinFilter(acc, q, active_mask)
+            trace = point_scan(queries[q], q, ct, cand, acc,
+                               center_dists_row=rows[local])
+            stats.level2_distance_computations += trace.distance_computations
+            stats.center_distance_computations += (
+                trace.center_distance_computations)
+            stats.examined_points += trace.examined
+            stats.heap_updates += trace.heap_updates
+            stats.predicate_accepted_pairs += trace.accepted
+            rows_out[local_row[q]].extend(acc.pairs)
+            if self_join:
+                # Mirror each accepted (d, t) into active partner rows:
+                # t > q here (active t < q were skipped at admission).
+                for dist, t in acc.pairs:
+                    if active_mask[t]:
+                        rows_out[local_row[t]].append((dist, q))
+
+    packed = []
+    for pairs in rows_out:
+        if not pairs:
+            packed.append((np.empty(0, dtype=np.float64),
+                           np.empty(0, dtype=np.int64)))
+            continue
+        dists = np.array([d for d, _ in pairs], dtype=np.float64)
+        idx = np.array([t for _, t in pairs], dtype=np.int64)
+        order = np.lexsort((idx, dists))
+        packed.append((dists[order], idx[order]))
+
+    return RangeResult.from_rows(packed, stats=stats, method=method)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def range_join(queries, targets, eps, rng, mq=None, mt=None, plan=None,
+               query_subset=None, account_prepare=True):
+    """All pairs within distance ``eps``, TI-filtered.
+
+    Exact: level-1 prunes cluster pairs whose group lower bound exceeds
+    ε, level-2 prunes members on the one-landmark bound, and only pairs
+    with a *computed* ``d <= eps`` are accepted.  Rows are sorted by
+    (distance, index).
+    """
+    return _predicate_join(queries, targets, EpsilonRangePredicate(eps),
+                           rng, mq=mq, mt=mt, plan=plan,
+                           query_subset=query_subset,
+                           account_prepare=account_prepare,
+                           method="range-join")
+
+
+def self_range_join(points, eps, rng, mq=None, mt=None, plan=None,
+                    query_subset=None, account_prepare=True):
+    """ε-range self-join over one point set.
+
+    Drops the trivial ``(q, q)`` matches and computes each unordered
+    pair's distance once (see :class:`_SelfJoinFilter`); the result
+    contains both directed pairs, like the plain range join minus the
+    diagonal.
+    """
+    return _predicate_join(points, points, EpsilonRangePredicate(eps),
+                           rng, mq=mq, mt=mt, plan=plan,
+                           query_subset=query_subset,
+                           account_prepare=account_prepare,
+                           method="self-join-eps", self_join=True)
+
+
+def reverse_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
+                     query_subset=None, account_prepare=True):
+    """Reverse-KNN join: ``rknn(q) = {t : d(q, t) <= kdist(t)}``.
+
+    ``kdist(t)`` — t's k-th NN distance within the target set, self
+    excluded — is derived deterministically from the prepared plan, so
+    sharded execution reproduces the serial thresholds bit-for-bit.
+    """
+    return _predicate_join(queries, targets, ReverseKNNPredicate(k),
+                           rng, mq=mq, mt=mt, plan=plan,
+                           query_subset=query_subset,
+                           account_prepare=account_prepare,
+                           method="rknn", k_stat=int(k))
+
+
+# ----------------------------------------------------------------------
+# Engine registration (see repro.engine)
+# ----------------------------------------------------------------------
+_RANGE_CAPS = EngineCaps(uses_seed=True, supports_prepared_index=True,
+                         result_kind="range")
+
+
+def _run_range(queries, targets, k, ctx, eps=None, **options):
+    return range_join(queries, targets, eps, ctx.rng, plan=ctx.plan,
+                      query_subset=ctx.query_subset,
+                      account_prepare=ctx.account_prepare, **options)
+
+
+def _run_self_join(queries, targets, k, ctx, eps=None, **options):
+    if queries is not targets and not np.array_equal(queries, targets):
+        raise ValueError(
+            "self-join-eps joins a set with itself: pass the same points "
+            "as queries and targets (use method='range-join' otherwise)")
+    return self_range_join(queries, eps, ctx.rng, plan=ctx.plan,
+                           query_subset=ctx.query_subset,
+                           account_prepare=ctx.account_prepare, **options)
+
+
+def _run_rknn(queries, targets, k, ctx, **options):
+    return reverse_knn_join(queries, targets, k, ctx.rng, plan=ctx.plan,
+                            query_subset=ctx.query_subset,
+                            account_prepare=ctx.account_prepare, **options)
+
+
+ENGINES = (
+    EngineSpec(
+        name="range-join",
+        run=_run_range,
+        caps=_RANGE_CAPS,
+        description="TI-filtered ε-range join (all pairs within eps)",
+        required_options=("eps",),
+    ),
+    EngineSpec(
+        name="self-join-eps",
+        run=_run_self_join,
+        caps=_RANGE_CAPS,
+        description="ε-range self-join exploiting symmetric tiles",
+        required_options=("eps",),
+    ),
+    EngineSpec(
+        name="rknn",
+        run=_run_rknn,
+        caps=_RANGE_CAPS,
+        description="TI-filtered reverse-KNN join (q in knn-of-t sense)",
+    ),
+)

@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["JoinStats", "KNNResult", "Neighbors", "merge_batch_results"]
+__all__ = ["JoinStats", "KNNResult", "Neighbors", "RangeResult",
+           "merge_batch_results", "merge_range_batches", "merge_results"]
 
 #: Counter fields that add up across query batches of one join.
 _SUMMED_FIELDS = (
@@ -18,6 +19,7 @@ _SUMMED_FIELDS = (
     "candidate_cluster_pairs",
     "level1_survivor_pairs",
     "heap_updates",
+    "predicate_accepted_pairs",
 )
 
 
@@ -44,6 +46,11 @@ class JoinStats:
     candidate_cluster_pairs: int = 0
     level1_survivor_pairs: int = 0
     heap_updates: int = 0
+    #: Pairs the join's distance predicate accepted at check time (heap
+    #: insertions for top-k; pairs within ε / within kdist for the range
+    #: predicates).  Always <= level2_distance_computations, because only
+    #: computed distances are offered to the predicate.
+    predicate_accepted_pairs: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -93,6 +100,7 @@ class JoinStats:
             "candidate_cluster_pairs": self.candidate_cluster_pairs,
             "level1_survivor_pairs": self.level1_survivor_pairs,
             "examined_points": self.examined_points,
+            "predicate_accepted_pairs": self.predicate_accepted_pairs,
             **self.extra,
         }
 
@@ -208,6 +216,100 @@ class KNNResult:
         return distances, indices
 
 
+@dataclass
+class RangeResult:
+    """Variable-cardinality join result in CSR layout.
+
+    The predicate joins (ε-range, self-join, reverse-KNN) return a
+    different number of pairs per query, so the fixed-(|Q|, k) matrices
+    of :class:`KNNResult` do not fit; instead the rows are concatenated
+    with an index pointer, exactly a CSR sparse-matrix layout:
+
+    Attributes
+    ----------
+    indptr:
+        (|Q| + 1,) row offsets; query i's pairs live at
+        ``[indptr[i], indptr[i+1])``.
+    indices:
+        (nnz,) partner indices, per row sorted by (distance, index).
+    distances:
+        (nnz,) distances aligned with ``indices``.
+    stats:
+        :class:`JoinStats` work counters.
+    profile:
+        Present for API symmetry with :class:`KNNResult` (the predicate
+        joins run on the host, so this stays ``None``).
+    method:
+        Human-readable name of the algorithm that produced the result.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    distances: np.ndarray
+    stats: JoinStats
+    profile: object = None
+    method: str = ""
+
+    @property
+    def n_queries(self):
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def n_pairs(self):
+        return int(self.indices.shape[0])
+
+    @property
+    def sim_time_s(self):
+        """Simulated GPU time, when available (host joins: ``None``)."""
+        return self.profile.sim_time_s if self.profile is not None else None
+
+    def counts(self):
+        """Per-query pair counts, shape (|Q|,)."""
+        return np.diff(self.indptr)
+
+    def row(self, i):
+        """The i-th query's :class:`Neighbors` (variable-length views)."""
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return Neighbors(distances=self.distances[start:stop],
+                         indices=self.indices[start:stop])
+
+    def matches(self, other, rtol=1e-9, atol=1e-9):
+        """True when both results report the same pairs per query.
+
+        Rows are canonically sorted by (distance, index), so two exact
+        implementations agree element-wise: identical row sizes,
+        identical partner indices, distances equal to tolerance.
+        """
+        return bool(
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.distances, other.distances,
+                            rtol=rtol, atol=atol))
+
+    @staticmethod
+    def from_rows(rows, stats=None, method="", profile=None):
+        """Build a CSR result from per-query ``(distances, indices)``
+        pairs (each already sorted by (distance, index))."""
+        counts = np.array([len(dists) for dists, _ in rows],
+                          dtype=np.int64)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if counts.sum():
+            distances = np.concatenate(
+                [np.asarray(dists, dtype=np.float64) for dists, _ in rows
+                 if len(dists)])
+            indices = np.concatenate(
+                [np.asarray(idx, dtype=np.int64) for dists, idx in rows
+                 if len(dists)])
+        else:
+            distances = np.empty(0, dtype=np.float64)
+            indices = np.empty(0, dtype=np.int64)
+        return RangeResult(indptr=indptr, indices=indices,
+                           distances=distances,
+                           stats=stats if stats is not None else JoinStats(),
+                           profile=profile, method=method)
+
+
 def merge_batch_results(batches, n_queries, k):
     """Stitch per-batch :class:`KNNResult` objects into one result.
 
@@ -263,3 +365,69 @@ def merge_batch_results(batches, n_queries, k):
             host_time_s=sum(p.host_time_s for p in profiles))
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      profile=profile, method=first.method)
+
+
+def merge_range_batches(batches, n_queries):
+    """Stitch per-batch :class:`RangeResult` objects into one result.
+
+    Parameters
+    ----------
+    batches:
+        Sequence of ``(query_indices, RangeResult)`` pairs, where
+        ``query_indices`` gives the global query row of each result row.
+    n_queries:
+        Row count of the merged result.
+
+    Rows covered by several batches (overlapping tiles) concatenate,
+    re-sort by (distance, index) and drop duplicate partners — the
+    variable-cardinality counterpart of the top-k shard merge, with
+    the same determinism contract: because every tile computes
+    bit-identical distances for the pairs it covers, the merged rows
+    are a pure function of the pair *set*, independent of tiling.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("cannot merge an empty batch list")
+
+    per_row = [[] for _ in range(int(n_queries))]
+    for query_indices, result in batches:
+        query_indices = np.asarray(query_indices, dtype=np.int64)
+        if len(query_indices) != result.n_queries:
+            raise ValueError("batch index list does not match result rows")
+        for local, q in enumerate(query_indices):
+            per_row[q].append(result.row(local))
+
+    rows = []
+    for q, segments in enumerate(per_row):
+        if not segments:
+            raise ValueError("query %d is covered by no batch" % q)
+        if len(segments) == 1:
+            rows.append((segments[0].distances, segments[0].indices))
+            continue
+        dists = np.concatenate([seg.distances for seg in segments])
+        idx = np.concatenate([seg.indices for seg in segments])
+        order = np.lexsort((idx, dists))
+        dists, idx = dists[order], idx[order]
+        if idx.size:
+            keep = np.ones(idx.size, dtype=bool)
+            keep[1:] = idx[1:] != idx[:-1]
+            dists, idx = dists[keep], idx[keep]
+        rows.append((dists, idx))
+
+    stats = JoinStats.merged([result.stats for _, result in batches])
+    first = batches[0][1]
+    return RangeResult.from_rows(rows, stats=stats, method=first.method)
+
+
+def merge_results(batches, n_queries, k):
+    """Merge per-batch results, dispatching on the result kind.
+
+    The execution layer (batched and sharded paths alike) calls this
+    single entry point; fixed-k :class:`KNNResult` batches take the
+    sorted k-merge, variable-cardinality :class:`RangeResult` batches
+    the CSR row merge.
+    """
+    batches = list(batches)
+    if batches and isinstance(batches[0][1], RangeResult):
+        return merge_range_batches(batches, n_queries)
+    return merge_batch_results(batches, n_queries, k)

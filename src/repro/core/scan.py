@@ -46,9 +46,9 @@ import math
 import numpy as np
 
 from ..gpu.lanelog import LaneLog
-from ..kselect import KNearestHeap
 from .filters import ScanTrace, bound_comparison_tol
 from .layout import point_load_transactions
+from .predicates import CollectAccumulator, TopKAccumulator
 
 __all__ = ["scan_query_logged", "CODE_PROLOGUE", "CODE_ENTER", "CODE_BREAK",
            "CODE_SKIP", "CODE_COMPUTE", "CODE_COMPUTE_UPDATE"]
@@ -121,7 +121,6 @@ def scan_query_logged(query_point, target_clusters, candidate_ids, ub, k,
     dist_flops = 3.0 * dim + 1.0
     log = LaneLog()
     trace = ScanTrace()
-    theta = float(ub)
     # Each lane streams its clusters' member-distance arrays
     # sequentially, so a 128-byte transaction covers 32/stride of its
     # 4-byte reads (per-lane amortisation; no cross-lane sharing).
@@ -133,8 +132,12 @@ def scan_query_logged(query_point, target_clusters, candidate_ids, ub, k,
         raise ValueError("epsilon must be non-negative")
     slack = 1.0 + float(epsilon)
     full = strength == "full"
-    heap = KNearestHeap(k) if full else None
-    survivors = None if full else []
+    # The scan's bound machinery is a predicate accumulator (see
+    # repro.core.predicates): the full filter is the updating-θ top-k
+    # accumulator (with the (1+ε) slack folded into its limit()), the
+    # partial filter the fixed-bound collector.
+    acc = (TopKAccumulator(k, ub, slack=slack, update_bound=update_bound)
+           if full else CollectAccumulator(ub))
     heap_update_ops = 2.0 * math.log2(max(2, k))
 
     log.step(flops=0.0, txns=point_dram, l2=point_l2, code=CODE_PROLOGUE)
@@ -176,43 +179,44 @@ def scan_query_logged(query_point, target_clusters, candidate_ids, ub, k,
         tol = bound_comparison_tol(q2tc, ub)
 
         if full:
-            theta = _scan_cluster_full(
-                lb, member_idx, points, qp, theta, ub, heap, log, trace,
+            _scan_cluster_full(
+                lb, member_idx, points, qp, acc, log, trace,
                 md_txn, compute_flops, compute_l2, point_dram,
-                heap_update_ops, update_bound, slack, tol)
+                heap_update_ops, tol)
         else:
             # The partial filter keeps exact bounds: with no heap it
             # cannot certify k results under slackened pruning.
             _scan_cluster_partial(
-                lb, member_idx, points, qp, theta, survivors, log,
-                trace, md_txn, compute_flops, compute_l2, point_dram, tol)
+                lb, member_idx, points, qp, acc, log, trace, md_txn,
+                compute_flops, compute_l2, point_dram, tol)
 
-    result = heap if full else survivors
+    trace.accepted = acc.accepted
+    result = acc.heap if full else acc.pairs
     return result, trace, log
 
 
-def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
-                       trace, md_txn, compute_flops, compute_l2,
-                       point_dram, heap_update_ops, update_bound,
-                       slack=1.0, tol=0.0):
-    """Algorithm 2's member loop over one cluster; returns new theta.
+def _scan_cluster_full(lb, member_idx, points, qp, acc, log, trace,
+                       md_txn, compute_flops, compute_l2, point_dram,
+                       heap_update_ops, tol=0.0):
+    """Algorithm 2's member loop over one cluster.
 
-    ``slack > 1`` prunes against ``theta / slack`` once the heap is
-    full (approximate mode); until then pruning stays exact so the
-    heap is guaranteed to fill.  ``tol`` is the float comparison slack
+    The accumulator owns the bound: ``acc.limit()`` is ``theta``
+    (tightened to ``theta / slack`` in approximate mode once the heap
+    is full — until then pruning stays exact so the heap is guaranteed
+    to fill).  ``tol`` is the float comparison slack
     (:func:`~repro.core.filters.bound_comparison_tol`), matching the
     sequential reference decision for decision.
     """
     size = lb.shape[0]
     pos = 0
     while pos < size:
-        limit = (theta / slack if heap.full else theta) + tol
+        limit = acc.limit() + tol
         value = lb[pos]
         if value > limit:
             trace.steps += 1
             trace.breaks += 1
             log.step(flops=_CHECK_FLOPS, l2=md_txn, code=CODE_BREAK)
-            return theta
+            return
         if value < -limit:
             # A run of skips: lb is ascending, so every position up to
             # the first lb >= -limit is skipped under the current
@@ -234,13 +238,13 @@ def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
         diffs = points[w_idx] - qp
         w_dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
         for j in range(pos, window_end):
-            limit = (theta / slack if heap.full else theta) + tol
+            limit = acc.limit() + tol
             value = lb[j]
             if value > limit:
                 trace.steps += 1
                 trace.breaks += 1
                 log.step(flops=_CHECK_FLOPS, l2=md_txn, code=CODE_BREAK)
-                return theta
+                return
             if value < -limit:
                 trace.steps += 1
                 log.step(flops=_CHECK_FLOPS, l2=md_txn, code=CODE_SKIP)
@@ -251,25 +255,24 @@ def _scan_cluster_full(lb, member_idx, points, qp, theta, ub, heap, log,
             dist = w_dists[j - pos]
             heap_ops = 1.0  # compare against the root
             code = CODE_COMPUTE
-            if heap.push(dist, member_idx[j]):
+            if acc.offer(dist, member_idx[j]):
                 trace.heap_updates += 1
                 heap_ops += heap_update_ops
                 code = CODE_COMPUTE_UPDATE
-                if update_bound and heap.full:
-                    theta = min(float(ub), heap.max_distance)
             log.step(flops=compute_flops, txns=point_dram, l2=compute_l2,
                      heap_ops=heap_ops, code=code)
         pos = window_end
-    return theta
+    return
 
 
-def _scan_cluster_partial(lb, member_idx, points, qp, theta, survivors, log,
-                          trace, md_txn, compute_flops, compute_l2,
-                          point_dram, tol=0.0):
+def _scan_cluster_partial(lb, member_idx, points, qp, acc, log, trace,
+                          md_txn, compute_flops, compute_l2, point_dram,
+                          tol=0.0):
     """The weakened filter's member loop: theta fixed, so the skip
     prefix, compute range and break point are pure positional
     thresholds and everything vectorises."""
     size = lb.shape[0]
+    theta = acc.limit()
     skip_end = int(np.searchsorted(lb, -(theta + tol), side="left"))
     stop = int(np.searchsorted(lb, theta + tol, side="right"))
 
@@ -282,7 +285,7 @@ def _scan_cluster_partial(lb, member_idx, points, qp, theta, survivors, log,
         w_idx = member_idx[skip_end:stop]
         diffs = points[w_idx] - qp
         w_dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-        survivors.extend(zip(w_dists.tolist(), w_idx.tolist()))
+        acc.bulk(w_dists.tolist(), w_idx.tolist())
         trace.steps += count
         trace.examined += count
         trace.distance_computations += count

@@ -20,9 +20,10 @@ import numpy as np
 
 from ..engine.base import EngineCaps, EngineSpec
 from .clustering import center_distances, cluster_points
-from .filters import (cluster_upper_bounds, level1_filter, point_filter_full,
+from .filters import (center_distance_rows, point_filter_full,
                       point_filter_partial)
 from .landmarks import determine_landmark_count, select_landmarks_random_spread
+from .predicates import TopKPredicate
 from .result import JoinStats, KNNResult
 
 __all__ = ["JoinPlan", "prepare_clusters", "ti_knn_join", "ENGINE"]
@@ -65,31 +66,36 @@ class JoinPlan:
     def mt(self):
         return self.target_clusters.n_clusters
 
-    def level1(self, k):
-        """The ``(ubs, candidates)`` pair for ``k``, cached per ``k``.
+    def level1_for(self, predicate):
+        """The cached :class:`~repro.core.predicates.Level1State` of a
+        predicate.
 
         Thread-safe and non-mutating: shard workers sharing one plan
-        (possibly with different ``k``) each read a consistent pair
-        instead of racing on the ``ubs``/``candidates`` attributes.
-        An index queried many times (or a batched join re-entering the
-        pipeline per tile) pays the level-1 cost once per distinct
-        ``k``.
+        (possibly with different predicates) each read a consistent
+        state instead of racing on the ``ubs``/``candidates``
+        attributes.  An index queried many times (or a batched join
+        re-entering the pipeline per tile) pays the level-1 cost once
+        per distinct ``predicate.cache_key()``.
         """
-        k = int(k)
-        cached = self._level1_cache.get(k)
+        key = predicate.cache_key()
+        cached = self._level1_cache.get(key)
         if cached is None:
             with self._level1_lock:
-                cached = self._level1_cache.get(k)
+                cached = self._level1_cache.get(key)
                 if cached is None:
-                    ubs = cluster_upper_bounds(
-                        self.query_clusters, self.target_clusters,
-                        self.center_dists, k)
-                    candidates = level1_filter(
-                        self.query_clusters, self.target_clusters,
-                        self.center_dists, ubs)
-                    cached = (ubs, candidates)
-                    self._level1_cache[k] = cached
+                    cached = predicate.level1(self)
+                    self._level1_cache[key] = cached
         return cached
+
+    def level1(self, k):
+        """The ``(ubs, candidates)`` pair for top-k, cached per ``k``.
+
+        The historical top-k entry point, now a view over
+        :meth:`level1_for` with a
+        :class:`~repro.core.predicates.TopKPredicate`.
+        """
+        state = self.level1_for(TopKPredicate(k))
+        return state.bounds, state.candidates
 
     def run_level1(self, k):
         """Compute and store the bounds and candidate lists for ``k``.
@@ -220,7 +226,7 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
         # inside the scan; precomputing the rows — batched over every
         # active member of this cluster — keeps the counters identical
         # while letting numpy do the arithmetic once per cluster.
-        rows = _center_rows(queries[scanned], ct, cand)
+        rows = center_distance_rows(queries[scanned], ct, cand)
         for local, q in enumerate(scanned):
             stats.level1_survivor_pairs += cluster_pairs
             query_point = queries[q]
@@ -238,27 +244,11 @@ def ti_knn_join(queries, targets, k, rng, mq=None, mt=None, plan=None,
                 trace.center_distance_computations)
             stats.examined_points += trace.examined
             stats.heap_updates += trace.heap_updates
+            stats.predicate_accepted_pairs += trace.accepted
 
     distances, indices = KNNResult.pack(per_query, k)
     return KNNResult(distances=distances, indices=indices, stats=stats,
                      method="ti-knn-cpu/%s" % filter_strength)
-
-
-def _center_rows(query_points, target_clusters, candidate_ids):
-    """Distances from each query to each candidate cluster's centre.
-
-    Batched form of Algorithm 2 line 6 for one query cluster: one
-    (n_active, |candidates|) einsum replaces a per-query
-    ``euclidean_many`` call, bit-for-bit (same subtraction and
-    reduction per element).  Non-candidate columns stay NaN.
-    """
-    rows = np.full((len(query_points), target_clusters.n_clusters), np.nan)
-    if candidate_ids.size:
-        diff = (target_clusters.centers[candidate_ids][None, :, :]
-                - query_points[:, None, :])
-        rows[:, candidate_ids] = np.sqrt(
-            np.einsum("ijk,ijk->ij", diff, diff))
-    return rows
 
 
 # ----------------------------------------------------------------------

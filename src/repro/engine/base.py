@@ -44,6 +44,13 @@ class EngineCaps:
     tiles_internally:
         Partitions oversized query sets itself (the CUBLAS baseline);
         the dispatcher then never auto-batches on top of it.
+    result_kind:
+        ``"knn"`` for fixed-k :class:`~repro.core.result.KNNResult`
+        engines, ``"range"`` for variable-cardinality
+        :class:`~repro.core.result.RangeResult` engines (ε-range,
+        reverse-KNN).  The execution layer dispatches the batch/shard
+        merge on the result type; the serving layer refuses ``"range"``
+        engines (its responses are fixed-k).
     """
 
     needs_device: bool = False
@@ -51,6 +58,7 @@ class EngineCaps:
     supports_prepared_index: bool = False
     supports_epsilon: bool = False
     tiles_internally: bool = False
+    result_kind: str = "knn"
 
 
 @dataclass
@@ -73,15 +81,25 @@ class ExecutionContext:
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """A registered KNN engine: name, entry point, capabilities."""
+    """A registered KNN engine: name, entry point, capabilities.
+
+    ``required_options`` names the predicate-specific knobs (e.g.
+    ``eps`` for the range-join engines) the dispatcher must see among
+    the call's options; a missing knob fails fast with a
+    :class:`~repro.errors.ValidationError` naming the engine and the
+    CLI flag, instead of a ``TypeError`` deep inside the engine.
+    """
 
     name: str
     run: object
     caps: EngineCaps = field(default_factory=EngineCaps)
     description: str = ""
+    required_options: tuple = ()
 
     def __post_init__(self):
         if not self.name or not isinstance(self.name, str):
             raise ValueError("engine name must be a non-empty string")
         if not callable(self.run):
             raise ValueError("engine run must be callable")
+        if not all(isinstance(name, str) for name in self.required_options):
+            raise ValueError("required_options must be option-name strings")

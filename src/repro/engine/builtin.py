@@ -1,20 +1,25 @@
-"""Registration of the six built-in engines.
+"""Registration of the built-in engines.
 
-Each engine self-describes with an ``ENGINE`` spec next to its
-implementation; this module only collects and registers them, in the
-order the public method list has always advertised.  Loaded lazily by
-the registry on first lookup.
+Each engine self-describes with an ``ENGINE`` spec (or an ``ENGINES``
+tuple) next to its implementation; this module only collects and
+registers them, in the order the public method list has always
+advertised: the six top-k engines first, then the predicate-join
+engines (ε-range, self-join, reverse-KNN) and their brute-force
+oracles.  Loaded lazily by the registry on first lookup.
 """
 
 from __future__ import annotations
 
 from ..baselines.brute_force import ENGINE as _BRUTE
+from ..baselines.brute_joins import ENGINES as _BRUTE_JOINS
 from ..baselines.cublas_knn import ENGINE as _CUBLAS
 from ..baselines.kdtree import ENGINE as _KDTREE
 from ..core.basic_gpu import ENGINE as _TI_GPU
+from ..core.joins import ENGINES as _JOINS
 from ..core.sweet import ENGINE as _SWEET
 from ..core.ti_knn import ENGINE as _TI_CPU
 from .registry import register
 
-for _spec in (_SWEET, _TI_GPU, _TI_CPU, _CUBLAS, _BRUTE, _KDTREE):
+for _spec in (_SWEET, _TI_GPU, _TI_CPU, _CUBLAS, _BRUTE, _KDTREE,
+              *_JOINS, *_BRUTE_JOINS):
     register(_spec, replace=True)

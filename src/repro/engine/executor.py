@@ -102,6 +102,13 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
              query_batch_size=None, workers=None, pool=None, index=None,
              **options):
     n_q = len(queries)
+    missing = [name for name in spec.required_options
+               if options.get(name) is None]
+    if missing:
+        raise ValidationError(
+            "method '%s' requires the '%s' knob; pass %s=... "
+            "(CLI: --%s)" % (spec.name, missing[0], missing[0],
+                             missing[0].replace("_", "-")))
     prepared_plan = (options.pop("plan", None)
                      if spec.caps.supports_prepared_index else None)
     rows = _resolve_rows(spec, queries, targets, k, device,
@@ -152,8 +159,8 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
                                 spec.run(queries[start:stop], targets, k, ctx,
                                          **options)))
 
-    from ..core.result import merge_batch_results
-    return merge_batch_results(batches, n_q, k)
+    from ..core.result import merge_results
+    return merge_results(batches, n_q, k)
 
 
 def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
@@ -230,9 +237,9 @@ def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
                       wall_s=round(outcome.wall_s, 6)):
             pass
 
-    from ..core.result import merge_batch_results
+    from ..core.result import merge_results
     with obs.span("engine.shard_merge", shards=len(outcomes)):
-        merged = merge_batch_results(
+        merged = merge_results(
             [(np.arange(outcome.start, outcome.stop), outcome.result)
              for outcome in outcomes], n_q, k)
     merged.stats.extra["workers"] = shard_plan.workers

@@ -12,16 +12,23 @@ column); the funnel is that argument as four monotone counters:
 ``funnel.level2_survivors``
     Pairs that also survived the level-2 point filter (Algorithm 2)
     and therefore required an exact point-to-point distance.
+``funnel.predicate_survivors``
+    Pairs the join's distance predicate accepted at check time (heap
+    insertions for top-k; pairs within ε / within ``kdist`` for the
+    range predicates).  Only computed distances are ever offered to
+    the predicate, so always <= ``level2_survivors``.
 ``funnel.exact_distances``
     All exact distances actually computed, including the Step-1
     clustering and centre-distance recomputations the pipeline pays
     outside the filter chain (always >= ``level2_survivors``).
 
-The invariant ``level2_survivors <= level1_survivors <= candidates``
-holds for every TI engine by construction and is asserted as a
-lint-style check in CI (``python -m repro trace --check-funnel ...``).
-Engines that do no level-1 filtering (brute force, CUBLAS, KD-tree)
-report ``level1_survivors = candidates``.
+The invariant ``predicate_survivors <= level2_survivors <=
+level1_survivors <= candidates`` holds for every TI engine by
+construction and is asserted as a lint-style check in CI
+(``python -m repro trace --check-funnel ...``).  Engines that do no
+level-1 filtering (brute force, CUBLAS, KD-tree) report
+``level1_survivors = candidates`` and ``predicate_survivors`` equal to
+the ``|Q| * k`` pairs they emit.
 """
 
 from __future__ import annotations
@@ -30,11 +37,11 @@ __all__ = ["FUNNEL_STAGES", "funnel_from_stats", "funnel_counts",
            "funnel_table", "check_funnel"]
 
 FUNNEL_STAGES = ("candidates", "level1_survivors", "level2_survivors",
-                 "exact_distances")
+                 "predicate_survivors", "exact_distances")
 
 
 def funnel_from_stats(stats):
-    """The four funnel counters of one join's :class:`JoinStats`."""
+    """The five funnel counters of one join's :class:`JoinStats`."""
     candidates = stats.total_pairs
     level1 = stats.level1_survivor_pairs
     if level1 == 0 and stats.candidate_cluster_pairs == 0:
@@ -49,6 +56,7 @@ def funnel_from_stats(stats):
         "candidates": int(candidates),
         "level1_survivors": int(level1),
         "level2_survivors": int(level2),
+        "predicate_survivors": int(stats.predicate_accepted_pairs),
         "exact_distances": int(exact),
     }
 
@@ -77,8 +85,11 @@ def funnel_table(counts, title="filtering funnel"):
 def check_funnel(counts):
     """Violations of the funnel invariant (empty list = healthy).
 
-    Checks ``level2_survivors <= level1_survivors <= candidates`` and
-    ``exact_distances >= level2_survivors``.
+    Checks ``predicate_survivors <= level2_survivors <=
+    level1_survivors <= candidates`` and ``exact_distances >=
+    level2_survivors``.  ``predicate_survivors`` is read with a
+    default of 0 so funnels recorded before the stage existed still
+    check cleanly.
     """
     violations = []
     if counts["level1_survivors"] > counts["candidates"]:
@@ -89,6 +100,10 @@ def check_funnel(counts):
         violations.append(
             "level-2 survivors (%d) exceed level-1 survivors (%d)"
             % (counts["level2_survivors"], counts["level1_survivors"]))
+    if counts.get("predicate_survivors", 0) > counts["level2_survivors"]:
+        violations.append(
+            "predicate survivors (%d) exceed level-2 survivors (%d)"
+            % (counts["predicate_survivors"], counts["level2_survivors"]))
     if counts["exact_distances"] < counts["level2_survivors"]:
         violations.append(
             "exact distances (%d) below level-2 survivors (%d)"

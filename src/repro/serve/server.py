@@ -142,6 +142,9 @@ class ServeResponse:
     ``distances``/``indices`` are shape (k,) for a single-point request
     and (n, k) for a batch request — exactly the rows a direct
     :func:`repro.knn_join` call would return for the same queries.
+    ``labels`` (classification requests) and ``scores`` (novelty
+    requests) carry the workload post-processing of
+    :mod:`repro.workloads`; plain queries leave them ``None``.
     """
 
     distances: np.ndarray
@@ -154,6 +157,8 @@ class ServeResponse:
     batch_rows: int
     batch_requests: int
     request_id: str = None
+    labels: object = None
+    scores: object = None
 
 
 @dataclass
@@ -195,8 +200,17 @@ class KNNServer:
             raise ValidationError(
                 "serving engine %r does not support a prepared index"
                 % config.method)
+        if self._spec.caps.result_kind != "knn":
+            raise ValidationError(
+                "serving engine %r returns variable-cardinality results; "
+                "the server's responses are fixed-k" % config.method)
         self._degraded_spec = (get_engine(config.degraded_method)
                                if config.degraded_method else None)
+        if (self._degraded_spec is not None
+                and self._degraded_spec.caps.result_kind != "knn"):
+            raise ValidationError(
+                "degraded engine %r returns variable-cardinality results; "
+                "the server's responses are fixed-k" % config.degraded_method)
         if not 0.0 < config.degrade_at <= 1.0:
             raise ValidationError("degrade_at must be in (0, 1]")
         if config.max_batch_size <= 0:
@@ -318,6 +332,47 @@ class KNNServer:
         """Blocking convenience: ``submit(...).result(timeout)``."""
         return self.submit(queries, targets, k, deadline_s=deadline_s,
                            **options).result(timeout)
+
+    def classify(self, queries, targets, labels, k, deadline_s=None,
+                 timeout=None, **options):
+        """Majority-vote classification served through the batcher.
+
+        The KNN answer takes the normal request path (coalescing,
+        degradation, deadlines); the vote itself
+        (:func:`repro.workloads.majority_vote`) is pure post-processing
+        on the caller's thread.  Returns a :class:`ServeResponse` whose
+        ``labels`` field holds the prediction — a scalar for a single
+        point, an (n,) vector for a batch.
+        """
+        from ..workloads import majority_vote
+
+        labels = np.asarray(labels)
+        targets = np.asarray(targets, dtype=np.float64)
+        if labels.ndim != 1 or labels.shape[0] != targets.shape[0]:
+            raise ValidationError(
+                "labels must be a (|T|,) vector aligned with targets")
+        response = self.query(queries, targets, k, deadline_s=deadline_s,
+                              timeout=timeout, **options)
+        single = response.indices.ndim == 1
+        votes = majority_vote(
+            labels[np.atleast_2d(response.indices)])
+        return replace(response, labels=votes[0] if single else votes)
+
+    def novelty(self, queries, targets, k, deadline_s=None, timeout=None,
+                **options):
+        """Average-distance novelty scoring served through the batcher.
+
+        Returns a :class:`ServeResponse` whose ``scores`` field is the
+        mean distance to the k nearest targets — a float for a single
+        point, an (n,) vector for a batch (see
+        :func:`repro.workloads.novelty_scores`).
+        """
+        response = self.query(queries, targets, k, deadline_s=deadline_s,
+                              timeout=timeout, **options)
+        single = response.distances.ndim == 1
+        scores = np.atleast_2d(response.distances).mean(axis=1)
+        return replace(response,
+                       scores=float(scores[0]) if single else scores)
 
     def stats(self):
         """A :class:`~repro.serve.stats.ServerStats` snapshot."""

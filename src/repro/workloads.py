@@ -1,0 +1,134 @@
+"""KNN-powered application workloads.
+
+The paper motivates KNN as a building block ("a widely used
+classification method in machine learning and data mining"); this
+module provides the two standard downstream consumers on top of
+:func:`repro.knn_join`, deterministic end to end:
+
+``knn_classify``
+    Majority-vote k-nearest-neighbour classification.  Ties break
+    toward the smallest label, so predictions are independent of the
+    engine's (already deterministic) neighbour order.
+``novelty_scores``
+    Average-distance novelty/outlier scoring: a point's score is the
+    mean distance to its k nearest targets — large scores mark points
+    far from the reference distribution.
+
+Both run any registered engine (``method=...``) and expose the
+underlying :class:`~repro.core.result.KNNResult` for funnel/statistics
+inspection.  The serving layer (:meth:`repro.serve.KNNServer.classify`
+/ :meth:`~repro.serve.KNNServer.novelty`) reuses the same pure
+post-processing helpers on served responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.api import knn_join
+from .engine.registry import get_engine
+from .errors import ValidationError
+
+
+def _check_fixed_k(method):
+    if get_engine(method).caps.result_kind != "knn":
+        raise ValidationError(
+            "workloads need a fixed-k engine; %r returns "
+            "variable-cardinality results" % method)
+
+__all__ = ["ClassificationResult", "NoveltyResult", "majority_vote",
+           "knn_classify", "novelty_scores"]
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Predicted labels plus the underlying join result."""
+
+    labels: np.ndarray
+    result: object
+
+    def accuracy(self, true_labels):
+        """Fraction of predictions matching ``true_labels``."""
+        true_labels = np.asarray(true_labels)
+        if true_labels.shape != self.labels.shape:
+            raise ValidationError(
+                "true_labels shape %s does not match predictions %s"
+                % (true_labels.shape, self.labels.shape))
+        return float(np.mean(self.labels == true_labels))
+
+
+@dataclass(frozen=True)
+class NoveltyResult:
+    """Per-query novelty scores plus the underlying join result."""
+
+    scores: np.ndarray
+    result: object
+
+
+def majority_vote(neighbor_labels):
+    """Row-wise majority label of a (n, k) label matrix.
+
+    Ties break toward the smallest label value (``np.unique`` orders
+    the candidates ascending and ``argmax`` returns the first
+    maximum), making the vote deterministic under any neighbour
+    permutation.
+    """
+    neighbor_labels = np.asarray(neighbor_labels)
+    if neighbor_labels.ndim != 2:
+        raise ValidationError(
+            "neighbor_labels must be a (n, k) matrix")
+    classes, inverse = np.unique(neighbor_labels, return_inverse=True)
+    inverse = inverse.reshape(neighbor_labels.shape)
+    n = neighbor_labels.shape[0]
+    counts = np.zeros((n, classes.size), dtype=np.int64)
+    np.add.at(counts, (np.arange(n)[:, None], inverse), 1)
+    return classes[np.argmax(counts, axis=1)]
+
+
+def knn_classify(queries, targets, labels, k, method="sweet", **options):
+    """Majority-vote KNN classification of ``queries``.
+
+    Parameters
+    ----------
+    queries:
+        (n, d) points to label.
+    targets, labels:
+        The labelled reference set: (m, d) points and their (m,) labels.
+    k:
+        Neighbours consulted per query.
+    method, options:
+        Forwarded to :func:`repro.knn_join` (engine name, seed,
+        workers, ...).
+
+    Returns
+    -------
+    ClassificationResult
+        ``labels`` holds the (n,) predictions; ``result`` the
+        underlying :class:`~repro.core.result.KNNResult`.
+    """
+    _check_fixed_k(method)
+    labels = np.asarray(labels)
+    targets = np.asarray(targets, dtype=np.float64)
+    if labels.ndim != 1 or labels.shape[0] != targets.shape[0]:
+        raise ValidationError(
+            "labels must be a (|T|,) vector aligned with targets")
+    result = knn_join(queries, targets, k, method=method, **options)
+    predicted = majority_vote(labels[result.indices])
+    return ClassificationResult(labels=predicted, result=result)
+
+
+def novelty_scores(queries, targets, k, method="sweet", **options):
+    """Average k-NN distance of each query to the reference set.
+
+    Returns
+    -------
+    NoveltyResult
+        ``scores`` holds the (n,) mean neighbour distances; ``result``
+        the underlying :class:`~repro.core.result.KNNResult`.
+    """
+    _check_fixed_k(method)
+    result = knn_join(queries, targets, k, method=method, **options)
+    scores = result.distances.mean(axis=1)
+    return NoveltyResult(scores=scores, result=result)

@@ -1,0 +1,92 @@
+"""Brute-force predicate-join oracles: checked against naive loops."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_joins import brute_range_join, brute_reverse_knn
+
+
+def _naive_range(queries, targets, eps, skip_self=False):
+    rows = []
+    for i, q in enumerate(queries):
+        pairs = []
+        for j, t in enumerate(targets):
+            if skip_self and i == j:
+                continue
+            d = float(np.sqrt(np.sum((q - t) ** 2)))
+            if d <= eps:
+                pairs.append((d, j))
+        pairs.sort()
+        rows.append(pairs)
+    return rows
+
+
+class TestBruteRangeJoin:
+    def test_matches_naive_loops(self, rng):
+        queries = rng.normal(size=(25, 3))
+        targets = rng.normal(size=(40, 3))
+        eps = 1.2
+        result = brute_range_join(queries, targets, eps)
+        naive = _naive_range(queries, targets, eps)
+        assert [len(r) for r in naive] == list(result.counts())
+        for i, pairs in enumerate(naive):
+            dists, idx = result.row(i)
+            assert np.array_equal(idx, [j for _, j in pairs])
+            # naive per-pair sums and the vectorized block differ in
+            # the last ulp; membership (above) must still agree.
+            np.testing.assert_allclose(dists, [d for d, _ in pairs],
+                                       rtol=1e-12)
+
+    def test_skip_self_drops_the_diagonal(self, rng):
+        points = rng.normal(size=(30, 3))
+        kept = brute_range_join(points, points, 0.5)
+        dropped = brute_range_join(points, points, 0.5, skip_self=True)
+        assert kept.n_pairs == dropped.n_pairs + len(points)
+        assert all(i not in dropped.row(i).indices
+                   for i in range(len(points)))
+
+    def test_chunking_is_invisible(self, rng, monkeypatch):
+        import repro.baselines.brute_joins as mod
+        queries = rng.normal(size=(50, 3))
+        targets = rng.normal(size=(60, 3))
+        whole = brute_range_join(queries, targets, 1.0)
+        monkeypatch.setattr(mod, "_CHUNK_ROWS", 7)
+        chunked = brute_range_join(queries, targets, 1.0)
+        assert whole.matches(chunked)
+
+    def test_eps_validation(self, rng):
+        points = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            brute_range_join(points, points, -1.0)
+        with pytest.raises(ValueError):
+            brute_range_join(points, points, float("inf"))
+
+    def test_stats_record_predicate_acceptances(self, rng):
+        points = rng.normal(size=(20, 3))
+        result = brute_range_join(points, points, 1.0)
+        assert result.stats.predicate_accepted_pairs == result.n_pairs
+        assert result.stats.level2_distance_computations == 400
+
+
+class TestBruteReverseKNN:
+    def test_matches_naive_definition(self, rng):
+        queries = rng.normal(size=(20, 3))
+        targets = rng.normal(size=(30, 3))
+        k = 4
+        result = brute_reverse_knn(queries, targets, k)
+        # kdist(t): k-th smallest distance to the other targets.
+        for t in range(len(targets)):
+            dists = sorted(
+                float(np.sqrt(np.sum((targets[t] - targets[j]) ** 2)))
+                for j in range(len(targets)) if j != t)
+            kdist_t = dists[k - 1]
+            for i in range(len(queries)):
+                d = float(np.sqrt(np.sum((queries[i] - targets[t]) ** 2)))
+                assert (t in result.row(i).indices) == (d <= kdist_t)
+
+    def test_k_validation(self, rng):
+        points = rng.normal(size=(8, 2))
+        with pytest.raises(ValueError):
+            brute_reverse_knn(points, points, 8)
+        with pytest.raises(ValueError):
+            brute_reverse_knn(points, points, 0)

@@ -1,0 +1,151 @@
+"""Predicate/accumulator protocol: the factored-out bound machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import (CollectAccumulator,
+                                   EpsilonRangeAccumulator,
+                                   EpsilonRangePredicate,
+                                   ReverseKNNAccumulator,
+                                   ReverseKNNPredicate, TopKAccumulator,
+                                   TopKPredicate, target_kth_distances)
+from repro.core.ti_knn import prepare_clusters
+
+
+class TestTopKAccumulator:
+    def test_limit_descends_from_ub_once_full(self):
+        acc = TopKAccumulator(2, ub=10.0)
+        assert acc.limit() == 10.0
+        acc.offer(3.0, 0)
+        assert acc.limit() == 10.0  # heap not full yet
+        acc.offer(5.0, 1)
+        assert acc.limit() == 5.0
+        acc.offer(1.0, 2)
+        assert acc.limit() == 3.0
+
+    def test_limit_never_exceeds_ub(self):
+        acc = TopKAccumulator(1, ub=2.0)
+        acc.offer(9.0, 0)
+        assert acc.limit() == 2.0
+
+    def test_update_bound_false_pins_theta(self):
+        acc = TopKAccumulator(1, ub=10.0, update_bound=False)
+        acc.offer(1.0, 0)
+        assert acc.limit() == 10.0
+
+    def test_slack_tightens_only_when_full(self):
+        acc = TopKAccumulator(2, ub=10.0, slack=2.0)
+        acc.offer(4.0, 0)
+        assert acc.limit() == 10.0
+        acc.offer(8.0, 1)
+        assert acc.limit() == 8.0 / 2.0
+
+    def test_counters_track_heap_updates(self):
+        acc = TopKAccumulator(1, ub=np.inf)
+        assert acc.offer(2.0, 0) and acc.offer(1.0, 1)
+        assert not acc.offer(5.0, 2)
+        assert acc.accepted == 2
+        assert acc.updates == 2
+
+    def test_tol_ref_is_the_level1_ub(self):
+        assert TopKAccumulator(3, ub=7.5).tol_ref == 7.5
+
+
+class TestCollectAccumulator:
+    def test_fixed_bound_and_zero_updates(self):
+        acc = CollectAccumulator(4.0)
+        acc.offer(1.0, 0)
+        acc.offer(9.0, 1)  # stored regardless: bound gates the scan only
+        acc.bulk([2.0, 3.0], [2, 3])
+        assert acc.limit() == 4.0
+        assert acc.accepted == 4
+        assert acc.updates == 0
+        assert acc.pairs == [(1.0, 0), (9.0, 1), (2.0, 2), (3.0, 3)]
+
+
+class TestEpsilonRangeAccumulator:
+    def test_accepts_inclusive_boundary(self):
+        acc = EpsilonRangeAccumulator(2.0)
+        assert acc.offer(2.0, 0)
+        assert not acc.offer(2.0000001, 1)
+        assert acc.pairs == [(2.0, 0)]
+        assert acc.accepted == 1
+
+    def test_limit_is_eps(self):
+        acc = EpsilonRangeAccumulator(1.5)
+        assert acc.limit() == 1.5 == acc.tol_ref
+
+
+class TestReverseKNNAccumulator:
+    def test_per_cluster_bound_and_per_target_threshold(self):
+        kdist = np.array([1.0, 3.0])
+        acc = ReverseKNNAccumulator(kdist, cluster_bounds=np.array([3.0]))
+        acc.enter_cluster(0)
+        assert acc.limit() == 3.0
+        assert not acc.offer(2.0, 0)   # 2.0 > kdist[0]
+        assert acc.offer(2.0, 1)       # 2.0 <= kdist[1]
+
+
+class TestPredicates:
+    def test_cache_keys_distinguish_predicates(self):
+        keys = {TopKPredicate(3).cache_key(),
+                TopKPredicate(4).cache_key(),
+                EpsilonRangePredicate(0.5).cache_key(),
+                ReverseKNNPredicate(3).cache_key()}
+        assert len(keys) == 4
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonRangePredicate(-1.0)
+        with pytest.raises(ValueError):
+            EpsilonRangePredicate(float("nan"))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopKPredicate(0)
+        with pytest.raises(ValueError):
+            ReverseKNNPredicate(0)
+
+    def test_topk_level1_matches_plan_level1(self, clustered_points, rng):
+        plan = prepare_clusters(clustered_points, clustered_points, rng)
+        state = plan.level1_for(TopKPredicate(5))
+        ubs, candidates = plan.level1(5)
+        assert np.array_equal(state.bounds, ubs)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(state.candidates, candidates))
+
+    def test_level1_for_caches_per_predicate(self, clustered_points, rng):
+        plan = prepare_clusters(clustered_points, clustered_points, rng)
+        first = plan.level1_for(EpsilonRangePredicate(1.0))
+        again = plan.level1_for(EpsilonRangePredicate(1.0))
+        other = plan.level1_for(EpsilonRangePredicate(2.0))
+        assert first is again
+        assert first is not other
+
+    def test_eps_level1_keeps_only_reachable_clusters(self, clustered_points,
+                                                      rng):
+        """A tiny ε keeps strictly fewer cluster pairs than a huge one."""
+        plan = prepare_clusters(clustered_points, clustered_points, rng)
+        tiny = plan.level1_for(EpsilonRangePredicate(1e-6))
+        huge = plan.level1_for(EpsilonRangePredicate(1e6))
+        assert tiny.candidate_pairs() < huge.candidate_pairs()
+        assert huge.candidate_pairs() == plan.mq * plan.mt
+
+
+class TestTargetKthDistances:
+    def test_matches_brute_force_kdist(self, clustered_points, rng):
+        plan = prepare_clusters(clustered_points, clustered_points, rng)
+        kdist, _ = target_kth_distances(plan.target_clusters, 4)
+        diff = clustered_points[:, None, :] - clustered_points[None, :, :]
+        full = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        np.fill_diagonal(full, np.inf)
+        expected = np.partition(full, 3, axis=1)[:, 3]
+        # einsum blocks and per-point scans sum in different orders, so
+        # agreement is to the last couple of ulps, not bit-for-bit.
+        np.testing.assert_allclose(kdist, expected, rtol=1e-12)
+
+    def test_requires_k_below_target_count(self, rng):
+        points = rng.normal(size=(10, 3))
+        plan = prepare_clusters(points, points, rng)
+        with pytest.raises(ValueError):
+            target_kth_distances(plan.target_clusters, 10)

@@ -1,0 +1,164 @@
+"""ε-range and self-join engines: exactness, symmetry, batching."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_joins import brute_range_join
+from repro.core.joins import range_join, self_range_join
+from repro.core.ti_knn import prepare_clusters
+from repro.engine import get_engine
+from repro.engine.executor import execute
+from repro.errors import ValidationError
+from repro.obs.funnel import check_funnel, funnel_from_stats
+
+
+def _midpoint_eps(points, quantile=0.05):
+    """An ε at the midpoint between two consecutive distinct pairwise
+    distances, so float-tolerance at the boundary cannot flake."""
+    diff = points[:, None, :] - points[None, :, :]
+    dists = np.unique(np.sqrt(np.einsum("ijk,ijk->ij", diff, diff)))
+    i = max(1, int(quantile * dists.size))
+    return float((dists[i] + dists[i + 1]) / 2.0)
+
+
+class TestRangeJoinExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_on_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        queries = rng.normal(size=(120, 5))
+        targets = rng.normal(size=(200, 5))
+        eps = _midpoint_eps(np.vstack([queries, targets]), 0.02)
+        result = range_join(queries, targets, eps,
+                            np.random.default_rng(seed + 10))
+        oracle = brute_range_join(queries, targets, eps)
+        assert result.n_pairs > 0
+        assert result.matches(oracle)
+
+    def test_matches_brute_on_clustered_data(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = range_join(clustered_points, clustered_points, eps, rng)
+        oracle = brute_range_join(clustered_points, clustered_points, eps)
+        assert result.matches(oracle)
+
+    def test_rows_sorted_by_distance_then_index(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.1)
+        result = range_join(clustered_points, clustered_points, eps, rng)
+        for i in range(result.n_queries):
+            dists, idx = result.row(i)
+            order = np.lexsort((idx, dists))
+            assert np.array_equal(order, np.arange(len(idx)))
+
+    def test_tiny_eps_keeps_only_self_pairs(self, clustered_points, rng):
+        result = range_join(clustered_points, clustered_points, 1e-12, rng)
+        assert np.array_equal(result.counts(),
+                              np.ones(len(clustered_points), dtype=np.int64))
+        assert np.array_equal(result.indices,
+                              np.arange(len(clustered_points)))
+
+    def test_funnel_invariant_holds(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = range_join(clustered_points, clustered_points, eps, rng)
+        counts = funnel_from_stats(result.stats)
+        assert check_funnel(counts) == []
+        assert counts["predicate_survivors"] == result.n_pairs
+
+    def test_ti_prunes_versus_brute(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = range_join(clustered_points, clustered_points, eps, rng)
+        n = len(clustered_points)
+        assert result.stats.level2_distance_computations < n * n
+
+
+class TestSelfJoin:
+    def test_matches_brute_without_diagonal(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = self_range_join(clustered_points, eps, rng)
+        oracle = brute_range_join(clustered_points, clustered_points, eps,
+                                  skip_self=True)
+        assert result.matches(oracle)
+
+    def test_result_is_symmetric(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = self_range_join(clustered_points, eps, rng)
+        pairs = {}
+        for i in range(result.n_queries):
+            dists, idx = result.row(i)
+            for d, t in zip(dists, idx):
+                pairs[(i, int(t))] = d
+        assert pairs  # non-trivial
+        for (q, t), d in pairs.items():
+            assert pairs[(t, q)] == d  # bit-identical mirror
+
+    def test_halves_the_distance_computations(self, clustered_points, rng):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        symmetric = self_range_join(clustered_points, eps,
+                                    np.random.default_rng(3))
+        plain = range_join(clustered_points, clustered_points, eps,
+                           np.random.default_rng(3))
+        assert (symmetric.stats.level2_distance_computations
+                < 0.75 * plain.stats.level2_distance_computations)
+
+    def test_engine_rejects_distinct_sets(self, clustered_points, rng):
+        spec = get_engine("self-join-eps")
+        with pytest.raises(ValueError, match="self-join"):
+            execute(spec, clustered_points[:50], clustered_points[50:],
+                    0, rng=rng, eps=1.0)
+
+    def test_duplicate_points_keep_all_directed_pairs(self, rng):
+        points = rng.normal(size=(40, 4))
+        points = np.vstack([points, points[:10]])  # exact duplicates
+        eps = _midpoint_eps(points, 0.05)
+        result = self_range_join(points, eps, np.random.default_rng(1))
+        oracle = brute_range_join(points, points, eps, skip_self=True)
+        assert result.matches(oracle)
+
+
+class TestBatchedExecution:
+    def test_query_tiling_is_invisible(self, clustered_points):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        spec = get_engine("range-join")
+        whole = execute(spec, clustered_points, clustered_points, 0,
+                        rng=np.random.default_rng(5), eps=eps)
+        tiled = execute(spec, clustered_points, clustered_points, 0,
+                        rng=np.random.default_rng(5), eps=eps,
+                        query_batch_size=37)
+        assert tiled.matches(whole)
+        assert (tiled.stats.level2_distance_computations
+                == whole.stats.level2_distance_computations)
+        assert (tiled.stats.predicate_accepted_pairs
+                == whole.stats.predicate_accepted_pairs)
+
+    def test_self_join_rows_survive_tiling(self, clustered_points):
+        eps = _midpoint_eps(clustered_points, 0.05)
+        spec = get_engine("self-join-eps")
+        whole = execute(spec, clustered_points, clustered_points, 0,
+                        rng=np.random.default_rng(5), eps=eps)
+        tiled = execute(spec, clustered_points, clustered_points, 0,
+                        rng=np.random.default_rng(5), eps=eps,
+                        query_batch_size=41)
+        assert tiled.matches(whole)
+
+    def test_prebuilt_plan_is_reused(self, clustered_points, rng):
+        plan = prepare_clusters(clustered_points, clustered_points, rng)
+        eps = _midpoint_eps(clustered_points, 0.05)
+        result = range_join(clustered_points, clustered_points, eps,
+                            None, plan=plan)
+        oracle = brute_range_join(clustered_points, clustered_points, eps)
+        assert result.matches(oracle)
+
+
+class TestRequiredOptions:
+    def test_missing_eps_fails_fast(self, clustered_points, rng):
+        spec = get_engine("range-join")
+        with pytest.raises(ValidationError, match="--eps"):
+            execute(spec, clustered_points, clustered_points, 0, rng=rng)
+
+    def test_error_names_the_method(self, clustered_points, rng):
+        spec = get_engine("self-join-eps")
+        with pytest.raises(ValidationError, match="self-join-eps"):
+            execute(spec, clustered_points, clustered_points, 0, rng=rng)
+
+    def test_range_engines_declare_range_results(self):
+        for name in ("range-join", "self-join-eps", "rknn",
+                     "range-join-brute", "rknn-brute"):
+            assert get_engine(name).caps.result_kind == "range"

@@ -9,7 +9,9 @@ from repro.engine import (EngineCaps, EngineSpec, engine_names, get_engine,
                           register, unregister)
 from repro.errors import ValidationError
 
-BUILTIN = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree")
+BUILTIN = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree",
+           "range-join", "self-join-eps", "rknn", "range-join-brute",
+           "rknn-brute")
 
 
 def _toy_run(queries, targets, k, ctx, **options):

@@ -1,0 +1,121 @@
+"""Shard-merge determinism for variable-cardinality results.
+
+The property: with exact duplicate points in the data — so duplicate
+distances land in every row — the merged CSR result (indptr, indices,
+distances) is *bit-identical* across {1, 2, 4} workers and every pool
+kind, for every range-result engine.  Tie-breaking therefore cannot
+depend on shard boundaries or arrival order: rows are
+(distance, index)-lexsorted, and the lexsort key is total once equal
+distances fall back to the index.
+
+Plus direct unit tests of :func:`repro.core.result.merge_range_batches`
+covering overlap dedup and coverage validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import (JoinStats, RangeResult, merge_range_batches,
+                               merge_results)
+from repro.engine import get_engine
+from repro.engine.executor import execute
+
+
+def _duplicated_points(seed=7, base=60, copies=3, dim=4):
+    """A dataset where every point appears ``copies`` times, forcing
+    duplicate distances (including zero-distance ties) in each row."""
+    rng = np.random.default_rng(seed)
+    base_points = rng.normal(size=(base, dim))
+    points = np.vstack([base_points] * copies)
+    # a little jitter on the *order* only: shuffle deterministically so
+    # duplicates are not shard-contiguous
+    perm = np.random.default_rng(seed + 1).permutation(len(points))
+    return np.ascontiguousarray(points[perm])
+
+
+def _run(method, points, workers, pool, **options):
+    spec = get_engine(method)
+    return execute(spec, points, points, options.pop("k", 0),
+                   rng=np.random.default_rng(11), workers=workers,
+                   pool=pool, query_batch_size=23, **options)
+
+
+def _assert_bit_identical(sharded, serial):
+    np.testing.assert_array_equal(sharded.indptr, serial.indptr)
+    np.testing.assert_array_equal(sharded.indices, serial.indices)
+    # bitwise, not allclose: tie-breaking must not perturb payloads
+    assert np.array_equal(sharded.distances, serial.distances)
+    assert (sharded.stats.predicate_accepted_pairs
+            == serial.stats.predicate_accepted_pairs)
+
+
+class TestShardMergeProperty:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return _duplicated_points()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("pool", ["process", "thread", "serial"])
+    def test_range_join_tie_breaking(self, points, workers, pool):
+        serial = _run("range-join", points, None, None, eps=1.5)
+        sharded = _run("range-join", points, workers, pool, eps=1.5)
+        _assert_bit_identical(sharded, serial)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("pool", ["process", "thread", "serial"])
+    def test_self_join_tie_breaking(self, points, workers, pool):
+        serial = _run("self-join-eps", points, None, None, eps=1.5)
+        sharded = _run("self-join-eps", points, workers, pool, eps=1.5)
+        _assert_bit_identical(sharded, serial)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("pool", ["process", "thread", "serial"])
+    def test_rknn_tie_breaking(self, points, workers, pool):
+        serial = _run("rknn", points, None, None, k=5)
+        sharded = _run("rknn", points, workers, pool, k=5)
+        _assert_bit_identical(sharded, serial)
+
+    def test_duplicate_distances_actually_present(self, points):
+        """Guard the fixture: without ties the property is vacuous."""
+        result = _run("range-join", points, None, None, eps=1.5)
+        ties = 0
+        for i in range(result.n_queries):
+            dists, _ = result.row(i)
+            ties += int(np.sum(dists[1:] == dists[:-1]))
+        assert ties > 0
+
+
+def _range_result(rows):
+    return RangeResult.from_rows(rows, stats=JoinStats(
+        n_queries=len(rows), n_targets=0, dim=0), method="test")
+
+
+class TestMergeRangeBatches:
+    def test_overlapping_batches_dedup_pairs(self):
+        a = _range_result([(np.array([0.5, 1.0]), np.array([3, 7]))])
+        b = _range_result([(np.array([1.0, 2.0]), np.array([7, 9]))])
+        merged = merge_range_batches([([0], a), ([0], b)], 1)
+        dists, idx = merged.row(0)
+        np.testing.assert_array_equal(idx, [3, 7, 9])
+        np.testing.assert_array_equal(dists, [0.5, 1.0, 2.0])
+
+    def test_rows_interleave_by_query_index(self):
+        a = _range_result([(np.array([1.0]), np.array([1]))])
+        b = _range_result([(np.array([2.0]), np.array([2]))])
+        merged = merge_range_batches([([1], a), ([0], b)], 2)
+        np.testing.assert_array_equal(merged.row(0).indices, [2])
+        np.testing.assert_array_equal(merged.row(1).indices, [1])
+
+    def test_uncovered_query_raises(self):
+        a = _range_result([(np.array([1.0]), np.array([0]))])
+        with pytest.raises(ValueError, match="covered by no batch"):
+            merge_range_batches([([0], a)], 2)
+
+    def test_empty_batch_list_raises(self):
+        with pytest.raises(ValueError):
+            merge_range_batches([], 3)
+
+    def test_merge_results_dispatches_on_result_type(self):
+        a = _range_result([(np.array([1.0]), np.array([0]))])
+        merged = merge_results([([0], a)], 1, 0)
+        assert isinstance(merged, RangeResult)

@@ -1,0 +1,69 @@
+"""Served workload requests: classify / novelty through the batcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import KNNServer
+from repro.workloads import knn_classify, novelty_scores
+
+
+@pytest.fixture(scope="module")
+def labelled_data():
+    rng = np.random.default_rng(23)
+    centers = rng.normal(scale=5.0, size=(3, 5))
+    labels = rng.integers(0, 3, size=220)
+    targets = centers[labels] + rng.normal(scale=0.4, size=(220, 5))
+    queries = centers[labels[:60]] + rng.normal(scale=0.4, size=(60, 5))
+    return targets, labels, queries
+
+
+@pytest.fixture
+def server():
+    with KNNServer(method="ti-cpu", max_wait_s=0.005) as srv:
+        yield srv
+
+
+class TestServedClassify:
+    def test_matches_direct_workload(self, server, labelled_data):
+        targets, labels, queries = labelled_data
+        response = server.classify(queries[:12], targets, labels, k=5)
+        direct = knn_classify(queries[:12], targets, labels, 5,
+                              method="ti-cpu",
+                              seed=server.config.seed)
+        np.testing.assert_array_equal(response.labels, direct.labels)
+        assert response.distances.shape == (12, 5)
+
+    def test_single_point_returns_scalar_label(self, server, labelled_data):
+        targets, labels, queries = labelled_data
+        response = server.classify(queries[0], targets, labels, k=5)
+        assert np.isscalar(response.labels) or response.labels.ndim == 0
+
+    def test_labels_must_align(self, server, labelled_data):
+        targets, labels, queries = labelled_data
+        with pytest.raises(ValidationError):
+            server.classify(queries[0], targets, labels[:-1], k=3)
+
+
+class TestServedNovelty:
+    def test_matches_direct_workload(self, server, labelled_data):
+        targets, labels, queries = labelled_data
+        response = server.novelty(queries[:9], targets, k=4)
+        direct = novelty_scores(queries[:9], targets, 4, method="ti-cpu",
+                                seed=server.config.seed)
+        np.testing.assert_array_equal(response.scores, direct.scores)
+
+    def test_single_point_returns_float(self, server, labelled_data):
+        targets, _, queries = labelled_data
+        response = server.novelty(queries[0], targets, k=4)
+        assert isinstance(response.scores, float)
+
+
+class TestRangeEnginesRefused:
+    def test_range_method_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="variable-cardinality"):
+            KNNServer(method="range-join")
+
+    def test_range_degraded_method_rejected(self):
+        with pytest.raises(ValidationError, match="variable-cardinality"):
+            KNNServer(method="ti-cpu", degraded_method="self-join-eps")

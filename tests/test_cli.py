@@ -170,3 +170,75 @@ class TestTraceCommand:
         names = {event["name"]
                  for event in json.load(open(trace_path))["traceEvents"]}
         assert {"serve.request", "serve.queue", "serve.batch"} <= names
+
+
+class TestRangeMethodsCLI:
+    def test_eps_is_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--method", "range-join", "--eps", "1.5"])
+        assert args.eps == 1.5
+
+    def test_missing_eps_exits_with_guidance(self):
+        code, text = _run(["run", "--n", "200", "--dim", "6",
+                           "--method", "range-join"])
+        assert code == 2
+        assert "needs --eps" in text
+
+    def test_extraneous_eps_is_rejected(self):
+        code, text = _run(["run", "--n", "200", "--dim", "6",
+                           "--method", "sweet", "--eps", "1.0"])
+        assert code == 2
+        assert "--eps" in text
+
+    def test_self_join_checked_against_brute(self):
+        code, text = _run(["run", "--n", "250", "--dim", "6",
+                           "--method", "self-join-eps", "--eps", "1.5",
+                           "--check"])
+        assert code == 0
+        assert "accepted pairs:" in text
+        assert "exact vs brute force: True" in text
+
+    def test_rknn_checked_against_brute(self):
+        code, text = _run(["run", "--n", "250", "--dim", "6",
+                           "--method", "rknn", "-k", "4", "--check"])
+        assert code == 0
+        assert "exact vs brute force: True" in text
+
+    def test_range_method_refuses_index_dir(self, tmp_path):
+        code, text = _run(["run", "--method", "range-join", "--eps", "1.0",
+                           "--index-dir", str(tmp_path / "missing")])
+        assert code == 2
+        assert "prepared index" in text or "--index-dir" in text
+
+    def test_compare_range_against_brute_baseline(self):
+        code, text = _run(["compare", "--n", "250", "--dim", "6",
+                           "--methods", "range-join-brute,range-join",
+                           "--eps", "1.5"])
+        assert code == 0
+        assert "range-join" in text
+        assert "WARNING" not in text
+
+    def test_plan_validates_eps(self):
+        code, text = _run(["plan", "--n", "200", "--dim", "6",
+                           "--method", "range-join"])
+        assert code == 2
+        assert "needs --eps" in text
+
+
+class TestWorkloadCommands:
+    def test_classify_reports_held_out_accuracy(self):
+        code, text = _run(["classify", "--n", "400", "--dim", "6",
+                           "-k", "5"])
+        assert code == 0
+        assert "held-out accuracy:" in text
+
+    def test_classify_validates_train_frac(self):
+        code, text = _run(["classify", "--n", "200", "--dim", "4",
+                           "--train-frac", "1.5"])
+        assert code == 2
+
+    def test_novelty_separates_planted_outliers(self):
+        code, text = _run(["novelty", "--n", "400", "--dim", "6",
+                           "-k", "5"])
+        assert code == 0
+        assert "outliers above every inlier score:" in text

@@ -1,0 +1,99 @@
+"""KNN workloads: majority-vote classification and novelty scoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (knn_classify, majority_vote, novelty_scores)
+
+
+@pytest.fixture(scope="module")
+def labelled_data():
+    rng = np.random.default_rng(17)
+    centers = rng.normal(scale=5.0, size=(3, 4))
+    labels = rng.integers(0, 3, size=200)
+    points = centers[labels] + rng.normal(scale=0.4, size=(200, 4))
+    return points, labels
+
+
+class TestMajorityVote:
+    def test_plain_majority(self):
+        votes = majority_vote([[1, 1, 2], [2, 2, 2], [0, 3, 3]])
+        np.testing.assert_array_equal(votes, [1, 2, 3])
+
+    def test_ties_break_toward_smallest_label(self):
+        np.testing.assert_array_equal(majority_vote([[2, 1]]), [1])
+        np.testing.assert_array_equal(majority_vote([[5, 3, 3, 5]]), [3])
+
+    def test_vote_is_order_independent(self, rng):
+        block = rng.integers(0, 4, size=(30, 7))
+        shuffled = block.copy()
+        for row in shuffled:
+            rng.shuffle(row)
+        np.testing.assert_array_equal(majority_vote(block),
+                                      majority_vote(shuffled))
+
+    def test_string_labels_supported(self):
+        votes = majority_vote(np.array([["cat", "dog", "cat"]]))
+        assert votes[0] == "cat"
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValidationError):
+            majority_vote([1, 2, 3])
+
+
+class TestKNNClassify:
+    def test_matches_manual_vote(self, labelled_data):
+        points, labels = labelled_data
+        queries = points[:40]
+        out = knn_classify(queries, points, labels, 5, method="ti-cpu",
+                           seed=2)
+        expected = majority_vote(labels[out.result.indices])
+        np.testing.assert_array_equal(out.labels, expected)
+
+    def test_well_separated_blobs_classify_correctly(self, labelled_data):
+        points, labels = labelled_data
+        train, test = points[:150], points[150:]
+        out = knn_classify(test, train, labels[:150], 7, method="ti-cpu",
+                           seed=2)
+        assert out.accuracy(labels[150:]) >= 0.95
+
+    def test_accuracy_validates_shape(self, labelled_data):
+        points, labels = labelled_data
+        out = knn_classify(points[:10], points, labels, 3, method="brute")
+        with pytest.raises(ValidationError):
+            out.accuracy(labels[:5])
+
+    def test_labels_must_align_with_targets(self, labelled_data):
+        points, labels = labelled_data
+        with pytest.raises(ValidationError):
+            knn_classify(points[:10], points, labels[:-1], 3,
+                         method="brute")
+
+    def test_rejects_range_engines(self, labelled_data):
+        points, labels = labelled_data
+        with pytest.raises(ValidationError, match="variable-cardinality"):
+            knn_classify(points[:10], points, labels, 3,
+                         method="self-join-eps")
+
+
+class TestNoveltyScores:
+    def test_scores_are_mean_neighbour_distances(self, labelled_data):
+        points, _ = labelled_data
+        out = novelty_scores(points[:30], points, 4, method="ti-cpu",
+                             seed=2)
+        np.testing.assert_array_equal(
+            out.scores, out.result.distances.mean(axis=1))
+
+    def test_outliers_score_above_inliers(self, labelled_data):
+        points, _ = labelled_data
+        span = np.abs(points).max()
+        outliers = np.full((5, points.shape[1]), span * 10.0)
+        out = novelty_scores(np.vstack([points[:20], outliers]), points,
+                             4, method="brute")
+        assert out.scores[20:].min() > out.scores[:20].max()
+
+    def test_rejects_range_engines(self, labelled_data):
+        points, _ = labelled_data
+        with pytest.raises(ValidationError, match="variable-cardinality"):
+            novelty_scores(points[:10], points, 3, method="rknn")
