@@ -30,6 +30,7 @@ from .datasets import load as load_dataset
 from .engine import (EngineCaps, EngineSpec, ExecutionPlan, PreparedIndex,
                      engine_names, get_engine, plan, register, unregister)
 from .gpu import DeviceSpec, tesla_k20c
+from .graph import GraphConfig, KNNGraph, build_graph, graph_knn_search
 from .index import Index, UpdatePolicy
 from .serve import KNNServer, ServeConfig
 
@@ -37,7 +38,7 @@ from .serve import KNNServer, ServeConfig
 # and stays silent unless the application configures handlers.
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "METHODS", "KNNResult", "RangeResult", "SweetKNN", "knn_join",
@@ -46,6 +47,7 @@ __all__ = [
     "knn_classify", "novelty_scores",
     "brute_force_knn", "cublas_knn", "kdtree_knn",
     "Index", "UpdatePolicy",
+    "GraphConfig", "KNNGraph", "build_graph", "graph_knn_search",
     "EngineCaps", "EngineSpec", "ExecutionPlan", "PreparedIndex",
     "engine_names", "get_engine", "plan", "register", "unregister",
     "KNNServer", "ServeConfig", "obs",

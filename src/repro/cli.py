@@ -36,6 +36,15 @@ Commands
     index's manifest; apply incremental add/remove updates in place.
     ``run --index-dir`` executes the join against a saved index
     without rebuilding it.
+``graph build`` / ``graph inspect``
+    The approximate k-NN graph tier (:mod:`repro.graph`): NN-descent
+    over a saved index's live rows, recall-calibrated and persisted
+    into ``<index-dir>/graph``; print a saved graph's manifest.  The
+    graph engines (``graph-bfs``, ``graph-greedy``) answer ``run``
+    from the artifact; ``--recall-target`` picks the calibrated
+    search width, and on ``serve-bench`` it mixes recall-targeted
+    requests into the load (the server routes them to the graph
+    tier and reports the per-route breakdown).
 ``trace``
     Run any other command under an active tracer and export the
     telemetry: a Perfetto-loadable Chrome trace (``--trace-out``,
@@ -50,7 +59,12 @@ are runnable by name; ``compare --methods`` takes a comma-separated
 registry-validated list.  The predicate-join engines (``range-join``,
 ``self-join-eps``, ``range-join-brute``) additionally need ``--eps``;
 ``run``/``compare`` fail fast with a clear message when the knob is
-missing (the engine's ``required_options`` drive the check).
+missing (the engine's ``required_options`` drive the check).  The
+approximate graph engines follow the same pattern: ``run`` needs
+``--index-dir`` pointing at an index with a fresh graph artifact (the
+message says exactly which ``graph build`` command creates one), and
+``compare`` needs ``--recall-target`` (it builds an in-memory graph
+and prints a measured-recall NOTE instead of a disagreement WARNING).
 
 Examples
 --------
@@ -62,7 +76,15 @@ Examples
     python -m repro index inspect idx/
     python -m repro index update idx/ --add 100 --remove 3,17
     python -m repro run --index-dir idx/ --n 500 --dim 16 -k 10
+    python -m repro graph build --index-dir idx/ -k 10
+    python -m repro graph inspect idx/
+    python -m repro run --index-dir idx/ --method graph-bfs \
+        --recall-target 0.9 -k 10 --check
+    python -m repro compare --n 800 -k 10 --recall-target 0.9 \
+        --methods brute,graph-bfs
     python -m repro serve-bench --index-dir idx/ --requests 200 -k 10
+    python -m repro serve-bench --index-dir idx/ --requests 200 -k 10 \
+        --recall-target 0.9 --check
     python -m repro run --n 800 --dim 8 --method self-join-eps --eps 1.5
     python -m repro run --n 800 --method rknn -k 10 --check
     python -m repro classify --n 2000 --dim 16 -k 10
@@ -81,6 +103,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -109,6 +132,7 @@ def build_parser():
     _data_args(run)
     _method_arg(run)
     _eps_arg(run)
+    _recall_arg(run)
     _workers_arg(run)
     run.add_argument("--query-batch-size", type=int, default=None,
                      help="force the dispatcher's query-tile size")
@@ -144,10 +168,40 @@ def build_parser():
     update.add_argument("--seed", type=int, default=0,
                         help="seed for the synthetic added points")
 
+    graph = sub.add_parser(
+        "graph", help="build / inspect the approximate k-NN graph tier")
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    gbuild = graph_sub.add_parser(
+        "build", help="NN-descent graph over a saved index's live rows")
+    gbuild.add_argument("--index-dir", required=True, metavar="DIR",
+                        help="saved index to cover (the artifact lands "
+                             "in DIR/graph)")
+    gbuild.add_argument("--graph-k", type=int, default=16,
+                        help="out-degree of every graph node")
+    gbuild.add_argument("--sample", type=int, default=256,
+                        help="nodes bootstrapped with exact TI "
+                             "neighbours")
+    gbuild.add_argument("--max-iters", type=int, default=12,
+                        help="NN-descent iteration cap")
+    gbuild.add_argument("--seed", type=int, default=None,
+                        help="build seed (default: the index's seed)")
+    gbuild.add_argument("-k", type=int, default=10,
+                        help="k the recall curve is calibrated at")
+    gbuild.add_argument("--n-probe", type=int, default=64,
+                        help="held-out probes behind the recall curve")
+    gbuild.add_argument("--no-calibrate", action="store_true",
+                        help="skip the recall calibration pass")
+    ginspect = graph_sub.add_parser(
+        "inspect", help="print a saved graph's manifest summary")
+    ginspect.add_argument("dir", metavar="DIR",
+                          help="graph directory, or an index directory "
+                               "holding one")
+
     compare = sub.add_parser("compare",
                              help="baseline vs KNN-TI vs Sweet KNN")
     _data_args(compare)
     _eps_arg(compare)
+    _recall_arg(compare)
     _workers_arg(compare)
     compare.add_argument(
         "--methods", type=_methods_list, default=["cublas", "ti-gpu",
@@ -163,6 +217,10 @@ def build_parser():
         help="open-loop load generation against the KNN server")
     _data_args(serve)
     _method_arg(serve)
+    _recall_arg(serve)
+    serve.add_argument("--recall-every", type=int, default=2,
+                       help="with --recall-target, every Nth request "
+                            "carries the target (the rest stay exact)")
     _workers_arg(serve)
     serve.add_argument("--requests", type=int, default=200,
                        help="number of single-point requests")
@@ -272,6 +330,65 @@ def _range_options(method, eps, out):
     return options, 0
 
 
+def _recall_arg(parser):
+    parser.add_argument("--recall-target", type=float, default=None,
+                        metavar="R",
+                        help="answer via the approximate graph tier at "
+                             "the ef calibrated for recall@k >= R "
+                             "(needs a graph artifact; see "
+                             "`graph build`)")
+
+
+def _graph_build_hint(index_dir):
+    return ("build one with `python -m repro graph build "
+            "--index-dir %s`\n" % index_dir)
+
+
+def _check_recall_target(args, out):
+    if args.recall_target is not None \
+            and not 0.0 < args.recall_target <= 1.0:
+        out.write("--recall-target must be in (0, 1]\n")
+        return 2
+    return 0
+
+
+def _graph_options(method, args, out):
+    """Resolve a graph engine's option dict from the CLI knobs.
+
+    The approximate engines declare ``graph`` in ``required_options``;
+    like :func:`_range_options` this fails fast with exactly what to
+    pass when the artifact behind the knob is missing or stale.
+    Returns ``(options, index, error_code)``.
+    """
+    from .index import Index
+
+    if not args.index_dir:
+        out.write("method %r answers from a saved index's graph "
+                  "artifact; pass --index-dir DIR and " % method
+                  + _graph_build_hint("DIR"))
+        return None, None, 2
+    index = Index.load(args.index_dir)
+    graph = index.graph
+    if graph is None:
+        out.write("index %s has no graph artifact; " % args.index_dir
+                  + _graph_build_hint(args.index_dir))
+        return None, None, 2
+    if not graph.is_fresh_for(index):
+        out.write("the graph artifact in %s is stale (built at version "
+                  "%d, index now at %d, policy allows lag %d); "
+                  % (args.index_dir, graph.built_version, index.version,
+                     graph.config.max_version_lag)
+                  + _graph_build_hint(args.index_dir))
+        return None, None, 2
+    ef = (graph.ef_for(args.recall_target, args.k)
+          if args.recall_target is not None
+          else graph.default_ef(args.k))
+    options = {"graph": graph, "ef": ef}
+    if index.n_tombstones:
+        options["dead_mask"] = index.tombstones
+    return options, index, 0
+
+
 def _workers_arg(parser):
     parser.add_argument("--workers", type=int, default=None,
                         help="shard query tiles across this many worker "
@@ -337,11 +454,29 @@ def _profile_row(label, result, baseline=None):
 def cmd_run(args, out):
     spec = get_engine(args.method)
     range_kind = spec.caps.result_kind == "range"
+    approximate = spec.caps.approximate
+    code = _check_recall_target(args, out)
+    if code:
+        return code
     options, code = _range_options(args.method, args.eps, out)
     if code:
         return code
+    if args.recall_target is not None and not approximate:
+        needs = [name for name in engine_names()
+                 if get_engine(name).caps.approximate]
+        out.write("--recall-target only applies to %s (not %r)\n"
+                  % (", ".join(needs), args.method))
+        return 2
     index = None
-    if args.index_dir:
+    if approximate:
+        graph_options, index, code = _graph_options(args.method, args,
+                                                    out)
+        if code:
+            return code
+        options.update(graph_options)
+        if not args.dataset:
+            args.dim = index.dim
+    elif args.index_dir:
         if range_kind:
             out.write("the range/rknn methods answer from their own "
                       "prepared plan; --index-dir is not supported for "
@@ -356,7 +491,14 @@ def cmd_run(args, out):
             # --dim default.
             args.dim = index.dim
     points, device, name = _load_points(args)
-    if args.index_dir:
+    if approximate:
+        result = knn_join(points, np.asarray(index.targets), args.k,
+                          method=args.method, seed=args.seed,
+                          query_batch_size=args.query_batch_size,
+                          workers=args.workers, pool=args.pool,
+                          **options)
+        name = "%s -> graph in %s" % (name, args.index_dir)
+    elif args.index_dir:
         knn = SweetKNN.from_index(
             index, method=args.method,
             device=device if spec.caps.needs_device else None,
@@ -371,6 +513,11 @@ def cmd_run(args, out):
                           query_batch_size=args.query_batch_size,
                           workers=args.workers, pool=args.pool, **options)
     out.write("%s on %s: k=%d\n" % (result.method, name, args.k))
+    if approximate:
+        out.write("approximate graph route: ef=%d, recall target %s\n"
+                  % (options["ef"],
+                     "%.2f" % args.recall_target
+                     if args.recall_target is not None else "none"))
     if result.sim_time_s is not None:
         out.write("simulated K20c time: %.3f ms\n"
                   % (result.sim_time_s * 1e3))
@@ -386,6 +533,22 @@ def cmd_run(args, out):
     if result.stats.extra:
         out.write("decisions: %s\n" % (result.stats.extra,))
     if args.check:
+        if approximate:
+            from .graph.recall import measured_recall
+
+            active = index.active_ids()
+            oracle = knn_join(points, index.targets[active], args.k,
+                              method="brute")
+            recall = measured_recall(result.indices,
+                                     active[oracle.indices])
+            out.write("measured recall@%d vs brute force: %.4f\n"
+                      % (args.k, recall))
+            if args.recall_target is not None \
+                    and recall < args.recall_target:
+                out.write("recall is below the requested target %.2f\n"
+                          % args.recall_target)
+                return 1
+            return 0
         if range_kind:
             from .baselines.brute_joins import (brute_range_join,
                                                 brute_reverse_knn)
@@ -468,13 +631,80 @@ def cmd_index(args, out):
     return 0
 
 
+def cmd_graph(args, out):
+    from .graph import storage as graph_storage
+
+    if args.graph_command == "build":
+        from .graph import GraphConfig
+        from .index import Index
+
+        index = Index.load(args.index_dir)
+        config = GraphConfig(graph_k=args.graph_k, sample=args.sample,
+                             max_iters=args.max_iters)
+        graph = index.build_graph(config=config, seed=args.seed,
+                                  calibrate=not args.no_calibrate,
+                                  k=args.k, n_probe=args.n_probe)
+        path = graph.save(os.path.join(args.index_dir, "graph"))
+        out.write("built graph for index %s: %d nodes, graph_k=%d, "
+                  "dim=%d, %d entry points\n"
+                  % (args.index_dir, graph.n_nodes, graph.graph_k,
+                     graph.dim, graph.entry_points.size))
+        out.write("%d NN-descent iterations (updates %s), %d exact "
+                  "bootstrap rows, %d build distances\n"
+                  % (graph.n_iterations,
+                     ",".join(str(u) for u in graph.iteration_updates),
+                     graph.bootstrap_rows,
+                     graph.build_distance_computations))
+        if graph.calibration is not None:
+            out.write("recall@%d curve: %s\n"
+                      % (graph.calibration.k,
+                         "  ".join("ef=%d:%.3f" % entry for entry
+                                   in graph.calibration.entries)))
+        out.write("fingerprint %s version %d -> %s\n"
+                  % (graph.fingerprint[:12], graph.built_version, path))
+        return 0
+
+    # inspect: accept the graph directory itself or the index
+    # directory holding one.
+    path = args.dir
+    if not graph_storage.is_graph_dir(path):
+        nested = os.path.join(path, "graph")
+        if not graph_storage.is_graph_dir(nested):
+            out.write("%s holds no graph artifact; " % path
+                      + _graph_build_hint(path))
+            return 2
+        path = nested
+    manifest = graph_storage.read_graph_manifest(path)
+    rows = [[key, manifest.get(key)] for key in (
+        "format_version", "fingerprint", "seed", "built_version", "dim",
+        "n_nodes", "graph_k", "n_targets_at_build", "bootstrap_rows",
+        "build_distance_computations")]
+    updates = manifest.get("iteration_updates", [])
+    rows.append(["iterations", len(updates)])
+    rows.append(["iteration_updates",
+                 ",".join(str(u) for u in updates)])
+    rows.append(["config", manifest.get("config")])
+    calibration = manifest.get("calibration")
+    rows.append(["recall curve",
+                 "  ".join("ef=%d:%.3f" % (ef, recall)
+                           for ef, recall in calibration["entries"])
+                 if calibration else None])
+    rows.append(["arrays", ", ".join(sorted(manifest["arrays"]))])
+    out.write(format_table("graph %s" % path, ["field", "value"], rows))
+    return 0
+
+
 #: Human-readable row labels for the classic three-way comparison.
 _COMPARE_LABELS = {"cublas": "cublas baseline", "ti-gpu": "basic KNN-TI",
                    "sweet": "Sweet KNN"}
 
 
 def cmd_compare(args, out):
+    code = _check_recall_target(args, out)
+    if code:
+        return code
     points, device, name = _load_points(args)
+    graph_index = None
     baseline = None
     rows = []
     for method in args.methods:
@@ -483,6 +713,29 @@ def cmd_compare(args, out):
             if spec.required_options else ({}, 0)
         if code:
             return code
+        if spec.caps.approximate:
+            if args.recall_target is None:
+                out.write("method %r needs --recall-target (the "
+                          "approximate tier's accuracy knob); e.g. "
+                          "--recall-target 0.9\n" % method)
+                return 2
+            if graph_index is None:
+                from .index import Index
+
+                graph_index = Index(
+                    points, seed=args.seed,
+                    memory_budget_bytes=device.global_mem_bytes)
+                graph_index.build_graph(k=args.k)
+                curve = graph_index.graph.calibration
+                out.write("in-memory graph: %d nodes, graph_k=%d; "
+                          "recall@%d curve %s\n"
+                          % (graph_index.graph.n_nodes,
+                             graph_index.graph.graph_k, curve.k,
+                             "  ".join("ef=%d:%.3f" % entry
+                                       for entry in curve.entries)))
+            options["graph"] = graph_index.graph
+            options["ef"] = graph_index.graph.ef_for(args.recall_target,
+                                                     args.k)
         result = knn_join(points, points, args.k, method=method,
                           seed=args.seed,
                           device=device if spec.caps.needs_device else None,
@@ -496,6 +749,14 @@ def cmd_compare(args, out):
                       "baseline's %s\n"
                       % (label, type(result).__name__,
                          type(baseline).__name__))
+        elif spec.caps.approximate:
+            from .graph.recall import measured_recall
+
+            out.write("NOTE: %s is approximate (ef=%d): measured "
+                      "recall@%d vs the baseline = %.3f\n"
+                      % (label, options["ef"], args.k,
+                         measured_recall(result.indices,
+                                         baseline.indices)))
         elif not result.matches(baseline):
             out.write("WARNING: %s disagrees with the baseline\n" % label)
         rows.append(_profile_row(label, result, baseline))
@@ -641,6 +902,21 @@ def cmd_serve_bench(args, out):
     from .obs import current_tracer
     from .serve import KNNServer, run_open_loop
 
+    code = _check_recall_target(args, out)
+    if code:
+        return code
+    if args.recall_target is not None:
+        from .graph.storage import is_graph_dir
+
+        if not args.index_dir:
+            out.write("recall-targeted serving answers from a saved "
+                      "index's graph artifact; pass --index-dir DIR "
+                      "and " + _graph_build_hint("DIR"))
+            return 2
+        if not is_graph_dir(os.path.join(args.index_dir, "graph")):
+            out.write("index %s has no graph artifact; " % args.index_dir
+                      + _graph_build_hint(args.index_dir))
+            return 2
     points, device, name = _load_points(args)
     rng = np.random.default_rng(args.seed + 1)
     queries = points[rng.integers(0, len(points), size=args.requests)] \
@@ -667,9 +943,16 @@ def cmd_serve_bench(args, out):
               % ("%.0f req/s" % args.rate if args.rate else "max rate",
                  args.max_batch, args.max_wait_ms, args.queue_depth,
                  deadline_note))
+    if args.recall_target is not None:
+        out.write("recall mix: every %d. request targets recall@%d >= "
+                  "%.2f (graph route)\n"
+                  % (max(1, args.recall_every), args.k,
+                     args.recall_target))
     with server:
         report = run_open_loop(server, points, queries, args.k,
-                               rate=args.rate)
+                               rate=args.rate,
+                               recall_target=args.recall_target,
+                               recall_every=args.recall_every)
     out.write("%d served / %d rejected / %d expired / %d errors "
               "in %.2f s (%.0f served/s)\n"
               % (report.served, report.rejected, report.expired,
@@ -681,15 +964,36 @@ def cmd_serve_bench(args, out):
                           seed=args.seed,
                           device=device if get_engine(
                               args.method).caps.needs_device else None)
+        # Responses served by the approximate graph route are checked
+        # for measured recall (the EngineCaps.approximate contract);
+        # exact-routed ones must still equal the direct join.
+        exact_pairs = [(i, response) for i, response in report.responses
+                       if getattr(response, "route", "exact") != "approx"]
+        approx_pairs = [(i, response) for i, response in report.responses
+                        if getattr(response, "route", "exact") == "approx"]
         exact = all(
             np.array_equal(np.sort(response.indices),
                            np.sort(direct.indices[i]))
             and np.allclose(response.distances, direct.distances[i],
                             rtol=0, atol=1e-9)
-            for i, response in report.responses)
-        out.write("served answers equal direct knn_join: %s\n" % exact)
-        if not exact:
-            return 1
+            for i, response in exact_pairs)
+        out.write("exact-routed answers equal direct knn_join: %s "
+                  "(%d requests)\n" % (exact, len(exact_pairs)))
+        code = 0 if exact else 1
+        if approx_pairs:
+            from .graph.recall import measured_recall
+
+            recall = measured_recall(
+                np.asarray([response.indices
+                            for _, response in approx_pairs]),
+                direct.indices[[i for i, _ in approx_pairs]])
+            out.write("approx-routed measured recall@%d: %.4f "
+                      "(target %.2f, %d requests)\n"
+                      % (args.k, recall, args.recall_target,
+                         len(approx_pairs)))
+            if recall < args.recall_target:
+                code = 1
+        return code
     return 0
 
 
@@ -734,7 +1038,7 @@ _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
              "plan": cmd_plan, "serve-bench": cmd_serve_bench,
              "classify": cmd_classify, "novelty": cmd_novelty,
-             "index": cmd_index, "trace": cmd_trace}
+             "index": cmd_index, "graph": cmd_graph, "trace": cmd_trace}
 
 
 def main(argv=None, out=None):

@@ -51,6 +51,13 @@ class EngineCaps:
         reverse-KNN).  The execution layer dispatches the batch/shard
         merge on the result type; the serving layer refuses ``"range"``
         engines (its responses are fixed-k).
+    approximate:
+        The engine's results may miss true neighbours (the graph-walk
+        tier).  Exactness-checking callers (``compare``'s WARNING,
+        ``serve-bench --check``) consult this to report *measured
+        recall* instead of declaring a mismatch; everything else — the
+        batch/shard merge, serving, stats — treats approximate results
+        exactly like exact ones.
     """
 
     needs_device: bool = False
@@ -59,6 +66,7 @@ class EngineCaps:
     supports_epsilon: bool = False
     tiles_internally: bool = False
     result_kind: str = "knn"
+    approximate: bool = False
 
 
 @dataclass

@@ -5,7 +5,8 @@ tuple) next to its implementation; this module only collects and
 registers them, in the order the public method list has always
 advertised: the six top-k engines first, then the predicate-join
 engines (ε-range, self-join, reverse-KNN) and their brute-force
-oracles.  Loaded lazily by the registry on first lookup.
+oracles, then the approximate graph-walk engines.  Loaded lazily by
+the registry on first lookup.
 """
 
 from __future__ import annotations
@@ -18,8 +19,9 @@ from ..core.basic_gpu import ENGINE as _TI_GPU
 from ..core.joins import ENGINES as _JOINS
 from ..core.sweet import ENGINE as _SWEET
 from ..core.ti_knn import ENGINE as _TI_CPU
+from ..graph.search import ENGINES as _GRAPH
 from .registry import register
 
 for _spec in (_SWEET, _TI_GPU, _TI_CPU, _CUBLAS, _BRUTE, _KDTREE,
-              *_JOINS, *_BRUTE_JOINS):
+              *_JOINS, *_BRUTE_JOINS, *_GRAPH):
     register(_spec, replace=True)

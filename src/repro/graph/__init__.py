@@ -1,0 +1,20 @@
+"""Approximate k-NN graph tier: NN-descent build, graph-walk search,
+measured-recall calibration.
+
+The first subsystem in the repository whose *results* are approximate.
+The exact TI engines stay the source of truth: the builder bootstraps
+from them, the calibration measures against them, and the serving
+layer routes to them whenever a request carries no ``recall_target``
+or the graph is stale.  See docs/GRAPH.md.
+"""
+
+from .build import GraphConfig, KNNGraph, build_graph
+from .recall import RecallCurve, calibrate, measured_recall, probe_queries
+from .search import graph_knn_search
+from .storage import is_graph_dir
+
+__all__ = [
+    "GraphConfig", "KNNGraph", "build_graph",
+    "RecallCurve", "calibrate", "measured_recall", "probe_queries",
+    "graph_knn_search", "is_graph_dir",
+]

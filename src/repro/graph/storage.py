@@ -1,0 +1,184 @@
+"""On-disk persistence of an approximate k-NN graph.
+
+A graph directory holds one JSON manifest plus one ``.npy`` file per
+array::
+
+    <dir>/
+      graph.json          format version, shapes, build provenance
+      node_ids.npy        (m,)  global target rows of the graph nodes
+      neighbors.npy       (m, kg) neighbour *positions* into node_ids
+      distances.npy       (m, kg) distances aligned with neighbors
+      entry_points.npy    (e,)  search entry positions
+
+Layout mirrors :mod:`repro.index.storage`: plain contiguous ``.npy``
+files that ``np.load(mmap_mode="r")`` can map directly, manifest
+written last via a temp file + rename, and every malformed-input path
+raising a typed :class:`~repro.errors.ValidationError`.
+
+One deliberate difference: the manifest carries **no wall-clock
+values** (the index manifest stamps ``created_unix_s``).  The graph
+build is deterministic given ``(seed, fingerprint)`` and the
+acceptance contract is that two builds produce *byte-identical*
+directories, so nothing non-reproducible may enter the serialization
+(keys are also sorted for the same reason).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["GRAPH_FORMAT_VERSION", "GRAPH_MANIFEST_NAME", "write_graph",
+           "read_graph", "read_graph_manifest", "is_graph_dir"]
+
+#: On-disk graph format version; bumped on any incompatible change.
+GRAPH_FORMAT_VERSION = 1
+
+GRAPH_MANIFEST_NAME = "graph.json"
+
+#: name -> (expected dtype, expected ndim)
+_ARRAYS = {
+    "node_ids": ("<i8", 1),
+    "neighbors": ("<i8", 2),
+    "distances": ("<f8", 2),
+    "entry_points": ("<i8", 1),
+}
+
+
+def is_graph_dir(path):
+    """Whether ``path`` looks like a saved graph (has a manifest)."""
+    return os.path.isfile(os.path.join(path, GRAPH_MANIFEST_NAME))
+
+
+def write_graph(graph, path):
+    """Serialize ``graph`` into directory ``path`` (created if needed).
+
+    Arrays first, manifest last and atomically — a directory with a
+    readable manifest always describes fully written arrays.  The
+    output is a pure function of the graph state: saving the same
+    build twice yields byte-identical files.
+    """
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+
+    arrays = {
+        "node_ids": np.ascontiguousarray(graph.node_ids, dtype=np.int64),
+        "neighbors": np.ascontiguousarray(graph.neighbors, dtype=np.int64),
+        "distances": np.ascontiguousarray(graph.distances,
+                                          dtype=np.float64),
+        "entry_points": np.ascontiguousarray(graph.entry_points,
+                                             dtype=np.int64),
+    }
+    manifest = {
+        "format": "repro-knn-graph",
+        "format_version": GRAPH_FORMAT_VERSION,
+        "seed": int(graph.seed),
+        "fingerprint": graph.fingerprint,
+        "built_version": int(graph.built_version),
+        "dim": int(graph.dim),
+        "n_targets_at_build": int(graph.n_targets_at_build),
+        "n_nodes": int(graph.n_nodes),
+        "graph_k": int(graph.graph_k),
+        "bootstrap_rows": int(graph.bootstrap_rows),
+        "build_distance_computations": int(
+            graph.build_distance_computations),
+        "iteration_updates": [int(u) for u in graph.iteration_updates],
+        "config": graph.config.describe(),
+        "calibration": (graph.calibration.describe()
+                        if graph.calibration is not None else None),
+        "arrays": {name: {"shape": list(array.shape),
+                          "dtype": array.dtype.str}
+                   for name, array in arrays.items()},
+    }
+
+    for name, array in arrays.items():
+        np.save(os.path.join(path, name + ".npy"), array)
+    tmp = os.path.join(path, GRAPH_MANIFEST_NAME + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, os.path.join(path, GRAPH_MANIFEST_NAME))
+    return manifest
+
+
+def read_graph_manifest(path):
+    """Load and validate the manifest of a graph directory."""
+    path = os.fspath(path)
+    manifest_path = os.path.join(path, GRAPH_MANIFEST_NAME)
+    if not os.path.isdir(path):
+        raise ValidationError("graph directory %r does not exist" % path)
+    if not os.path.isfile(manifest_path):
+        raise ValidationError(
+            "%r is not a saved graph (no %s)" % (path, GRAPH_MANIFEST_NAME))
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ValidationError(
+            "corrupt graph manifest %r: %s" % (manifest_path, exc)) from exc
+    if not isinstance(manifest, dict) \
+            or manifest.get("format") != "repro-knn-graph":
+        raise ValidationError(
+            "%r is not a repro graph manifest" % manifest_path)
+    if manifest.get("format_version") != GRAPH_FORMAT_VERSION:
+        raise ValidationError(
+            "graph format version %r is not the supported %d"
+            % (manifest.get("format_version"), GRAPH_FORMAT_VERSION))
+    for key in ("seed", "fingerprint", "built_version", "dim",
+                "n_nodes", "graph_k", "arrays"):
+        if key not in manifest:
+            raise ValidationError(
+                "graph manifest %r is missing %r" % (manifest_path, key))
+    return manifest
+
+
+def read_graph(path, mmap=True):
+    """Load ``(manifest, arrays)`` from a graph directory.
+
+    With ``mmap=True`` the arrays are read-only page-cache views —
+    worker processes searching the same graph share one physical copy,
+    exactly like the index arrays.  Shapes and dtypes are validated
+    against the manifest.
+    """
+    path = os.fspath(path)
+    manifest = read_graph_manifest(path)
+    declared = manifest["arrays"]
+    arrays = {}
+    for name, (dtype, ndim) in _ARRAYS.items():
+        if name not in declared:
+            raise ValidationError("graph manifest lists no %r array" % name)
+        file_path = os.path.join(path, name + ".npy")
+        try:
+            array = np.load(file_path, mmap_mode="r" if mmap else None,
+                            allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ValidationError(
+                "cannot load graph array %r: %s" % (file_path, exc)) from exc
+        spec = declared[name]
+        if list(array.shape) != list(spec.get("shape", [])) \
+                or array.dtype.str != spec.get("dtype"):
+            raise ValidationError(
+                "graph array %r does not match its manifest entry "
+                "(file %s %s, manifest %s %s)"
+                % (name, array.shape, array.dtype.str,
+                   tuple(spec.get("shape", [])), spec.get("dtype")))
+        if array.ndim != ndim or array.dtype.str != dtype:
+            raise ValidationError(
+                "graph array %r has unsupported layout %s %s"
+                % (name, array.shape, array.dtype.str))
+        arrays[name] = array
+
+    m, kg = manifest["n_nodes"], manifest["graph_k"]
+    if arrays["node_ids"].shape != (m,) \
+            or arrays["neighbors"].shape != (m, kg) \
+            or arrays["distances"].shape != (m, kg):
+        raise ValidationError(
+            "graph arrays do not match the manifest shape "
+            "(m=%d, graph_k=%d)" % (m, kg))
+    if arrays["entry_points"].size == 0 and m > 0:
+        raise ValidationError("graph has no entry points")
+    return manifest, arrays

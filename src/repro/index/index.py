@@ -27,6 +27,7 @@ per-worker plan cache both invalidate on it.
 
 from __future__ import annotations
 
+import logging
 import os
 
 import numpy as np
@@ -38,10 +39,13 @@ from ..core.landmarks import (determine_landmark_count,
                               select_landmarks_random_spread)
 from ..core.validate import as_points, check_points
 from ..errors import ValidationError
+from ..graph import storage as graph_storage
 from . import storage
 from .fingerprint import fingerprint_points, register_fingerprint
 
 __all__ = ["Index", "UpdatePolicy"]
+
+logger = logging.getLogger("repro.index")
 
 
 def _largest_cluster(clusters):
@@ -143,6 +147,10 @@ class Index:
         self.version = 1
         self.source_path = None
         self.mmapped = False
+        #: Optional approximate k-NN graph artifact (see repro.graph);
+        #: built via :meth:`build_graph`, persisted with :meth:`save`,
+        #: staleness-checked at use time against ``version``.
+        self.graph = None
         self._tombstones = np.zeros(len(targets), dtype=bool)
         self._dead_since_rebuild = 0
         self._max_size_at_build = _largest_cluster(self.target_clusters)
@@ -224,6 +232,8 @@ class Index:
             "mmapped": bool(self.mmapped),
             "source_path": self.source_path,
             "policy": self.policy.describe(),
+            "graph": (self.graph.describe()
+                      if self.graph is not None else None),
         }
 
     # ------------------------------------------------------------------
@@ -261,6 +271,31 @@ class Index:
                         center_dists=cdist)
 
     # ------------------------------------------------------------------
+    # Approximate graph tier
+    # ------------------------------------------------------------------
+    def build_graph(self, config=None, seed=None, calibrate=True, k=10,
+                    ef_grid=None, n_probe=64):
+        """Build (and by default calibrate) the approximate k-NN graph.
+
+        The graph covers the live rows at the current ``version`` and
+        is attached as :attr:`graph` — persisted by the next
+        :meth:`save`, reloaded by :meth:`load`, and consulted by
+        ``KNNServer`` requests carrying a ``recall_target``.  Build is
+        deterministic given ``(seed, fingerprint)``.
+        """
+        from ..graph import build_graph as _build
+        from ..graph import calibrate as _calibrate
+        from ..graph.recall import DEFAULT_EF_GRID
+
+        graph = _build(self, config=config, seed=seed)
+        if calibrate:
+            _calibrate(graph, self, k=k,
+                       ef_grid=ef_grid or DEFAULT_EF_GRID,
+                       n_probe=n_probe)
+        self.graph = graph
+        return graph
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path):
@@ -269,10 +304,14 @@ class Index:
         After a successful save the index is disk-backed:
         :attr:`source_path` points at the directory, so sharded
         execution can hand workers the path instead of pickled arrays.
+        An attached :attr:`graph` is saved into ``<path>/graph``,
+        versioned alongside the manifest.
         """
         with obs.span("index.save", path=os.fspath(path),
                       n=int(self.n_points), version=int(self.version)):
             storage.write_index(self, path)
+        if self.graph is not None:
+            self.graph.save(os.path.join(os.fspath(path), "graph"))
         self.source_path = os.path.abspath(os.fspath(path))
         return self.source_path
 
@@ -336,6 +375,18 @@ class Index:
                     raise ValidationError(
                         "index manifest carries an unusable rng_state: %s"
                         % exc) from exc
+            index.graph = None
+            graph_dir = os.path.join(path, "graph")
+            if graph_storage.is_graph_dir(graph_dir):
+                from ..graph import KNNGraph
+                graph = KNNGraph.load(graph_dir, mmap=mmap)
+                if graph.fingerprint == index.fingerprint:
+                    index.graph = graph
+                else:
+                    logger.warning(
+                        "ignoring graph artifact %s: fingerprint %s does "
+                        "not match index %s", graph_dir,
+                        graph.fingerprint, index.fingerprint)
             register_fingerprint(index.targets, index.fingerprint)
             sp.annotate(n=int(index.n_points), mt=int(index.mt),
                         version=int(index.version),

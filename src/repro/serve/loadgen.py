@@ -53,7 +53,7 @@ class LoadReport:
 
 
 def run_open_loop(server, targets, queries, k, rate=None, deadline_s=None,
-                  **options):
+                  recall_target=None, recall_every=2, **options):
     """Fire one request per query row at a fixed arrival rate.
 
     Parameters
@@ -72,6 +72,13 @@ def run_open_loop(server, targets, queries, k, rate=None, deadline_s=None,
         the generator loop can (maximum offered load).
     deadline_s:
         Optional per-request deadline.
+    recall_target, recall_every:
+        Mix recall-targeted traffic into the run: every
+        ``recall_every``-th request (deterministically, by request
+        index) carries ``recall_target`` and may be served by the
+        approximate graph route; the rest stay exact.
+        ``recall_every=1`` sends the target with every request;
+        ``recall_target=None`` (default) disables the mix entirely.
     options:
         Engine options forwarded with every request.
 
@@ -84,6 +91,7 @@ def run_open_loop(server, targets, queries, k, rate=None, deadline_s=None,
     queries = np.asarray(queries, dtype=np.float64)
     n = len(queries)
     interarrival = (1.0 / rate) if rate else 0.0
+    recall_every = max(1, int(recall_every))
 
     futures = []
     report = LoadReport(n_requests=n, wall_s=0.0)
@@ -94,9 +102,12 @@ def run_open_loop(server, targets, queries, k, rate=None, deadline_s=None,
             delay = due - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+        target_i = (recall_target if recall_target is not None
+                    and i % recall_every == recall_every - 1 else None)
         try:
             futures.append((i, server.submit(queries[i], targets, k,
                                              deadline_s=deadline_s,
+                                             recall_target=target_i,
                                              **options)))
         except Overloaded:
             report.rejected += 1

@@ -97,6 +97,13 @@ class ServeConfig:
         its fingerprint — and whose ``seed``/``mt`` match the knobs it
         was built with — are warm from the first query, with the target
         arrays shared zero-copy through the page cache.
+    graph_method:
+        Engine serving requests that carry a ``recall_target``
+        (``"graph-bfs"``; ``None`` disables the approximate route).
+        Used only when the request's index has a fresh
+        :class:`~repro.graph.KNNGraph` attached — otherwise the
+        request silently falls back to the exact route and the
+        response reports ``route="exact"``.
     workers, pool:
         Shard each coalesced batch across a :mod:`repro.parallel`
         worker pool (``workers=0`` means one per core; ``pool`` is
@@ -127,6 +134,7 @@ class ServeConfig:
     seed: int = 0
     mt: int = None
     index_dir: str = None
+    graph_method: str = "graph-bfs"
     workers: int = None
     pool: str = None
     device: object = None
@@ -145,6 +153,13 @@ class ServeResponse:
     ``labels`` (classification requests) and ``scores`` (novelty
     requests) carry the workload post-processing of
     :mod:`repro.workloads`; plain queries leave them ``None``.
+
+    ``route`` reports which path served the answer: ``"exact"`` (the
+    configured exact engine — always the case when the request carried
+    no ``recall_target``, and the fallback when the index has no fresh
+    graph) or ``"approx"`` (the graph-walk engine at the ``ef``
+    resolved from the request's ``recall_target`` through the graph's
+    calibration curve — echoed in ``ef``/``recall_target``).
     """
 
     distances: np.ndarray
@@ -159,6 +174,9 @@ class ServeResponse:
     request_id: str = None
     labels: object = None
     scores: object = None
+    route: str = "exact"
+    recall_target: float = None
+    ef: int = None
 
 
 @dataclass
@@ -175,6 +193,9 @@ class _Payload:
     request_id: str = None
     request_span: object = None
     queue_span: object = None
+    route: str = "exact"
+    recall_target: float = None
+    ef: int = None
 
 
 class KNNServer:
@@ -211,6 +232,13 @@ class KNNServer:
             raise ValidationError(
                 "degraded engine %r returns variable-cardinality results; "
                 "the server's responses are fixed-k" % config.degraded_method)
+        self._graph_spec = (get_engine(config.graph_method)
+                            if config.graph_method else None)
+        if (self._graph_spec is not None
+                and self._graph_spec.caps.result_kind != "knn"):
+            raise ValidationError(
+                "graph engine %r returns variable-cardinality results; "
+                "the server's responses are fixed-k" % config.graph_method)
         if not 0.0 < config.degrade_at <= 1.0:
             raise ValidationError("degrade_at must be in (0, 1]")
         if config.max_batch_size <= 0:
@@ -264,13 +292,24 @@ class KNNServer:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, queries, targets, k, deadline_s=None, **options):
+    def submit(self, queries, targets, k, deadline_s=None,
+               recall_target=None, **options):
         """Enqueue a request; returns a future of :class:`ServeResponse`.
 
         ``queries`` may be a single point of shape (d,) or a small
         batch of shape (n, d).  ``targets`` is fingerprinted and
         resolved through the index store, so passing the same target
         set (by value) never re-clusters it.
+
+        ``recall_target`` opts the request into the approximate tier:
+        when the resolved index carries a fresh
+        :class:`~repro.graph.KNNGraph`, the request is served by the
+        graph engine at the ``ef`` the graph's calibration curve maps
+        the target to, and the response reports ``route="approx"``.
+        Without a fresh graph the request falls back to the exact
+        engine (``route="exact"``); with ``recall_target=None``
+        (default) the request path is byte-for-byte the pre-graph
+        behaviour.
 
         Raises
         ------
@@ -284,6 +323,9 @@ class KNNServer:
         if "mt" in options:
             raise ValidationError(
                 "mt is fixed per prepared index; set it in ServeConfig")
+        if recall_target is not None \
+                and not 0.0 < float(recall_target) <= 1.0:
+            raise ValidationError("recall_target must be in (0, 1]")
         queries = np.asarray(queries, dtype=np.float64)
         single = queries.ndim == 1
         if single:
@@ -296,19 +338,31 @@ class KNNServer:
             memory_budget_bytes=(self._device.global_mem_bytes
                                  if self._device is not None else None))
 
+        route, ef = "exact", None
+        if recall_target is not None and self._graph_spec is not None:
+            graph = getattr(index, "graph", None)
+            if graph is not None and graph.is_fresh_for(index):
+                route = "approx"
+                ef = int(graph.ef_for(recall_target, k))
+
         opts_key = tuple(sorted(options.items()))
         store_key = self.store.key_for(index.targets, self.config.seed,
                                        self.config.mt)
-        batch_key = (store_key, k, opts_key)
+        # Route and ef join the coalescing key so exact and approximate
+        # requests never share a tile; all-exact traffic produces the
+        # same key — hence the same batches — as before the graph tier.
+        batch_key = (store_key, k, opts_key, route, ef)
         request_id = "req-%d" % next(self._request_ids)
         payload = _Payload(queries=queries, index=index, k=k,
                            options=dict(options), single=single,
-                           cache_hit=cache_hit, request_id=request_id)
+                           cache_hit=cache_hit, request_id=request_id,
+                           route=route, recall_target=recall_target,
+                           ef=ef)
         if self._tracer is not None:
             payload.request_span = self._tracer.start_span(
                 "serve.request", trace_id=request_id,
                 request_id=request_id, k=k, rows=len(queries),
-                cache_hit=cache_hit)
+                cache_hit=cache_hit, route=route)
             payload.queue_span = self._tracer.start_span(
                 "serve.queue", parent=payload.request_span,
                 trace_id=request_id)
@@ -450,7 +504,11 @@ class KNNServer:
             request.payload.row_slice = slice(start, stop)
             start = stop
 
-        degraded = (self._degraded_spec is not None
+        # The approximate route never degrades — the graph walk *is*
+        # the cheap path, so swapping it for the degraded exact engine
+        # under pressure would raise, not lower, the batch cost.
+        approx = first.route == "approx"
+        degraded = (not approx and self._degraded_spec is not None
                     and pressure >= self.config.degrade_at)
         if degraded:
             logger.debug(
@@ -460,7 +518,17 @@ class KNNServer:
             obs.event("serve.degraded", pressure=round(pressure, 4),
                       engine=self._degraded_spec.name)
         try:
-            if degraded:
+            if approx:
+                spec = self._graph_spec
+                index = first.index
+                dead = (index.tombstones if index.n_tombstones else None)
+                result = execute(
+                    spec, batch, index.targets, first.k,
+                    rng=self._rng, device=self._device,
+                    workers=self.config.workers, pool=self.config.pool,
+                    graph=index.graph, ef=first.ef, dead_mask=dead,
+                    **first.options)
+            elif degraded:
                 spec = self._degraded_spec
                 result = execute(
                     spec, batch, first.index.targets, first.k,
@@ -500,11 +568,16 @@ class KNNServer:
                     degraded=degraded, cache_hit=payload.cache_hit,
                     latency_s=latency, batch_rows=len(batch),
                     batch_requests=len(requests),
-                    request_id=payload.request_id))
+                    request_id=payload.request_id,
+                    route=payload.route,
+                    recall_target=payload.recall_target,
+                    ef=payload.ef))
                 self.stats_collector.record_served(latency,
-                                                   degraded=degraded)
+                                                   degraded=degraded,
+                                                   route=payload.route)
                 self._close_request_spans(
                     payload, outcome="served", engine=spec.name,
-                    degraded=degraded, latency_s=round(latency, 6),
+                    degraded=degraded, route=payload.route,
+                    latency_s=round(latency, 6),
                     batch_rows=len(batch),
                     batch_requests=len(requests))

@@ -35,7 +35,14 @@ _NAN = float("nan")
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Immutable snapshot of a server's lifetime metrics."""
+    """Immutable snapshot of a server's lifetime metrics.
+
+    ``route_exact``/``route_approx`` break the served count down by
+    serving path (exact engine vs the recall-targeted graph tier), and
+    ``latencies_exact_s``/``latencies_approx_s`` carry the matching
+    per-route latency samples — so degradation and recall routing are
+    observable in ``serve-bench`` output, not just per response.
+    """
 
     submitted: int
     served: int
@@ -50,9 +57,13 @@ class ServerStats:
     cache_misses: int
     cache_evictions: int
     cache_resident_bytes: int
+    route_exact: int = 0
+    route_approx: int = 0
     latencies_s: tuple = field(default=(), repr=False)
     batch_requests: tuple = field(default=(), repr=False)
     batch_rows: tuple = field(default=(), repr=False)
+    latencies_exact_s: tuple = field(default=(), repr=False)
+    latencies_approx_s: tuple = field(default=(), repr=False)
 
     @property
     def cache_hit_rate(self):
@@ -69,15 +80,20 @@ class ServerStats:
         """Mean batch occupancy in query rows per ``execute()`` call."""
         return float(np.mean(self.batch_rows)) if self.batch_rows else _NAN
 
-    def latency_percentile(self, q):
+    def latency_percentile(self, q, route=None):
         """Latency percentile in seconds (q in [0, 100]).
 
-        ``nan`` when no request has been served yet — empty-sample
-        aggregates never raise.
+        ``route`` restricts the sample to one serving path
+        (``"exact"``/``"approx"``); ``None`` aggregates both.  ``nan``
+        when the selected sample is empty — empty-sample aggregates
+        never raise.
         """
-        if not self.latencies_s:
+        samples = {None: self.latencies_s,
+                   "exact": self.latencies_exact_s,
+                   "approx": self.latencies_approx_s}[route]
+        if not samples:
             return _NAN
-        return float(np.percentile(np.asarray(self.latencies_s), q))
+        return float(np.percentile(np.asarray(samples), q))
 
     @property
     def max_latency_s(self):
@@ -98,9 +114,19 @@ class ServerStats:
             "batch_occupancy_requests": round(self.mean_batch_requests, 2),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "cache_evictions": self.cache_evictions,
+            "route_exact": self.route_exact,
+            "route_approx": self.route_approx,
             "p50_ms": round(self.latency_percentile(50) * 1e3, 3),
             "p90_ms": round(self.latency_percentile(90) * 1e3, 3),
             "p99_ms": round(self.latency_percentile(99) * 1e3, 3),
+            "exact_p50_ms": round(
+                self.latency_percentile(50, route="exact") * 1e3, 3),
+            "exact_p99_ms": round(
+                self.latency_percentile(99, route="exact") * 1e3, 3),
+            "approx_p50_ms": round(
+                self.latency_percentile(50, route="approx") * 1e3, 3),
+            "approx_p99_ms": round(
+                self.latency_percentile(99, route="approx") * 1e3, 3),
         }
 
     def table(self, title="KNN serving stats"):
@@ -121,10 +147,18 @@ class ServerStats:
              self.cache_resident_bytes / 1e6],
             ["queue depth (now/max)",
              "%d/%d" % (self.queue_depth, self.max_queue_depth)],
+            ["served exact route", self.route_exact],
+            ["served approx route", self.route_approx],
             ["latency p50 ms", self.latency_percentile(50) * 1e3],
             ["latency p90 ms", self.latency_percentile(90) * 1e3],
             ["latency p99 ms", self.latency_percentile(99) * 1e3],
             ["latency max ms", self.max_latency_s * 1e3],
+            ["exact p50/p99 ms",
+             "%.3f/%.3f" % (self.latency_percentile(50, "exact") * 1e3,
+                            self.latency_percentile(99, "exact") * 1e3)],
+            ["approx p50/p99 ms",
+             "%.3f/%.3f" % (self.latency_percentile(50, "approx") * 1e3,
+                            self.latency_percentile(99, "approx") * 1e3)],
         ]
         return format_table(title, ["metric", "value"], rows)
 
@@ -147,9 +181,11 @@ class StatsCollector:
         # Create the instruments eagerly so a snapshot of an idle
         # server reads zeros/empties instead of missing names.
         for name in ("submitted", "served", "rejected", "expired",
-                     "errors", "degraded", "batches"):
+                     "errors", "degraded", "batches",
+                     "route_exact", "route_approx"):
             self.registry.counter("serve." + name)
-        for name in ("latency_s", "batch_requests", "batch_rows"):
+        for name in ("latency_s", "batch_requests", "batch_rows",
+                     "latency_exact_s", "latency_approx_s"):
             self.registry.histogram("serve." + name)
 
     def record_submitted(self):
@@ -169,11 +205,16 @@ class StatsCollector:
         self.registry.histogram("serve.batch_requests").observe(n_requests)
         self.registry.histogram("serve.batch_rows").observe(n_rows)
 
-    def record_served(self, latency_s, degraded=False):
+    def record_served(self, latency_s, degraded=False, route="exact"):
         self.registry.counter("serve.served").inc()
         self.registry.histogram("serve.latency_s").observe(latency_s)
         if degraded:
             self.registry.counter("serve.degraded").inc()
+        if route not in ("exact", "approx"):
+            raise ValueError("route must be 'exact' or 'approx'")
+        self.registry.counter("serve.route_" + route).inc()
+        self.registry.histogram("serve.latency_%s_s" % route).observe(
+            latency_s)
 
     def snapshot(self, queue_depth=0, max_queue_depth=0, store_stats=None):
         """Build a :class:`ServerStats` from the current counters."""
@@ -194,7 +235,13 @@ class StatsCollector:
                              if store_stats else 0),
             cache_resident_bytes=(store_stats.resident_bytes
                                   if store_stats else 0),
+            route_exact=registry.value("serve.route_exact"),
+            route_approx=registry.value("serve.route_approx"),
             latencies_s=registry.histogram("serve.latency_s").values(),
             batch_requests=registry.histogram(
                 "serve.batch_requests").values(),
-            batch_rows=registry.histogram("serve.batch_rows").values())
+            batch_rows=registry.histogram("serve.batch_rows").values(),
+            latencies_exact_s=registry.histogram(
+                "serve.latency_exact_s").values(),
+            latencies_approx_s=registry.histogram(
+                "serve.latency_approx_s").values())

@@ -11,7 +11,7 @@ from repro.errors import ValidationError
 
 BUILTIN = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree",
            "range-join", "self-join-eps", "rknn", "range-join-brute",
-           "rknn-brute")
+           "rknn-brute", "graph-bfs", "graph-greedy")
 
 
 def _toy_run(queries, targets, k, ctx, **options):

@@ -1,0 +1,38 @@
+"""Shared fixtures for the approximate-graph-tier tests.
+
+Module-expensive artifacts (the index and one calibrated graph build)
+are session-scoped: every determinism test rebuilds its own graphs
+explicitly, the read-only tests share these.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphConfig, build_graph
+from repro.index import Index
+
+
+@pytest.fixture(scope="session")
+def graph_points():
+    """Three well-separated blobs — the clustered serving workload."""
+    rng = np.random.default_rng(7)
+    blobs = [rng.normal(size=(180, 8)) + offset
+             for offset in (0.0, 8.0, -8.0)]
+    points = np.concatenate(blobs)
+    rng.shuffle(points)
+    return points
+
+
+@pytest.fixture(scope="session")
+def graph_index(graph_points):
+    return Index(graph_points, seed=3)
+
+
+@pytest.fixture(scope="session")
+def graph_config():
+    return GraphConfig(graph_k=12, sample=64)
+
+
+@pytest.fixture(scope="session")
+def graph(graph_index, graph_config):
+    return build_graph(graph_index, graph_config, seed=11)

@@ -1,0 +1,120 @@
+"""Recall measurement and the ef calibration curve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import RecallCurve, calibrate, measured_recall
+from repro.graph.recall import probe_queries
+
+
+class TestMeasuredRecall:
+    def test_perfect_overlap(self):
+        ids = np.asarray([[1, 2, 3], [4, 5, 6]])
+        assert measured_recall(ids, ids) == 1.0
+
+    def test_disjoint(self):
+        assert measured_recall([[1, 2]], [[3, 4]]) == 0.0
+
+    def test_order_is_ignored(self):
+        assert measured_recall([[3, 2, 1]], [[1, 2, 3]]) == 1.0
+
+    def test_padding_is_ignored(self):
+        assert measured_recall([[1, -1, -1]], [[1, 2, -1]]) == 0.5
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValidationError):
+            measured_recall([[1]], [[1], [2]])
+
+
+class TestRecallCurve:
+    @pytest.fixture
+    def curve(self):
+        return RecallCurve(k=10, entries=[(16, 0.8), (32, 0.95),
+                                          (64, 0.99)], n_probe=50)
+
+    def test_ef_for_picks_smallest_sufficient(self, curve):
+        assert curve.ef_for(0.9) == 32
+        assert curve.ef_for(0.5) == 16
+        assert curve.ef_for(0.99) == 64
+
+    def test_ef_for_best_effort_when_unreachable(self, curve):
+        assert curve.ef_for(0.999) == 64
+
+    def test_ef_for_scales_with_k(self, curve):
+        assert curve.ef_for(0.9, k=20) == 64
+        assert curve.ef_for(0.9, k=10) == 32
+
+    def test_ef_for_never_below_k(self, curve):
+        assert curve.ef_for(0.5, k=40) >= 40
+
+    def test_ef_for_validates_target(self, curve):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValidationError):
+                curve.ef_for(bad)
+
+    def test_recall_at(self, curve):
+        assert curve.recall_at(40) == 0.95
+        assert curve.recall_at(64) == 0.99
+        assert curve.recall_at(8) == 0.8
+
+    def test_round_trip(self, curve):
+        again = RecallCurve.from_dict(curve.describe())
+        assert again.entries == curve.entries
+        assert again.k == curve.k
+        assert again.n_probe == curve.n_probe
+
+    def test_needs_entries(self):
+        with pytest.raises(ValidationError):
+            RecallCurve(k=5, entries=[])
+        with pytest.raises(ValidationError):
+            RecallCurve(k=5, entries=[(16, 1.2)])
+
+
+class TestProbes:
+    def test_probes_are_deterministic(self, graph_index):
+        a = probe_queries(graph_index, 32, seed=11,
+                          fingerprint=graph_index.fingerprint)
+        b = probe_queries(graph_index, 32, seed=11,
+                          fingerprint=graph_index.fingerprint)
+        np.testing.assert_array_equal(a, b)
+
+    def test_probes_are_held_out(self, graph_index, graph_points):
+        probes = probe_queries(graph_index, 32, seed=11,
+                               fingerprint=graph_index.fingerprint)
+        # Perturbed copies, not stored rows: no probe equals a target.
+        assert probes.shape == (32, graph_points.shape[1])
+        for probe in probes:
+            assert not np.any(np.all(graph_points == probe, axis=1))
+
+
+class TestCalibration:
+    def test_calibrate_attaches_a_usable_curve(self, graph, graph_index):
+        curve = calibrate(graph, graph_index, k=5,
+                          ef_grid=(8, 32, 128), n_probe=32)
+        assert graph.calibration is curve
+        assert curve.k == 5
+        assert curve.n_probe == 32
+        assert [ef for ef, _ in curve.entries] == [8, 32, 128]
+        # Clustered 8-d data: the widest beam must be near-exact, and
+        # widening must not lose more than measurement noise.
+        assert curve.recall_at(128) >= 0.9
+        assert (curve.entries[-1][1]
+                >= curve.entries[0][1] - 0.05)
+        assert graph.ef_for(curve.entries[-1][1], 5) <= 128
+
+    def test_calibrate_is_deterministic(self, graph, graph_index):
+        a = calibrate(graph, graph_index, k=5, ef_grid=(16, 64),
+                      n_probe=24, attach=False)
+        b = calibrate(graph, graph_index, k=5, ef_grid=(16, 64),
+                      n_probe=24, attach=False)
+        assert a.entries == b.entries
+
+    def test_calibrate_does_not_disturb_index_rng(self, graph,
+                                                  graph_index):
+        """Calibration must use its own RNG stream — the index's
+        planner stream stays untouched (serving determinism)."""
+        state_before = graph_index._rng.bit_generator.state
+        calibrate(graph, graph_index, k=5, ef_grid=(16,), n_probe=16,
+                  attach=False)
+        assert graph_index._rng.bit_generator.state == state_before

@@ -1,0 +1,136 @@
+"""Graph-walk engines: recall floors, determinism across worker pools
+and persistence round-trips, tombstone handling, registry contract."""
+
+import numpy as np
+import pytest
+
+from repro import knn_join
+from repro.engine import get_engine
+from repro.errors import ValidationError
+from repro.graph import KNNGraph, build_graph, graph_knn_search
+from repro.graph.build import GraphConfig
+from repro.index import Index
+
+
+@pytest.fixture(scope="module")
+def probes(graph_points):
+    rng = np.random.default_rng(21)
+    rows = rng.integers(0, len(graph_points), size=40)
+    return graph_points[rows] + rng.normal(scale=0.05,
+                                           size=(40, graph_points.shape[1]))
+
+
+@pytest.fixture(scope="module")
+def exact(probes, graph_points):
+    return knn_join(probes, graph_points, 8, method="brute")
+
+
+def _recall(approx, exact):
+    hits = sum(len(set(map(int, a)) & set(map(int, e)))
+               for a, e in zip(approx.indices, exact.indices))
+    return hits / exact.indices.size
+
+
+class TestRecall:
+    def test_bfs_recall_floor(self, graph, probes, graph_points, exact):
+        result = graph_knn_search(graph, probes, graph_points, 8, ef=96)
+        assert _recall(result, exact) >= 0.9
+
+    def test_wider_beam_does_not_hurt(self, graph, probes, graph_points,
+                                      exact):
+        narrow = graph_knn_search(graph, probes, graph_points, 8, ef=8)
+        wide = graph_knn_search(graph, probes, graph_points, 8, ef=192)
+        assert _recall(wide, exact) >= _recall(narrow, exact)
+
+    def test_greedy_pins_ef_to_k(self, graph, probes, graph_points):
+        greedy = knn_join(probes, graph_points, 8, method="graph-greedy",
+                          graph=graph, ef=512)
+        bfs = knn_join(probes, graph_points, 8, method="graph-bfs",
+                       graph=graph, ef=8)
+        np.testing.assert_array_equal(greedy.indices, bfs.indices)
+        np.testing.assert_array_equal(greedy.distances, bfs.distances)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    def test_pool_parity(self, graph, probes, graph_points, pool):
+        serial = knn_join(probes, graph_points, 6, method="graph-bfs",
+                          graph=graph, ef=48)
+        sharded = knn_join(probes, graph_points, 6, method="graph-bfs",
+                           graph=graph, ef=48, workers=2, pool=pool)
+        np.testing.assert_array_equal(serial.indices, sharded.indices)
+        np.testing.assert_array_equal(serial.distances, sharded.distances)
+        assert (serial.stats.level2_distance_computations
+                == sharded.stats.level2_distance_computations)
+
+    def test_save_load_mmap_answers_bit_identically(self, tmp_path, graph,
+                                                    probes, graph_points):
+        fresh = graph_knn_search(graph, probes, graph_points, 7, ef=64)
+        graph.save(tmp_path / "g")
+        loaded = KNNGraph.load(tmp_path / "g", mmap=True)
+        again = graph_knn_search(loaded, probes, graph_points, 7, ef=64)
+        np.testing.assert_array_equal(fresh.indices, again.indices)
+        np.testing.assert_array_equal(fresh.distances, again.distances)
+        assert (fresh.stats.level2_distance_computations
+                == again.stats.level2_distance_computations)
+
+    def test_repeat_search_is_identical(self, graph, probes,
+                                        graph_points):
+        a = graph_knn_search(graph, probes, graph_points, 5, ef=32)
+        b = graph_knn_search(graph, probes, graph_points, 5, ef=32)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestTombstones:
+    def test_dead_rows_are_traversed_but_never_returned(self,
+                                                        graph_points):
+        index = Index(graph_points, seed=3)
+        graph = build_graph(index, GraphConfig(graph_k=8, sample=32))
+        dead_rows = [int(graph.node_ids[0]), int(graph.node_ids[50])]
+        index.remove(dead_rows)
+        result = graph_knn_search(graph, graph_points[:30],
+                                  np.asarray(index.targets), 10,
+                                  ef=64, dead_mask=index.tombstones)
+        assert not np.isin(dead_rows, result.indices).any()
+
+
+class TestContract:
+    def test_registry_caps(self):
+        for name in ("graph-bfs", "graph-greedy"):
+            spec = get_engine(name)
+            assert spec.caps.approximate
+            assert spec.caps.result_kind == "knn"
+            assert not spec.caps.supports_prepared_index
+            assert "graph" in spec.required_options
+
+    def test_missing_graph_option_fails_fast(self, graph_points):
+        with pytest.raises(ValidationError, match="graph"):
+            knn_join(graph_points[:10], graph_points, 5,
+                     method="graph-bfs")
+
+    def test_rejects_non_graph_option(self, graph_points):
+        with pytest.raises(ValidationError):
+            graph_knn_search("not a graph", graph_points[:2],
+                             graph_points, 3)
+
+    def test_rejects_dimension_mismatch(self, graph, graph_points):
+        with pytest.raises(ValidationError):
+            graph_knn_search(graph, graph_points[:2, :4],
+                             graph_points[:, :4], 3)
+
+    def test_rejects_foreign_target_set(self, graph, graph_points):
+        with pytest.raises(ValidationError):
+            graph_knn_search(graph, graph_points[:2],
+                             graph_points[:100], 3)
+
+    def test_stats_mark_result_approximate(self, graph, probes,
+                                           graph_points):
+        result = graph_knn_search(graph, probes, graph_points, 5, ef=32)
+        assert result.stats.extra["approximate"] is True
+        assert result.stats.extra["ef"] == 32
+        # Funnel safety: admissions never exceed distance evaluations.
+        assert (result.stats.predicate_accepted_pairs
+                <= result.stats.level2_distance_computations)
+        assert result.stats.level2_distance_computations > 0
+        assert "graph walk" in result.method

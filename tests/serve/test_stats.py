@@ -104,3 +104,60 @@ class TestRendering:
     def test_custom_title(self, collector):
         text = collector.snapshot().table("my serving run")
         assert text.splitlines()[0] == "my serving run"
+
+
+class TestRoutes:
+    """Per-route breakdown: exact vs the approximate graph tier."""
+
+    @pytest.fixture
+    def routed(self):
+        collector = StatsCollector()
+        for latency in (0.001, 0.002, 0.003):
+            collector.record_served(latency, route="exact")
+        for latency in (0.010, 0.020):
+            collector.record_served(latency, route="approx")
+        return collector
+
+    def test_route_counters(self, routed):
+        stats = routed.snapshot()
+        assert stats.served == 5
+        assert stats.route_exact == 3
+        assert stats.route_approx == 2
+
+    def test_per_route_percentiles(self, routed):
+        stats = routed.snapshot()
+        assert stats.latency_percentile(100, route="exact") \
+            == pytest.approx(0.003)
+        assert stats.latency_percentile(0, route="approx") \
+            == pytest.approx(0.010)
+        # The aggregate pools both routes.
+        assert stats.latency_percentile(100) == pytest.approx(0.020)
+        assert len(stats.latencies_exact_s) == 3
+        assert len(stats.latencies_approx_s) == 2
+
+    def test_default_route_is_exact(self):
+        collector = StatsCollector()
+        collector.record_served(0.004)
+        stats = collector.snapshot()
+        assert stats.route_exact == 1
+        assert stats.route_approx == 0
+
+    def test_invalid_route_rejected(self):
+        with pytest.raises(ValueError):
+            StatsCollector().record_served(0.001, route="magic")
+
+    def test_idle_route_aggregates_are_nan(self):
+        stats = StatsCollector().snapshot()
+        assert math.isnan(stats.latency_percentile(50, route="exact"))
+        assert math.isnan(stats.latency_percentile(50, route="approx"))
+
+    def test_rendering_includes_routes(self, routed):
+        stats = routed.snapshot()
+        text = stats.table()
+        assert "served exact route" in text
+        assert "served approx route" in text
+        assert "approx p50/p99 ms" in text
+        info = stats.describe()
+        for key in ("route_exact", "route_approx", "exact_p50_ms",
+                    "approx_p99_ms"):
+            assert key in info

@@ -96,7 +96,7 @@ class TestCommands:
         assert "60 served / 0 rejected / 0 expired" in text
         assert "index-cache hit rate %" in text
         assert "latency p99 ms" in text
-        assert "served answers equal direct knn_join: True" in text
+        assert "exact-routed answers equal direct knn_join: True" in text
 
     def test_adaptive_partial_regime(self):
         code, text = _run(["adaptive", "--n", "500", "--dim", "4",
@@ -242,3 +242,118 @@ class TestWorkloadCommands:
                            "-k", "5"])
         assert code == 0
         assert "outliers above every inlier score:" in text
+
+
+class TestGraphCLI:
+    @pytest.fixture
+    def index_dir(self, tmp_path):
+        path = tmp_path / "idx"
+        code, _ = _run(["index", "build", "--n", "400", "--dim", "8",
+                        "--seed", "5", "--out", str(path)])
+        assert code == 0
+        return path
+
+    @pytest.fixture
+    def graph_dir(self, index_dir):
+        code, text = _run(["graph", "build", "--index-dir",
+                           str(index_dir), "-k", "5",
+                           "--sample", "64", "--n-probe", "32"])
+        assert code == 0
+        assert "built graph" in text
+        assert "recall@5 curve" in text
+        return index_dir
+
+    def test_build_and_inspect(self, graph_dir):
+        code, text = _run(["graph", "inspect", str(graph_dir)])
+        assert code == 0
+        for needle in ("fingerprint", "graph_k", "iteration_updates",
+                       "recall curve", "node_ids"):
+            assert needle in text
+
+    def test_inspect_without_artifact_guides(self, index_dir):
+        code, text = _run(["graph", "inspect", str(index_dir)])
+        assert code == 2
+        assert "graph build --index-dir" in text
+
+    def test_run_graph_engine(self, graph_dir):
+        code, text = _run(["run", "--index-dir", str(graph_dir),
+                           "--method", "graph-bfs", "--n", "100",
+                           "--seed", "5", "-k", "5", "--check"])
+        assert code == 0
+        assert "graph walk" in text
+        assert "approximate graph route: ef=" in text
+        assert "measured recall@5 vs brute force:" in text
+
+    def test_run_with_recall_target_uses_calibrated_ef(self, graph_dir):
+        code, text = _run(["run", "--index-dir", str(graph_dir),
+                           "--method", "graph-bfs", "--n", "60",
+                           "-k", "5", "--recall-target", "0.9"])
+        assert code == 0
+        assert "recall target 0.90" in text
+
+    def test_missing_index_dir_guides(self):
+        code, text = _run(["run", "--n", "100", "--dim", "8",
+                           "--method", "graph-bfs", "-k", "5"])
+        assert code == 2
+        assert "graph build" in text
+
+    def test_missing_artifact_guides(self, index_dir):
+        code, text = _run(["run", "--index-dir", str(index_dir),
+                           "--method", "graph-bfs", "--n", "100",
+                           "-k", "5"])
+        assert code == 2
+        assert "has no graph artifact" in text
+        assert "graph build --index-dir" in text
+
+    def test_recall_target_rejected_for_exact_methods(self):
+        code, text = _run(["run", "--n", "100", "--dim", "8",
+                           "--method", "sweet", "--recall-target",
+                           "0.9"])
+        assert code == 2
+        assert "--recall-target only applies to" in text
+
+    def test_recall_target_validated(self):
+        code, text = _run(["run", "--n", "100", "--dim", "8",
+                           "--method", "graph-bfs", "--recall-target",
+                           "1.5"])
+        assert code == 2
+        assert "(0, 1]" in text
+
+    def test_compare_prints_recall_note(self):
+        code, text = _run(["compare", "--n", "300", "--dim", "8",
+                           "-k", "5", "--recall-target", "0.9",
+                           "--methods", "brute,graph-bfs"])
+        assert code == 0
+        assert "NOTE: graph-bfs is approximate" in text
+        assert "measured recall@5" in text
+        assert "WARNING" not in text
+
+    def test_compare_requires_recall_target(self):
+        code, text = _run(["compare", "--n", "300", "--dim", "8",
+                           "-k", "5", "--methods", "brute,graph-bfs"])
+        assert code == 2
+        assert "needs --recall-target" in text
+
+    def test_serve_bench_recall_mix(self, graph_dir):
+        code, text = _run(["serve-bench", "--index-dir", str(graph_dir),
+                           "--n", "400", "--dim", "8", "--seed", "5",
+                           "--requests", "40", "-k", "5",
+                           "--recall-target", "0.9", "--check"])
+        assert code == 0
+        assert "recall mix: every 2. request" in text
+        assert "served approx route" in text
+        assert "exact-routed answers equal direct knn_join: True" in text
+        assert "approx-routed measured recall@5:" in text
+
+    def test_serve_bench_recall_needs_artifact(self, index_dir):
+        code, text = _run(["serve-bench", "--index-dir", str(index_dir),
+                           "--n", "400", "--dim", "8",
+                           "--recall-target", "0.9"])
+        assert code == 2
+        assert "has no graph artifact" in text
+
+    def test_serve_bench_recall_needs_index_dir(self):
+        code, text = _run(["serve-bench", "--n", "200", "--dim", "8",
+                           "--recall-target", "0.9"])
+        assert code == 2
+        assert "--index-dir" in text
