@@ -6,10 +6,18 @@ evaluation (Section V).  Runs are memoised in
 (e.g. Fig. 9 and Table IV) execute it once.
 
 The emitted tables land in ``benchmarks/results/`` and are the source
-of the paper-vs-measured record in EXPERIMENTS.md.
+of the paper-vs-measured record in EXPERIMENTS.md.  At session end
+every ``BENCH_*.json`` payload is ingested into the append-only
+``TRAJECTORY.jsonl`` (deduplicated per commit), so each benchmark run
+extends the history ``python -m repro bench-gate`` gates against.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def pytest_configure(config):
@@ -17,6 +25,26 @@ def pytest_configure(config):
     # plain pytest the tests still pass (they just also run the body).
     config.addinivalue_line(
         "markers", "paper_experiment(name): reproduces a paper artefact")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Feed fresh bench payloads into the regression-gate trajectory."""
+    if exitstatus != 0 or not RESULTS_DIR.is_dir():
+        return
+    from repro.obs.baseline import (TRAJECTORY_NAME, append_trajectory,
+                                    bench_name, ingest_payload)
+
+    records = []
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        records.extend(ingest_payload(bench_name(path), payload))
+    written = append_trajectory(RESULTS_DIR / TRAJECTORY_NAME, records)
+    if written:
+        print("\ntrajectory: appended %d metric record(s) -> %s"
+              % (len(written), RESULTS_DIR / TRAJECTORY_NAME))
 
 
 @pytest.fixture(scope="session")

@@ -52,6 +52,25 @@ Commands
     (``--events-out``) and the filtering-funnel summary table.
     ``--check-funnel`` turns the funnel invariant (level-2 survivors
     <= level-1 survivors <= candidates) into the exit code.
+``explain``
+    One KNN join with ``explain=True``: prints the per-query
+    :class:`~repro.obs.audit.QueryAudit` (plan knobs, shard fan-out,
+    funnel counts, span timings); ``--json FILE`` appends it as JSONL.
+``bench-gate``
+    The benchmark regression gate (:mod:`repro.obs.baseline`):
+    compares fresh ``BENCH_*.json`` payloads against the committed
+    ``TRAJECTORY.jsonl`` history with noise-tolerant thresholds and
+    exits nonzero on regression; ``--ingest`` appends instead of
+    gating (baseline seeding).
+``obs report``
+    Render a JSONL event log (``trace --events-out``) as tables: span
+    timings, the filtering funnel, serving metrics; ``--slo`` also
+    evaluates SLOs against the log's final metrics snapshot and turns
+    breaches into the exit code.
+
+``serve-bench --slo NAME=BOUND`` (repeatable) attaches live SLO
+monitors to the benched server and exits nonzero when any objective is
+breached at the end of the run.
 
 The ``--method`` choices come straight from the engine registry
 (:func:`repro.engine.engine_names`), so engines registered by plugins
@@ -244,6 +263,12 @@ def build_parser():
     serve.add_argument("--check", action="store_true",
                        help="verify served answers against a direct "
                             "knn_join of the same queries")
+    serve.add_argument("--slo", action="append", default=[],
+                       metavar="NAME=BOUND",
+                       help="attach an SLO monitor (repeatable), e.g. "
+                            "--slo p99_latency_s=0.25 "
+                            "--slo rejection_rate=0.01; any breach "
+                            "makes the exit code nonzero")
 
     adaptive = sub.add_parser(
         "adaptive", help="show the Fig. 8 decisions for a problem shape")
@@ -274,6 +299,59 @@ def build_parser():
     _workers_arg(novelty)
     novelty.add_argument("--outliers", type=int, default=20,
                          help="far-away outlier points to inject")
+
+    explain = sub.add_parser(
+        "explain", help="run one join with explain=True and print the "
+                        "query audit")
+    _data_args(explain)
+    _method_arg(explain)
+    _eps_arg(explain)
+    _workers_arg(explain)
+    explain.add_argument("--json", default=None, metavar="FILE",
+                         help="append the audit as a JSONL record")
+
+    gate = sub.add_parser(
+        "bench-gate",
+        help="gate fresh BENCH_*.json payloads against the stored "
+             "benchmark trajectory")
+    gate.add_argument("--results-dir", default=None, metavar="DIR",
+                      help="directory holding BENCH_*.json and the "
+                           "trajectory (default: benchmarks/results)")
+    gate.add_argument("--trajectory", default=None, metavar="FILE",
+                      help="trajectory JSONL file (default: "
+                           "TRAJECTORY.jsonl in the results dir)")
+    gate.add_argument("--candidate", action="append", default=[],
+                      metavar="FILE",
+                      help="candidate payload file(s) to gate "
+                           "(default: every BENCH_*.json in the "
+                           "results dir)")
+    gate.add_argument("--ingest", action="store_true",
+                      help="append the candidates to the trajectory "
+                           "instead of gating (baseline seeding)")
+    gate.add_argument("--rel-tol", type=float, default=0.5,
+                      help="relative drift from the history median "
+                           "tolerated before a value counts as worse "
+                           "(default 0.5 = 50%%)")
+    gate.add_argument("--abs-floor", type=float, default=0.05,
+                      help="minimum absolute delta for a regression "
+                           "(default 0.05)")
+    gate.add_argument("--all", action="store_true", dest="show_all",
+                      help="print every gated metric, not only "
+                           "regressions")
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability reports over exported telemetry")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="render a JSONL event log (trace --events-out) "
+                       "as span/funnel/serve tables")
+    report.add_argument("--events", required=True, metavar="FILE",
+                        help="JSONL event log to read")
+    report.add_argument("--slo", action="append", default=[],
+                        metavar="NAME=BOUND",
+                        help="also evaluate SLOs against the log's "
+                             "final metrics snapshot (repeatable); "
+                             "breaches set a nonzero exit code")
 
     trace = sub.add_parser(
         "trace", help="run another command with tracing enabled")
@@ -899,12 +977,19 @@ def cmd_novelty(args, out):
 
 
 def cmd_serve_bench(args, out):
+    from .errors import ValidationError
     from .obs import current_tracer
+    from .obs.watch import SloSpec
     from .serve import KNNServer, run_open_loop
 
     code = _check_recall_target(args, out)
     if code:
         return code
+    try:
+        slos = tuple(SloSpec.parse(text) for text in args.slo)
+    except ValidationError as exc:
+        out.write("%s\n" % exc)
+        return 2
     if args.recall_target is not None:
         from .graph.storage import is_graph_dir
 
@@ -933,7 +1018,7 @@ def cmd_serve_bench(args, out):
                             if args.deadline_ms is not None else None),
         seed=args.seed, device=device, workers=args.workers,
         pool=args.pool, index_dir=args.index_dir,
-        tracer=current_tracer())
+        tracer=current_tracer(), slos=slos)
     deadline_note = ("%.0f ms" % args.deadline_ms
                      if args.deadline_ms is not None else "none")
     out.write("serve-bench: %d single-point requests on %s, k=%d, "
@@ -959,6 +1044,16 @@ def cmd_serve_bench(args, out):
                  len(report.errors), report.wall_s, report.served_rate))
     out.write(report.stats.table(
         "serving stats: %s, %d requests" % (name, args.requests)))
+    slo_code = 0
+    if slos:
+        breaches = [status for status in report.stats.slo if not status.ok]
+        for status in breaches:
+            out.write("SLO BREACH: %s (measured %.6g)\n"
+                      % (status.spec.describe(), status.value))
+        if breaches:
+            slo_code = 1
+        else:
+            out.write("all %d SLO objective(s) hold\n" % len(slos))
     if args.check and report.responses:
         direct = knn_join(queries, points, args.k, method=args.method,
                           seed=args.seed,
@@ -993,7 +1088,148 @@ def cmd_serve_bench(args, out):
                          len(approx_pairs)))
             if recall < args.recall_target:
                 code = 1
+        return max(code, slo_code)
+    return slo_code
+
+
+def cmd_explain(args, out):
+    spec = get_engine(args.method)
+    options, code = _range_options(args.method, args.eps, out)
+    if code:
         return code
+    points, device, name = _load_points(args)
+    result = knn_join(points, points, args.k, method=args.method,
+                      seed=args.seed,
+                      device=device if spec.caps.needs_device else None,
+                      workers=args.workers, pool=args.pool,
+                      explain=True, **options)
+    audit = result.audit
+    out.write(audit.table("query audit: %s on %s" % (result.method, name)))
+    if args.json:
+        from .obs import write_jsonl
+
+        write_jsonl(args.json, [audit.to_dict()])
+        out.write("audit record -> %s\n" % args.json)
+    return 0
+
+
+def cmd_bench_gate(args, out):
+    import json as json_module
+
+    from .obs import baseline as baseline_module
+
+    results_dir = args.results_dir or os.path.join("benchmarks", "results")
+    trajectory = args.trajectory or os.path.join(
+        results_dir, baseline_module.TRAJECTORY_NAME)
+    candidates = list(args.candidate)
+    if not candidates:
+        if os.path.isdir(results_dir):
+            candidates = sorted(
+                os.path.join(results_dir, fname)
+                for fname in os.listdir(results_dir)
+                if fname.startswith("BENCH_") and fname.endswith(".json"))
+        if not candidates:
+            out.write("no BENCH_*.json payloads under %s; run a benchmark "
+                      "or pass --candidate FILE\n" % results_dir)
+            return 2
+    records = []
+    for path in candidates:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+        records.extend(baseline_module.ingest_payload(
+            baseline_module.bench_name(path), payload))
+
+    if args.ingest:
+        written = baseline_module.append_trajectory(trajectory, records)
+        out.write("ingested %d/%d metric records from %d payload(s) "
+                  "-> %s\n" % (len(written), len(records),
+                               len(candidates), trajectory))
+        return 0
+
+    history = baseline_module.load_trajectory(trajectory)
+    if not history:
+        out.write("trajectory %s is empty; seed it first with "
+                  "`python -m repro bench-gate --ingest`\n" % trajectory)
+        return 2
+    report = baseline_module.gate(records, history,
+                                  rel_tol=args.rel_tol,
+                                  abs_floor=args.abs_floor)
+    out.write(report.table("bench-gate vs %s" % trajectory,
+                           all_rows=args.show_all))
+    if report.regressions:
+        out.write("REGRESSION: %d metric(s) worse than the stored "
+                  "baseline\n" % len(report.regressions))
+        return 1
+    out.write("gate passed: no regressions against %d stored record(s)\n"
+              % len(history))
+    return 0
+
+
+def cmd_obs(args, out):
+    # Only `obs report` exists today; the subparser enforces that.
+    import json as json_module
+
+    from .obs.funnel import FUNNEL_STAGES, funnel_table
+    from .obs.watch import SloSpec, SnapshotReader, evaluate_slos, slo_table
+
+    try:
+        specs = tuple(SloSpec.parse(text) for text in args.slo)
+    except Exception as exc:
+        out.write("%s\n" % exc)
+        return 2
+    if not os.path.exists(args.events):
+        out.write("no event log at %s (produce one with `python -m repro "
+                  "trace --events-out %s ...`)\n"
+                  % (args.events, args.events))
+        return 2
+    spans, events, metrics = {}, 0, {}
+    with open(args.events, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json_module.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                entry = spans.setdefault(record.get("name"),
+                                         {"count": 0, "total_s": 0.0})
+                entry["count"] += 1
+                entry["total_s"] += record.get("duration_s") or 0.0
+            elif kind in ("instant", "event", "query_audit"):
+                events += 1
+            elif kind == "metrics":
+                # Last snapshot wins: it holds the run's final totals.
+                metrics = record.get("metrics", {})
+    rows = [[name, entry["count"], round(entry["total_s"] * 1e3, 3)]
+            for name, entry in sorted(spans.items(),
+                                      key=lambda kv: -kv[1]["total_s"])]
+    if rows:
+        out.write(format_table("span timings: %s" % args.events,
+                               ["span", "count", "total ms"], rows))
+    counts = {stage: int(metrics.get("funnel." + stage, 0))
+              for stage in FUNNEL_STAGES}
+    if counts.get("candidates"):
+        out.write(funnel_table(counts))
+    serve_rows = [[name, value if not isinstance(value, dict)
+                   else "n=%s p99=%.6g" % (value.get("count"),
+                                           value.get("p99", float("nan")))]
+                  for name, value in sorted(metrics.items())
+                  if name.startswith(("serve.", "slo."))]
+    if serve_rows:
+        out.write(format_table("serving metrics",
+                               ["metric", "value"], serve_rows))
+    out.write("%d span record(s), %d event(s), %d metric(s)\n"
+              % (sum(entry["count"] for entry in spans.values()),
+                 events, len(metrics)))
+    if specs:
+        statuses = evaluate_slos(specs, SnapshotReader(metrics))
+        out.write(slo_table(statuses))
+        breaches = [status for status in statuses if not status.ok]
+        for status in breaches:
+            out.write("SLO BREACH: %s (measured %.6g)\n"
+                      % (status.spec.describe(), status.value))
+        if breaches:
+            return 1
     return 0
 
 
@@ -1038,7 +1274,9 @@ _COMMANDS = {"run": cmd_run, "compare": cmd_compare,
              "datasets": cmd_datasets, "adaptive": cmd_adaptive,
              "plan": cmd_plan, "serve-bench": cmd_serve_bench,
              "classify": cmd_classify, "novelty": cmd_novelty,
-             "index": cmd_index, "graph": cmd_graph, "trace": cmd_trace}
+             "index": cmd_index, "graph": cmd_graph, "trace": cmd_trace,
+             "explain": cmd_explain, "bench-gate": cmd_bench_gate,
+             "obs": cmd_obs}
 
 
 def main(argv=None, out=None):

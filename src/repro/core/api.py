@@ -67,7 +67,8 @@ def _validate(queries, targets, k):
 
 
 def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
-             query_batch_size=None, workers=None, pool=None, **options):
+             query_batch_size=None, workers=None, pool=None, explain=False,
+             **options):
     """Find the k nearest targets of every query point.
 
     Parameters
@@ -97,6 +98,10 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
         ``"process"``, ``"thread"`` or ``"serial"``).  Defaults follow
         ``REPRO_WORKERS``/``REPRO_POOL``; sharded runs are bit-for-bit
         identical to serial ones.
+    explain:
+        Attach a :class:`~repro.obs.audit.QueryAudit` to the result
+        (``result.audit``): plan knobs, shard fan-out, per-stage
+        funnel counts and per-span timings for this exact call.
     options:
         Forwarded to the engine (e.g. ``force_filter=...``,
         ``threads_per_query=...`` for ``"sweet"``).
@@ -112,7 +117,7 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
         device = device or tesla_k20c()
     return execute(spec, queries, targets, k, rng=rng, device=device,
                    query_batch_size=query_batch_size, workers=workers,
-                   pool=pool, **options)
+                   pool=pool, explain=explain, **options)
 
 
 class SweetKNN:

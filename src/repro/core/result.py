@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -104,16 +105,31 @@ class JoinStats:
             **self.extra,
         }
 
-    def publish(self, registry):
+    def publish(self, registry, force=False):
         """Publish this join's counters into a metrics registry.
 
         Writes the ``join.*`` work counters and the ``funnel.*`` stage
         counters (see :mod:`repro.obs.funnel`) — the single
         accumulation path the tracer, the bench harness and the CLI
         ``trace`` command all read from.
+
+        Idempotent per registry: a second publish of the same stats
+        object into the same registry is a no-op, so retry paths and
+        explain/audit re-assembly cannot double-count.  ``force=True``
+        republishes anyway (deliberate re-accounting only).  The guard
+        holds registries weakly and is dropped on pickling, so stats
+        that cross a process-pool boundary publish normally on the
+        other side.
         """
         from ..obs.funnel import funnel_from_stats
 
+        published = self.__dict__.get("_published_registries")
+        if published is None:
+            published = weakref.WeakSet()
+            self.__dict__["_published_registries"] = published
+        if registry in published and not force:
+            return registry
+        published.add(registry)
         registry.counter("join.runs").inc()
         registry.counter("join.queries").inc(self.n_queries)
         for name in _SUMMED_FIELDS[1:]:
@@ -121,6 +137,16 @@ class JoinStats:
         for stage, value in funnel_from_stats(self).items():
             registry.counter("funnel." + stage).inc(value)
         return registry
+
+    def __getstate__(self):
+        # WeakSets don't pickle; the guard is per-process anyway — the
+        # receiving side's registries are different objects.
+        state = dict(self.__dict__)
+        state.pop("_published_registries", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 @dataclass(frozen=True)
@@ -161,6 +187,9 @@ class KNNResult:
         join ran on the simulated GPU.
     method:
         Human-readable name of the algorithm that produced the result.
+    audit:
+        Optional :class:`~repro.obs.audit.QueryAudit` attached when the
+        join ran with ``explain=True``.
     """
 
     distances: np.ndarray
@@ -168,6 +197,7 @@ class KNNResult:
     stats: JoinStats
     profile: object = None
     method: str = ""
+    audit: object = None
 
     @property
     def k(self):
@@ -241,6 +271,9 @@ class RangeResult:
         joins run on the host, so this stays ``None``).
     method:
         Human-readable name of the algorithm that produced the result.
+    audit:
+        Optional :class:`~repro.obs.audit.QueryAudit` attached when the
+        join ran with ``explain=True``.
     """
 
     indptr: np.ndarray
@@ -249,6 +282,7 @@ class RangeResult:
     stats: JoinStats
     profile: object = None
     method: str = ""
+    audit: object = None
 
     @property
     def n_queries(self):

@@ -32,6 +32,8 @@ the serial run.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from .. import obs
@@ -48,7 +50,7 @@ __all__ = ["execute"]
 
 def execute(spec, queries, targets, k, rng=None, device=None,
             query_batch_size=None, workers=None, pool=None, index=None,
-            **options):
+            explain=False, **options):
     """Run ``spec`` on the join, batching oversized query sets.
 
     Parameters
@@ -57,6 +59,13 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         A registered :class:`~repro.engine.base.EngineSpec`.
     rng, device:
         Landmark RNG and (resolved) device; forwarded via the context.
+    explain:
+        Assemble a :class:`~repro.obs.audit.QueryAudit` — plan knobs,
+        shard fan-out, funnel counts, per-span timings — and attach it
+        as ``result.audit``.  Runs under a private tracer when no
+        ambient one is active, so explain works without any tracing
+        setup; the published counters are guarded by the idempotent
+        ``JoinStats.publish``, so auditing never double-counts.
     query_batch_size:
         Force a tile size (tests, experiments).  ``None`` asks the
         planner, which only batches prepared-index device engines whose
@@ -80,27 +89,76 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         intercepted where the batched path owns the preparation.
     """
     n_q = len(queries)
-    with obs.span("engine.execute", engine=spec.name, n_queries=int(n_q),
-                  n_targets=int(len(targets)), k=int(k)) as sp:
-        result = _execute(spec, queries, targets, k, rng=rng, device=device,
-                          query_batch_size=query_batch_size, workers=workers,
-                          pool=pool, index=index, **options)
-        sp.annotate(method=result.method,
-                    saved_fraction=round(result.stats.saved_fraction, 4))
-        if result.profile is not None:
-            sp.annotate(sim_time_s=result.profile.sim_time_s)
+    with contextlib.ExitStack() as stack:
         tracer = obs.current_tracer()
-        if tracer is not None:
-            result.stats.publish(tracer.registry)
+        if explain and tracer is None:
+            # Explain needs span timings; give the call a private
+            # tracer when the caller didn't set one up.
+            from ..obs.tracer import Tracer
+            tracer = Tracer()
+            stack.enter_context(obs.use_tracer(tracer))
+        spans_before = len(tracer.finished_spans()) if explain else 0
+        with obs.span("engine.execute", engine=spec.name,
+                      n_queries=int(n_q), n_targets=int(len(targets)),
+                      k=int(k)) as sp:
+            result = _execute(spec, queries, targets, k, rng=rng,
+                              device=device,
+                              query_batch_size=query_batch_size,
+                              workers=workers, pool=pool, index=index,
+                              explain=explain, **options)
+            sp.annotate(method=result.method,
+                        saved_fraction=round(result.stats.saved_fraction, 4))
             if result.profile is not None:
-                result.profile.publish(tracer.registry)
-                tracer.add_artifact("pipeline_profile", result.profile)
+                sp.annotate(sim_time_s=result.profile.sim_time_s)
+            if tracer is not None:
+                result.stats.publish(tracer.registry)
+                if result.profile is not None:
+                    result.profile.publish(tracer.registry)
+                    tracer.add_artifact("pipeline_profile", result.profile)
+        if explain:
+            result.audit = _assemble_audit(
+                spec, result, device, options,
+                tracer.finished_spans()[spans_before:])
         return result
+
+
+def _assemble_audit(spec, result, device, options, spans):
+    """Build the :class:`~repro.obs.audit.QueryAudit` for one run."""
+    from ..obs.audit import QueryAudit, span_timings
+    from ..obs.funnel import funnel_from_stats
+
+    stats = result.stats
+    extra = stats.extra
+    shards = tuple(extra.pop("shard_detail", ()))
+    plan_info = {
+        "mq": stats.mq, "mt": stats.mt,
+        "query_batches": extra.get("query_batches", 1),
+        "workers": extra.get("workers", 1),
+        "shards": extra.get("shards", 1),
+        "pool": extra.get("pool", "serial"),
+    }
+    if "zero_copy" in extra:
+        plan_info["zero_copy"] = extra["zero_copy"]
+    if device is not None:
+        plan_info["device"] = getattr(device, "name", str(device))
+    audit_options = {
+        key: value for key, value in options.items()
+        if key != "plan"
+        and isinstance(value, (bool, int, float, str, type(None)))}
+    ef = audit_options.get("ef")
+    return QueryAudit(
+        method=result.method or spec.name,
+        k=int(stats.k), n_queries=int(stats.n_queries),
+        n_targets=int(stats.n_targets), dim=int(stats.dim),
+        ef=int(ef) if ef is not None else None,
+        plan=plan_info, options=audit_options,
+        counters=stats.summary(), funnel=funnel_from_stats(stats),
+        shards=shards, timings=span_timings(spans))
 
 
 def _execute(spec, queries, targets, k, rng=None, device=None,
              query_batch_size=None, workers=None, pool=None, index=None,
-             **options):
+             explain=False, **options):
     n_q = len(queries)
     missing = [name for name in spec.required_options
                if options.get(name) is None]
@@ -123,7 +181,7 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
             return _execute_sharded(spec, queries, targets, k, shard_plan,
                                     rng=rng, device=device,
                                     prepared_plan=prepared_plan,
-                                    index=index, **options)
+                                    index=index, explain=explain, **options)
 
     if rows >= n_q:
         ctx = ExecutionContext(rng=rng, device=device, plan=prepared_plan)
@@ -164,7 +222,8 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
 
 
 def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
-                     device=None, prepared_plan=None, index=None, **options):
+                     device=None, prepared_plan=None, index=None,
+                     explain=False, **options):
     """Fan the query tiles across the worker pool; merge in tile order.
 
     Tiles are dealt round-robin into one task per worker, so the input
@@ -250,6 +309,15 @@ def _execute_sharded(spec, queries, targets, k, shard_plan, rng=None,
     merged.stats.extra["zero_copy"] = handle is not None
     merged.stats.extra["shard_wall_s"] = [round(outcome.wall_s, 6)
                                           for outcome in outcomes]
+    if explain:
+        from ..obs.funnel import funnel_from_stats
+        merged.stats.extra["shard_detail"] = [
+            {"shard": outcome.index, "start": outcome.start,
+             "stop": outcome.stop, "worker": outcome.worker,
+             "cache_hit": outcome.cache_hit,
+             "wall_s": round(outcome.wall_s, 6),
+             "funnel": funnel_from_stats(outcome.result.stats)}
+            for outcome in outcomes]
     return merged
 
 

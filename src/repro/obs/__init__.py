@@ -18,6 +18,13 @@ instead of keeping private statistics silos.
 * :mod:`repro.obs.funnel` — the filtering funnel (candidates →
   level-1 survivors → level-2 survivors → exact distances) and its
   monotonicity check.
+* :mod:`repro.obs.watch` — rolling windowed metric views over a
+  registry plus declarative SLO monitors (``SloSpec``/``SloMonitor``)
+  the serving layer evaluates continuously.
+* :mod:`repro.obs.baseline` — the append-only benchmark trajectory
+  store and the ``bench-gate`` regression gate over it.
+* :mod:`repro.obs.audit` — the per-query ``QueryAudit`` record behind
+  ``explain=True``.
 
 CLI: ``python -m repro trace <command> ...`` runs any subcommand under
 a recording tracer and writes ``trace.json`` plus the funnel table.
@@ -40,6 +47,8 @@ __all__ = [
     "to_chrome_trace", "write_chrome_trace",
     "FUNNEL_STAGES", "funnel_from_stats", "funnel_counts", "funnel_table",
     "check_funnel",
+    "RollingWindow", "MetricWindows", "SloSpec", "SloStatus", "SloMonitor",
+    "evaluate_slos", "QueryAudit",
 ]
 
 # Exporters and the funnel load lazily: they reach into bench/table
@@ -55,6 +64,13 @@ _LAZY = {
     "funnel_counts": ".funnel",
     "funnel_table": ".funnel",
     "check_funnel": ".funnel",
+    "RollingWindow": ".watch",
+    "MetricWindows": ".watch",
+    "SloSpec": ".watch",
+    "SloStatus": ".watch",
+    "SloMonitor": ".watch",
+    "evaluate_slos": ".watch",
+    "QueryAudit": ".audit",
 }
 
 

@@ -15,11 +15,18 @@ Metric names are dotted strings; the taxonomy is documented in
 ``docs/OBSERVABILITY.md``.  All metric types are thread-safe.
 Empty-sample aggregates (mean, percentiles, max of a histogram that
 never observed a value) are ``float("nan")``, never an exception.
+
+Registries support *observers* (:meth:`MetricsRegistry.subscribe`):
+every recorded value — a counter increment, a gauge set, a histogram
+sample — is forwarded to each subscribed callback as
+``(name, kind, value)``.  The windowed views of
+:mod:`repro.obs.watch` layer rolling time-bucketed aggregates on top
+of this hook without the instrumented code changing at all.
 """
 
 from __future__ import annotations
 
-import math
+import random
 import threading
 
 import numpy as np
@@ -28,20 +35,29 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 _NAN = float("nan")
 
+#: Reservoir capacity of a :class:`Histogram`.  Long-lived servers
+#: observe unbounded sample streams; the reservoir bounds memory while
+#: keeping ``count``/``total``/``mean``/``max`` exact and percentiles
+#: within sampling tolerance.
+DEFAULT_RESERVOIR_SIZE = 4096
+
 
 class Counter:
     """A monotonically increasing integer counter."""
 
     kind = "counter"
 
-    def __init__(self, name):
+    def __init__(self, name, observers=None):
         self.name = name
         self._lock = threading.Lock()
         self._value = 0
+        self._observers = observers
 
     def inc(self, n=1):
+        n = int(n)
         with self._lock:
-            self._value += int(n)
+            self._value += n
+        _notify(self._observers, self.name, self.kind, n)
         return self
 
     @property
@@ -57,12 +73,14 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name):
+    def __init__(self, name, observers=None):
         self.name = name
         self._value = _NAN
+        self._observers = observers
 
     def set(self, value):
         self._value = float(value)
+        _notify(self._observers, self.name, self.kind, self._value)
         return self
 
     @property
@@ -74,55 +92,94 @@ class Gauge:
 
 
 class Histogram:
-    """A sample distribution keeping every observed value.
+    """A bounded-memory sample distribution.
 
-    Sample counts in this repository are bounded (per-request
-    latencies, per-batch occupancies, per-kernel times), so the
-    histogram keeps exact samples and computes exact percentiles
-    rather than bucketing.
+    ``count``, ``total``, ``mean`` and ``max`` are exact for every
+    observation ever made (running aggregates, Kahan-compensated sum).
+    The raw samples behind :meth:`values` / :meth:`percentile` live in
+    a fixed-size reservoir (Vitter's Algorithm R with a deterministic
+    per-name seed), so a histogram on a long-lived server holds at
+    most ``max_samples`` floats no matter how many observations arrive.
+    Below the cap the reservoir *is* the full sample set and
+    percentiles are exact — the usual case for per-run telemetry.
     """
 
     kind = "histogram"
 
-    def __init__(self, name):
+    def __init__(self, name, observers=None,
+                 max_samples=DEFAULT_RESERVOIR_SIZE):
         self.name = name
         self._lock = threading.Lock()
         self._values = []
+        self._observers = observers
+        self._max_samples = max(1, int(max_samples))
+        # Deterministic reservoir: the replacement stream is a pure
+        # function of the metric name and the observation sequence, so
+        # two runs that observe the same values in the same order keep
+        # byte-identical reservoirs.
+        self._rng = random.Random(name)
+        self._count = 0
+        self._total = 0.0
+        self._compensation = 0.0   # Kahan carry for the exact total
+        self._max = _NAN
 
     def observe(self, value):
+        value = float(value)
         with self._lock:
-            self._values.append(float(value))
+            self._count += 1
+            y = value - self._compensation
+            t = self._total + y
+            self._compensation = (t - self._total) - y
+            self._total = t
+            if not (value <= self._max):      # nan-safe running max
+                self._max = value
+            if len(self._values) < self._max_samples:
+                self._values.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._max_samples:
+                    self._values[slot] = value
+        _notify(self._observers, self.name, self.kind, value)
         return self
 
     @property
     def count(self):
-        return len(self._values)
+        """Exact observation count (not the reservoir size)."""
+        return self._count
 
     @property
     def total(self):
-        with self._lock:
-            return math.fsum(self._values)
+        """Exact (compensated) sum of every observation."""
+        return self._total
+
+    @property
+    def reservoir_size(self):
+        """Samples currently retained (= ``count`` until the cap)."""
+        return len(self._values)
 
     def values(self):
-        """Snapshot of every observed sample, in observation order."""
+        """Snapshot of the retained samples.
+
+        Observation order (and the complete sample set) up to
+        ``max_samples`` observations; a uniform reservoir beyond.
+        """
         with self._lock:
             return tuple(self._values)
 
     @property
     def mean(self):
-        values = self.values()
-        return float(np.mean(values)) if values else _NAN
+        return self._total / self._count if self._count else _NAN
 
     @property
     def max(self):
-        values = self.values()
-        return max(values) if values else _NAN
+        return self._max if self._count else _NAN
 
     def percentile(self, q):
-        """Exact percentile of the samples (``q`` in [0, 100]).
+        """Percentile of the retained samples (``q`` in [0, 100]).
 
-        ``nan`` for the empty histogram — empty-sample aggregates never
-        raise.
+        Exact below the reservoir cap; a uniform-sample estimate
+        beyond it.  ``nan`` for the empty histogram — empty-sample
+        aggregates never raise.
         """
         values = self.values()
         if not values:
@@ -140,6 +197,13 @@ class Histogram:
         }
 
 
+def _notify(observers, name, kind, value):
+    if not observers:
+        return
+    for callback in tuple(observers):
+        callback(name, kind, value)
+
+
 class MetricsRegistry:
     """Get-or-create registry of named metrics.
 
@@ -154,12 +218,26 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics = {}
+        # Shared with every metric this registry creates; appending a
+        # callback makes it visible to existing instruments too.
+        self._observers = []
+
+    def subscribe(self, callback):
+        """Forward every recorded value to ``callback(name, kind, value)``.
+
+        Covers metrics created before and after the subscription.
+        Callbacks run on the recording thread, outside the metric's
+        lock; keep them cheap (the windowed views of
+        :mod:`repro.obs.watch` only bucket-accumulate).
+        """
+        self._observers.append(callback)
+        return callback
 
     def _get_or_create(self, kind, name):
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = self._TYPES[kind](name)
+                metric = self._TYPES[kind](name, observers=self._observers)
                 self._metrics[name] = metric
             elif metric.kind != kind:
                 raise ValueError(

@@ -1,0 +1,540 @@
+"""``repro.obs.watch`` — windowed metric views and live SLO monitors.
+
+PR 3's telemetry spine records; this module *watches*.  Three pieces:
+
+* :class:`RollingWindow` — a fixed number of time buckets over one
+  metric, giving recent-traffic aggregates (count, rate, percentiles)
+  instead of the lifetime totals a :class:`~repro.obs.metrics.Histogram`
+  accumulates.  Deterministic given an injected clock and a fixed
+  event sequence, so windowed behaviour is unit-testable.
+* :class:`MetricWindows` — subscribes to a
+  :class:`~repro.obs.metrics.MetricsRegistry` (the observer hook) and
+  maintains one rolling window per watched metric.  Instrumented code
+  does not change: everything that publishes into the registry is
+  windowed for free.
+* :class:`SloSpec` / :class:`SloMonitor` — a declarative service-level
+  objective set evaluated against the windows (live) or against a
+  metrics snapshot (post-hoc, e.g. ``python -m repro obs report`` on a
+  JSONL event log).  Breaches are counted back into the registry
+  (``slo.breaches``, ``slo.breach.<name>``) so the feedback loop is
+  itself observable.
+
+Known SLOs (``name`` of an :class:`SloSpec`; see docs/OBSERVABILITY.md):
+
+=========================  =============================================
+``p99_latency_s``          p99 request latency (s), both routes
+``p99_latency_exact_s``    p99 latency of the exact route
+``p99_latency_approx_s``   p99 latency of the approximate graph route
+``p50_latency_s``          median request latency (s)
+``rejection_rate``         admission-control rejections / submissions
+``error_rate``             request errors / submissions
+``min_recall``             floor on the mean calibrated recall
+                           estimate of approx-routed answers
+``funnel_efficiency``      floor on 1 - level2_survivors/candidates
+                           (the paper's "saved computations")
+``max_version_lag``        ceiling on the served graph's version lag
+=========================  =============================================
+
+Upper-bound SLOs (latency, rates, lag) breach when the measured value
+exceeds the bound; floor SLOs (``min_recall``, ``funnel_efficiency``)
+breach when it falls below.  An SLO whose signal has no samples yet
+(e.g. ``min_recall`` before any approximate traffic) holds vacuously.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["RollingWindow", "MetricWindows", "SloSpec", "SloStatus",
+           "SloMonitor", "evaluate_slos", "SnapshotReader", "KNOWN_SLOS"]
+
+_NAN = float("nan")
+
+#: Default window geometry: 60 s of history in 12 five-second buckets.
+DEFAULT_WINDOW_S = 60.0
+DEFAULT_BUCKETS = 12
+
+#: Per-bucket sample cap (reservoir) — bounds window memory the same
+#: way the histogram reservoir bounds lifetime memory.
+BUCKET_SAMPLE_CAP = 512
+
+
+class _Bucket:
+    __slots__ = ("epoch", "count", "total", "samples", "seen")
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.count = 0
+        self.total = 0.0
+        self.samples = []
+        self.seen = 0          # sample observations offered (for the
+        #                        reservoir; counter increments skip it)
+
+
+class RollingWindow:
+    """Time-bucketed rolling aggregates over one metric.
+
+    ``window_s`` of history in ``n_buckets`` equal buckets; buckets
+    older than the window are evicted on the next touch, so memory is
+    bounded by ``n_buckets * BUCKET_SAMPLE_CAP`` samples.  Counter
+    increments contribute to ``count``/``total``/``rate`` only;
+    histogram observations additionally land in the per-bucket sample
+    reservoir behind :meth:`percentile`.
+
+    Deterministic: with an injected ``clock`` and a fixed observation
+    sequence, every aggregate is a pure function of the inputs (the
+    per-bucket reservoir stream is seeded from the bucket epoch).
+    """
+
+    def __init__(self, window_s=DEFAULT_WINDOW_S, n_buckets=DEFAULT_BUCKETS,
+                 clock=time.monotonic, sample_cap=BUCKET_SAMPLE_CAP):
+        if window_s <= 0 or n_buckets <= 0:
+            raise ValidationError("window_s and n_buckets must be positive")
+        self.window_s = float(window_s)
+        self.n_buckets = int(n_buckets)
+        self.bucket_s = self.window_s / self.n_buckets
+        self._clock = clock
+        self._sample_cap = max(1, int(sample_cap))
+        self._lock = threading.Lock()
+        self._buckets = {}     # epoch -> _Bucket
+
+    # -- recording -----------------------------------------------------
+    def record(self, value, n=1, sample=True, now=None):
+        """Add an observation (``sample=True``) or a count increment."""
+        now = self._clock() if now is None else now
+        epoch = int(now // self.bucket_s)
+        with self._lock:
+            bucket = self._buckets.get(epoch)
+            if bucket is None:
+                bucket = self._buckets[epoch] = _Bucket(epoch)
+                self._evict_locked(epoch)
+            bucket.count += n
+            bucket.total += value * n
+            if sample:
+                bucket.seen += 1
+                if len(bucket.samples) < self._sample_cap:
+                    bucket.samples.append(value)
+                else:
+                    slot = random.Random(
+                        bucket.epoch * 1000003
+                        + bucket.seen).randrange(bucket.seen)
+                    if slot < self._sample_cap:
+                        bucket.samples[slot] = value
+        return self
+
+    def _evict_locked(self, newest_epoch):
+        horizon = newest_epoch - self.n_buckets
+        for epoch in [e for e in self._buckets if e <= horizon]:
+            del self._buckets[epoch]
+
+    def _live(self, now=None):
+        now = self._clock() if now is None else now
+        horizon = int(now // self.bucket_s) - self.n_buckets
+        with self._lock:
+            return [bucket for epoch, bucket in sorted(self._buckets.items())
+                    if epoch > horizon]
+
+    # -- aggregates ----------------------------------------------------
+    def count(self, now=None):
+        return sum(bucket.count for bucket in self._live(now))
+
+    def total(self, now=None):
+        return sum(bucket.total for bucket in self._live(now))
+
+    def rate(self, now=None):
+        """Events per second over the window."""
+        return self.count(now) / self.window_s
+
+    def mean(self, now=None):
+        buckets = self._live(now)
+        count = sum(bucket.count for bucket in buckets)
+        if not count:
+            return _NAN
+        return sum(bucket.total for bucket in buckets) / count
+
+    def samples(self, now=None):
+        values = []
+        for bucket in self._live(now):
+            values.extend(bucket.samples)
+        return tuple(values)
+
+    def percentile(self, q, now=None):
+        values = self.samples(now)
+        if not values:
+            return _NAN
+        return float(np.percentile(np.asarray(values), q))
+
+    def max(self, now=None):
+        values = self.samples(now)
+        return max(values) if values else _NAN
+
+    def describe(self, now=None):
+        """Window summary dict (the ``ServerStats.window`` payload)."""
+        now = self._clock() if now is None else now
+        summary = {"count": self.count(now),
+                   "rate_per_s": round(self.rate(now), 3)}
+        values = self.samples(now)
+        if values:
+            array = np.asarray(values)
+            summary.update({
+                "mean": float(array.mean()),
+                "p50": float(np.percentile(array, 50)),
+                "p99": float(np.percentile(array, 99)),
+                "max": float(array.max()),
+            })
+        return summary
+
+
+class MetricWindows:
+    """Rolling windows over a registry's metrics, fed by the observer
+    hook — the *windowed view* layer of the watch subsystem.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to subscribe
+        to.
+    prefixes:
+        Metric-name prefixes to window (default: the serving metrics).
+        ``()`` windows everything.
+    window_s, n_buckets, clock:
+        Window geometry / time source, forwarded to every
+        :class:`RollingWindow`.
+    """
+
+    def __init__(self, registry, prefixes=("serve.",),
+                 window_s=DEFAULT_WINDOW_S, n_buckets=DEFAULT_BUCKETS,
+                 clock=time.monotonic):
+        self.registry = registry
+        self.prefixes = tuple(prefixes)
+        self.window_s = float(window_s)
+        self.n_buckets = int(n_buckets)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows = {}
+        registry.subscribe(self._on_record)
+
+    def _on_record(self, name, kind, value):
+        if kind == "gauge":
+            return                      # last-value metrics stay lifetime
+        if self.prefixes and not name.startswith(self.prefixes):
+            return
+        window = self._windows.get(name)
+        if window is None:
+            with self._lock:
+                window = self._windows.setdefault(
+                    name, RollingWindow(window_s=self.window_s,
+                                        n_buckets=self.n_buckets,
+                                        clock=self._clock))
+        if kind == "counter":
+            window.record(1.0, n=int(value), sample=False)
+        else:
+            window.record(float(value))
+
+    def window(self, name):
+        """The metric's :class:`RollingWindow`, or ``None``."""
+        return self._windows.get(name)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._windows)
+
+    def count(self, name, now=None):
+        window = self._windows.get(name)
+        return window.count(now) if window is not None else 0
+
+    def percentile(self, name, q, now=None):
+        window = self._windows.get(name)
+        return window.percentile(q, now) if window is not None else _NAN
+
+    def mean(self, name, now=None):
+        window = self._windows.get(name)
+        return window.mean(now) if window is not None else _NAN
+
+    def snapshot(self, now=None):
+        """``{metric name: window summary}`` for every watched metric."""
+        with self._lock:
+            windows = dict(self._windows)
+        return {name: window.describe(now)
+                for name, window in sorted(windows.items())}
+
+
+# ----------------------------------------------------------------------
+# SLO specification and evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative service-level objective: ``name`` and ``bound``.
+
+    ``name`` must be a :data:`KNOWN_SLOS` member; parse the CLI
+    spelling (``p99_latency_s=0.25``) with :meth:`parse`.
+    """
+
+    name: str
+    bound: float
+
+    def __post_init__(self):
+        if self.name not in KNOWN_SLOS:
+            raise ValidationError(
+                "unknown SLO %r; known SLOs: %s"
+                % (self.name, ", ".join(sorted(KNOWN_SLOS))))
+        object.__setattr__(self, "bound", float(self.bound))
+
+    @property
+    def direction(self):
+        """``"upper"`` (breach above the bound) or ``"lower"``."""
+        return KNOWN_SLOS[self.name][0]
+
+    @classmethod
+    def parse(cls, text):
+        """``"p99_latency_s=0.25"`` -> ``SloSpec``."""
+        name, sep, bound = str(text).partition("=")
+        if not sep or not name.strip():
+            raise ValidationError(
+                "SLO must be NAME=BOUND (e.g. p99_latency_s=0.25), "
+                "got %r" % text)
+        try:
+            bound = float(bound)
+        except ValueError:
+            raise ValidationError(
+                "SLO bound must be a number, got %r" % bound) from None
+        return cls(name=name.strip(), bound=bound)
+
+    def describe(self):
+        comparator = "<=" if self.direction == "upper" else ">="
+        return "%s %s %g" % (self.name, comparator, self.bound)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO's evaluation: the spec, the measured value, the verdict.
+
+    ``ok`` is ``True`` for a healthy or vacuous objective;
+    ``vacuous`` flags the no-signal-yet case (``value`` is ``nan``).
+    """
+
+    spec: SloSpec
+    value: float
+    ok: bool
+    vacuous: bool = False
+
+    def describe(self):
+        if self.vacuous:
+            verdict = "OK (no samples)"
+        else:
+            verdict = "OK" if self.ok else "BREACH"
+        value = "-" if math.isnan(self.value) else "%.6g" % self.value
+        return [self.spec.describe(), value, verdict]
+
+
+class SnapshotReader:
+    """Evaluate SLOs against a ``MetricsRegistry.snapshot()`` dict.
+
+    The post-hoc counterpart of live evaluation: ``python -m repro obs
+    report`` feeds it the final ``metrics`` record of a JSONL event
+    log.  Histograms read their described aggregates; counters and
+    gauges read their scalar value.
+    """
+
+    def __init__(self, snapshot):
+        self.snapshot = dict(snapshot or {})
+
+    def _described(self, name):
+        value = self.snapshot.get(name)
+        return value if isinstance(value, dict) else None
+
+    def percentile(self, name, q):
+        described = self._described(name)
+        if described is None:
+            return _NAN
+        return float(described.get("p%d" % int(q), _NAN))
+
+    def mean(self, name):
+        described = self._described(name)
+        return float(described.get("mean", _NAN)) if described else _NAN
+
+    def counter(self, name):
+        value = self.snapshot.get(name, 0)
+        return int(value) if not isinstance(value, dict) else 0
+
+    def gauge(self, name):
+        value = self.snapshot.get(name)
+        if value is None or isinstance(value, dict):
+            return _NAN
+        return float(value)
+
+
+class _LiveReader:
+    """Evaluate SLOs against a live registry, windows preferred.
+
+    Percentiles and means come from the rolling window when it has
+    samples (the *recent* behaviour an SLO is about) and fall back to
+    the lifetime histogram; counters use lifetime values so rates stay
+    consistent with ``ServerStats``.
+    """
+
+    def __init__(self, registry, windows=None, now=None):
+        self.registry = registry
+        self.windows = windows
+        self.now = now
+
+    def percentile(self, name, q):
+        if self.windows is not None \
+                and self.windows.count(name, self.now) > 0:
+            return self.windows.percentile(name, q, self.now)
+        metric = self.registry.get(name)
+        if metric is not None and metric.kind == "histogram":
+            return metric.percentile(q)
+        return _NAN
+
+    def mean(self, name):
+        if self.windows is not None \
+                and self.windows.count(name, self.now) > 0:
+            return self.windows.mean(name, self.now)
+        metric = self.registry.get(name)
+        if metric is not None and metric.kind == "histogram":
+            return metric.mean
+        return _NAN
+
+    def counter(self, name):
+        return int(self.registry.value(name, 0))
+
+    def gauge(self, name):
+        metric = self.registry.get(name)
+        return metric.value if metric is not None else _NAN
+
+
+def _ratio(numerator, denominator):
+    return numerator / denominator if denominator else _NAN
+
+
+def _eval_p99_latency(reader):
+    return reader.percentile("serve.latency_s", 99)
+
+
+def _eval_p99_latency_exact(reader):
+    return reader.percentile("serve.latency_exact_s", 99)
+
+
+def _eval_p99_latency_approx(reader):
+    return reader.percentile("serve.latency_approx_s", 99)
+
+
+def _eval_p50_latency(reader):
+    return reader.percentile("serve.latency_s", 50)
+
+
+def _eval_rejection_rate(reader):
+    return _ratio(reader.counter("serve.rejected"),
+                  reader.counter("serve.submitted"))
+
+
+def _eval_error_rate(reader):
+    return _ratio(reader.counter("serve.errors"),
+                  reader.counter("serve.submitted"))
+
+
+def _eval_min_recall(reader):
+    return reader.mean("serve.recall_estimate")
+
+
+def _eval_funnel_efficiency(reader):
+    candidates = reader.counter("funnel.candidates")
+    level2 = reader.counter("funnel.level2_survivors")
+    if not candidates:
+        return _NAN
+    return 1.0 - level2 / candidates
+
+
+def _eval_version_lag(reader):
+    return reader.gauge("serve.graph_version_lag")
+
+
+#: name -> (direction, evaluator).  ``direction`` "upper" breaches when
+#: the value exceeds the bound, "lower" when it falls below.
+KNOWN_SLOS = {
+    "p99_latency_s": ("upper", _eval_p99_latency),
+    "p99_latency_exact_s": ("upper", _eval_p99_latency_exact),
+    "p99_latency_approx_s": ("upper", _eval_p99_latency_approx),
+    "p50_latency_s": ("upper", _eval_p50_latency),
+    "rejection_rate": ("upper", _eval_rejection_rate),
+    "error_rate": ("upper", _eval_error_rate),
+    "min_recall": ("lower", _eval_min_recall),
+    "funnel_efficiency": ("lower", _eval_funnel_efficiency),
+    "max_version_lag": ("upper", _eval_version_lag),
+}
+
+
+def evaluate_slos(specs, reader):
+    """Evaluate specs against a reader; returns a tuple of statuses."""
+    statuses = []
+    for spec in specs:
+        direction, evaluator = KNOWN_SLOS[spec.name]
+        value = float(evaluator(reader))
+        if math.isnan(value):
+            statuses.append(SloStatus(spec=spec, value=value, ok=True,
+                                      vacuous=True))
+            continue
+        ok = (value <= spec.bound if direction == "upper"
+              else value >= spec.bound)
+        statuses.append(SloStatus(spec=spec, value=value, ok=ok))
+    return tuple(statuses)
+
+
+class SloMonitor:
+    """Continuous SLO evaluation over a registry (+ optional windows).
+
+    The serving layer calls :meth:`evaluate` after every batch; each
+    evaluation that finds a breach increments ``slo.breaches`` and the
+    per-objective ``slo.breach.<name>`` counter in the same registry
+    (so breaches export through the standard JSONL/trace path), and
+    remembers the statuses for :meth:`last`.
+    """
+
+    def __init__(self, specs, registry, windows=None):
+        self.specs = tuple(specs)
+        self.registry = registry
+        self.windows = windows
+        self._lock = threading.Lock()
+        self._last = ()
+
+    def evaluate(self, now=None):
+        if not self.specs:
+            return ()
+        reader = _LiveReader(self.registry, windows=self.windows, now=now)
+        statuses = evaluate_slos(self.specs, reader)
+        with self._lock:
+            previous = {status.spec: status for status in self._last}
+            for status in statuses:
+                if status.ok:
+                    continue
+                self.registry.counter("slo.breaches").inc()
+                self.registry.counter(
+                    "slo.breach." + status.spec.name).inc()
+                before = previous.get(status.spec)
+                if before is None or before.ok:
+                    # Newly breached: one loud signal per transition.
+                    self.registry.counter("slo.breach_transitions").inc()
+            self._last = statuses
+        return statuses
+
+    def last(self):
+        """The most recent evaluation (without re-evaluating)."""
+        with self._lock:
+            return self._last
+
+
+def slo_table(statuses, title="SLO status"):
+    """Render statuses as a bench-style table."""
+    from ..bench.reporting import format_table
+
+    rows = [status.describe() for status in statuses]
+    return format_table(title, ["objective", "measured", "verdict"], rows)

@@ -122,6 +122,17 @@ class ServeConfig:
         children cover the queue wait, the coalesced batch, the engine
         execution and the per-request result split, and the server's
         ``serve.*`` metrics land in the tracer's registry.
+    slos:
+        Declarative SLO set (:class:`~repro.obs.watch.SloSpec` objects
+        or ``"name=bound"`` strings) evaluated by an
+        :class:`~repro.obs.watch.SloMonitor` after every batch over the
+        server's rolling metric windows.  Statuses surface in
+        :meth:`KNNServer.stats` / ``ServerStats.table()``; breaches
+        increment ``slo.breaches`` and emit a ``serve.slo_breach``
+        event on breach transitions.
+    window_s:
+        Width of the rolling metric windows (seconds) the SLO monitor
+        and the windowed ``ServerStats`` rows read from.
     """
 
     method: str = "sweet"
@@ -141,6 +152,8 @@ class ServeConfig:
     store_budget_bytes: int = None
     store_max_entries: int = None
     tracer: object = None
+    slos: tuple = ()
+    window_s: float = 60.0
 
 
 @dataclass(frozen=True)
@@ -177,6 +190,8 @@ class ServeResponse:
     route: str = "exact"
     recall_target: float = None
     ef: int = None
+    recall_estimate: float = None
+    audit: object = None
 
 
 @dataclass
@@ -196,6 +211,8 @@ class _Payload:
     route: str = "exact"
     recall_target: float = None
     ef: int = None
+    recall_estimate: float = None
+    explain: bool = False
 
 
 class KNNServer:
@@ -266,6 +283,18 @@ class KNNServer:
             on_expired=self._on_expired)
         self._tile_cache = {}
 
+        # Rolling windows over the serve.* metrics plus the SLO
+        # monitor — evaluated on the scheduler thread after every
+        # batch, so statuses are race-free by construction.
+        from ..obs.watch import MetricWindows, SloMonitor, SloSpec
+        specs = tuple(spec if isinstance(spec, SloSpec)
+                      else SloSpec.parse(spec) for spec in config.slos)
+        self.windows = MetricWindows(self.stats_collector.registry,
+                                     window_s=config.window_s)
+        self.slo_monitor = SloMonitor(specs,
+                                      self.stats_collector.registry,
+                                      windows=self.windows)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -293,7 +322,7 @@ class KNNServer:
     # Request path
     # ------------------------------------------------------------------
     def submit(self, queries, targets, k, deadline_s=None,
-               recall_target=None, **options):
+               recall_target=None, explain=False, **options):
         """Enqueue a request; returns a future of :class:`ServeResponse`.
 
         ``queries`` may be a single point of shape (d,) or a small
@@ -310,6 +339,14 @@ class KNNServer:
         engine (``route="exact"``); with ``recall_target=None``
         (default) the request path is byte-for-byte the pre-graph
         behaviour.
+
+        ``explain=True`` attaches a
+        :class:`~repro.obs.audit.QueryAudit` to the response —
+        engine/plan knobs, shard fan-out, per-stage funnel counts,
+        route/``ef``/recall estimate and per-span timings.  Explain
+        joins the coalescing key, so an explain request is never mixed
+        into another request's tile: its funnel counts are exactly the
+        direct :func:`repro.knn_join` counters for the same queries.
 
         Raises
         ------
@@ -338,12 +375,22 @@ class KNNServer:
             memory_budget_bytes=(self._device.global_mem_bytes
                                  if self._device is not None else None))
 
-        route, ef = "exact", None
+        route, ef, recall_estimate = "exact", None, None
+        graph = getattr(index, "graph", None)
+        if graph is not None:
+            # Staleness signal for the max_version_lag SLO.
+            self.stats_collector.registry.gauge(
+                "serve.graph_version_lag").set(
+                    int(index.version) - graph.built_version)
         if recall_target is not None and self._graph_spec is not None:
-            graph = getattr(index, "graph", None)
             if graph is not None and graph.is_fresh_for(index):
                 route = "approx"
                 ef = int(graph.ef_for(recall_target, k))
+                if graph.calibration is not None:
+                    recall_estimate = float(
+                        graph.calibration.recall_at(ef))
+                    self.stats_collector.record_recall_estimate(
+                        recall_estimate)
 
         opts_key = tuple(sorted(options.items()))
         store_key = self.store.key_for(index.targets, self.config.seed,
@@ -351,13 +398,16 @@ class KNNServer:
         # Route and ef join the coalescing key so exact and approximate
         # requests never share a tile; all-exact traffic produces the
         # same key — hence the same batches — as before the graph tier.
-        batch_key = (store_key, k, opts_key, route, ef)
+        # Explain joins it too: an audited request gets its own tile,
+        # so its funnel counts equal a direct join of the same queries.
+        batch_key = (store_key, k, opts_key, route, ef, bool(explain))
         request_id = "req-%d" % next(self._request_ids)
         payload = _Payload(queries=queries, index=index, k=k,
                            options=dict(options), single=single,
                            cache_hit=cache_hit, request_id=request_id,
                            route=route, recall_target=recall_target,
-                           ef=ef)
+                           ef=ef, recall_estimate=recall_estimate,
+                           explain=bool(explain))
         if self._tracer is not None:
             payload.request_span = self._tracer.start_span(
                 "serve.request", trace_id=request_id,
@@ -429,11 +479,19 @@ class KNNServer:
                        scores=float(scores[0]) if single else scores)
 
     def stats(self):
-        """A :class:`~repro.serve.stats.ServerStats` snapshot."""
+        """A :class:`~repro.serve.stats.ServerStats` snapshot.
+
+        Includes the rolling-window summaries (``stats.window``) and,
+        when SLOs are configured, a fresh evaluation of every objective
+        (``stats.slo``).
+        """
+        slo = (self.slo_monitor.evaluate()
+               if self.slo_monitor.specs else ())
         return self.stats_collector.snapshot(
             queue_depth=self._batcher.queue_depth(),
             max_queue_depth=self.config.max_queue_depth,
-            store_stats=self.store.stats())
+            store_stats=self.store.stats(),
+            slo=slo, window=self.windows.snapshot())
 
     # ------------------------------------------------------------------
     # Scheduler side
@@ -526,6 +584,7 @@ class KNNServer:
                     spec, batch, index.targets, first.k,
                     rng=self._rng, device=self._device,
                     workers=self.config.workers, pool=self.config.pool,
+                    explain=first.explain,
                     graph=index.graph, ef=first.ef, dead_mask=dead,
                     **first.options)
             elif degraded:
@@ -533,7 +592,8 @@ class KNNServer:
                 result = execute(
                     spec, batch, first.index.targets, first.k,
                     rng=self._rng, device=self._device,
-                    workers=self.config.workers, pool=self.config.pool)
+                    workers=self.config.workers, pool=self.config.pool,
+                    explain=first.explain)
             else:
                 spec = self._spec
                 join_plan = first.index.join_plan(batch)
@@ -541,13 +601,15 @@ class KNNServer:
                     spec, batch, first.index.targets, first.k,
                     rng=self._rng, device=self._device, plan=join_plan,
                     index=first.index, workers=self.config.workers,
-                    pool=self.config.pool, **first.options)
+                    pool=self.config.pool, explain=first.explain,
+                    **first.options)
         except Exception as exc:
             for request in requests:
                 request.future.set_exception(exc)
                 self.stats_collector.record_error()
                 self._close_request_spans(request.payload,
                                           outcome="error", error=repr(exc))
+            self._check_slos()
             return
 
         self.stats_collector.record_batch(len(requests), len(batch))
@@ -562,6 +624,19 @@ class KNNServer:
                 if payload.single:
                     distances, indices = distances[0], indices[0]
                 latency = request.waited(now)
+                audit = None
+                if payload.explain and result.audit is not None:
+                    audit = result.audit.replace(
+                        request_id=payload.request_id,
+                        route=payload.route,
+                        recall_target=payload.recall_target,
+                        ef=payload.ef,
+                        recall_estimate=payload.recall_estimate,
+                        degraded=degraded,
+                        cache_hit=payload.cache_hit,
+                        latency_s=round(latency, 6),
+                        batch_rows=len(batch),
+                        batch_requests=len(requests))
                 request.future.set_result(ServeResponse(
                     distances=distances, indices=indices,
                     method=result.method, engine=spec.name,
@@ -571,7 +646,9 @@ class KNNServer:
                     request_id=payload.request_id,
                     route=payload.route,
                     recall_target=payload.recall_target,
-                    ef=payload.ef))
+                    ef=payload.ef,
+                    recall_estimate=payload.recall_estimate,
+                    audit=audit))
                 self.stats_collector.record_served(latency,
                                                    degraded=degraded,
                                                    route=payload.route)
@@ -581,3 +658,19 @@ class KNNServer:
                     latency_s=round(latency, 6),
                     batch_rows=len(batch),
                     batch_requests=len(requests))
+        self._check_slos()
+
+    def _check_slos(self):
+        """Evaluate the configured SLOs (scheduler thread, post-batch)."""
+        if not self.slo_monitor.specs:
+            return
+        previous = {status.spec: status.ok
+                    for status in self.slo_monitor.last()}
+        for status in self.slo_monitor.evaluate():
+            if status.ok or previous.get(status.spec, True) is False:
+                continue
+            logger.warning("SLO breached: %s (measured %.6g)",
+                           status.spec.describe(), status.value)
+            obs.event("serve.slo_breach", slo=status.spec.name,
+                      bound=status.spec.bound,
+                      value=round(status.value, 6))

@@ -64,6 +64,13 @@ class ServerStats:
     batch_rows: tuple = field(default=(), repr=False)
     latencies_exact_s: tuple = field(default=(), repr=False)
     latencies_approx_s: tuple = field(default=(), repr=False)
+    #: SLO evaluation at snapshot time — a tuple of
+    #: :class:`~repro.obs.watch.SloStatus` (empty without configured
+    #: SLOs).
+    slo: tuple = ()
+    #: Rolling-window summaries ``{metric: {count, rate_per_s, ...}}``
+    #: from :meth:`repro.obs.watch.MetricWindows.snapshot`.
+    window: dict = field(default_factory=dict, repr=False)
 
     @property
     def cache_hit_rate(self):
@@ -160,6 +167,18 @@ class ServerStats:
              "%.3f/%.3f" % (self.latency_percentile(50, "approx") * 1e3,
                             self.latency_percentile(99, "approx") * 1e3)],
         ]
+        latency_window = self.window.get("serve.latency_s")
+        if latency_window:
+            rows.append(["window req rate /s",
+                         latency_window.get("rate_per_s", 0.0)])
+            if "p99" in latency_window:
+                rows.append(["window latency p50/p99 ms",
+                             "%.3f/%.3f" % (latency_window["p50"] * 1e3,
+                                            latency_window["p99"] * 1e3)])
+        for status in self.slo:
+            objective, value, verdict = status.describe()
+            rows.append(["SLO " + objective,
+                         "%s (%s)" % (verdict, value)])
         return format_table(title, ["metric", "value"], rows)
 
 
@@ -185,7 +204,8 @@ class StatsCollector:
                      "route_exact", "route_approx"):
             self.registry.counter("serve." + name)
         for name in ("latency_s", "batch_requests", "batch_rows",
-                     "latency_exact_s", "latency_approx_s"):
+                     "latency_exact_s", "latency_approx_s",
+                     "recall_estimate"):
             self.registry.histogram("serve." + name)
 
     def record_submitted(self):
@@ -199,6 +219,10 @@ class StatsCollector:
 
     def record_error(self):
         self.registry.counter("serve.errors").inc()
+
+    def record_recall_estimate(self, estimate):
+        """Calibrated recall estimate of one approx-routed request."""
+        self.registry.histogram("serve.recall_estimate").observe(estimate)
 
     def record_batch(self, n_requests, n_rows):
         self.registry.counter("serve.batches").inc()
@@ -216,10 +240,13 @@ class StatsCollector:
         self.registry.histogram("serve.latency_%s_s" % route).observe(
             latency_s)
 
-    def snapshot(self, queue_depth=0, max_queue_depth=0, store_stats=None):
+    def snapshot(self, queue_depth=0, max_queue_depth=0, store_stats=None,
+                 slo=(), window=None):
         """Build a :class:`ServerStats` from the current counters."""
         registry = self.registry
         return ServerStats(
+            slo=tuple(slo),
+            window=dict(window) if window else {},
             submitted=registry.value("serve.submitted"),
             served=registry.value("serve.served"),
             rejected=registry.value("serve.rejected"),

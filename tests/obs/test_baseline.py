@@ -1,0 +1,193 @@
+"""Tests for the benchmark trajectory store and regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.baseline import (GateReport, append_trajectory, bench_name,
+                                fingerprint, gate, ingest_payload,
+                                iter_metrics, load_trajectory)
+
+PAYLOAD = {
+    "dataset": "synthetic",
+    "n": 2000,
+    "dim": 16,
+    "query_time_s": 0.40,
+    "speedup": 4.0,
+    "funnel": {"candidates": 4000000, "level2_survivors": 90000},
+    "runs": [
+        {"method": "ti-cpu", "k": 20, "workers": 2,
+         "query_time_s": 0.25, "saved_fraction": 0.9},
+        {"method": "sweet", "k": 20, "workers": 2,
+         "query_time_s": 0.10, "saved_fraction": 0.95},
+    ],
+}
+
+
+def _records(payload=PAYLOAD, commit="c0"):
+    return ingest_payload("demo", payload, commit=commit, recorded=0.0)
+
+
+class TestIterMetrics:
+    def test_yields_directed_metrics_only(self):
+        rows = list(iter_metrics("demo", PAYLOAD))
+        metrics = {(config, metric) for config, metric, _, _ in rows}
+        # Shape descriptors (n, dim) and funnel counters are not gated.
+        assert ("", "n") not in metrics
+        assert all("funnel" not in config for config, _ in metrics)
+        assert ("", "query_time_s") in metrics
+        assert ("", "speedup") in metrics
+
+    def test_list_elements_labelled_by_identity_keys(self):
+        rows = list(iter_metrics("demo", PAYLOAD))
+        configs = {config for config, metric, _, _ in rows
+                   if metric == "query_time_s" and config}
+        assert "runs[method=ti-cpu,k=20,workers=2]" in configs
+        assert "runs[method=sweet,k=20,workers=2]" in configs
+
+    def test_labels_stable_under_list_reordering(self):
+        reordered = dict(PAYLOAD)
+        reordered["runs"] = list(reversed(PAYLOAD["runs"]))
+        original = {(c, m): v for c, m, v, _ in iter_metrics("demo", PAYLOAD)}
+        shuffled = {(c, m): v
+                    for c, m, v, _ in iter_metrics("demo", reordered)}
+        assert original == shuffled
+
+    def test_directions(self):
+        directions = {metric: direction
+                      for _, metric, _, direction
+                      in iter_metrics("demo", PAYLOAD)}
+        assert directions["query_time_s"] == "lower"
+        assert directions["speedup"] == "higher"
+        assert directions["saved_fraction"] == "higher"
+
+    def test_non_finite_and_bool_values_skipped(self):
+        payload = {"query_time_s": float("nan"), "recall": True,
+                   "speedup": 2.0}
+        rows = list(iter_metrics("demo", payload))
+        assert [(metric, value) for _, metric, value, _ in rows] \
+            == [("speedup", 2.0)]
+
+
+class TestTrajectoryStore:
+    def test_fingerprint_stable_and_distinct(self):
+        a = fingerprint("demo", "runs[method=sweet,k=20]")
+        assert a == fingerprint("demo", "runs[method=sweet,k=20]")
+        assert a != fingerprint("demo", "runs[method=ti-cpu,k=20]")
+        assert len(a) == 12
+
+    def test_bench_name_strips_prefix(self):
+        assert bench_name("results/BENCH_parallel_scaling.json") \
+            == "parallel_scaling"
+        assert bench_name("custom.json") == "custom"
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        written = append_trajectory(path, _records())
+        assert len(written) == len(_records())
+        assert load_trajectory(path) == written
+        # Every line is self-contained JSON.
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"bench", "config", "fingerprint", "metric", "value",
+                    "direction", "commit", "recorded"} <= set(record)
+
+    def test_reingesting_same_commit_is_noop(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        append_trajectory(path, _records(commit="c0"))
+        assert append_trajectory(path, _records(commit="c0")) == []
+        assert len(load_trajectory(path)) == len(_records())
+
+    def test_new_commit_appends(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        append_trajectory(path, _records(commit="c0"))
+        fresh = append_trajectory(path, _records(commit="c1"))
+        assert len(fresh) == len(_records())
+        assert len(load_trajectory(path)) == 2 * len(_records())
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "absent.jsonl") == []
+
+
+class TestGate:
+    def test_repeat_of_stored_baseline_passes(self):
+        history = _records(commit="c0")
+        report = gate(_records(commit="c1"), history)
+        assert report.ok
+        assert {entry["status"] for entry in report.entries} == {"ok"}
+
+    def test_2x_query_time_regression_trips(self):
+        history = _records(commit="c0")
+        slow = json.loads(json.dumps(PAYLOAD))
+        slow["query_time_s"] *= 2.0
+        for run in slow["runs"]:
+            run["query_time_s"] *= 2.0
+        report = gate(ingest_payload("demo", slow, commit="c1",
+                                     recorded=0.0), history)
+        assert not report.ok
+        regressed = {(e["config"], e["metric"]) for e in report.regressions}
+        assert ("", "query_time_s") in regressed
+        assert len(report.regressions) == 3
+        assert all(e["ratio"] == pytest.approx(2.0)
+                   for e in report.regressions)
+
+    def test_higher_better_drop_trips(self):
+        history = _records(commit="c0")
+        worse = json.loads(json.dumps(PAYLOAD))
+        worse["speedup"] = 1.0           # from 4.0: a 4x speedup loss
+        report = gate(ingest_payload("demo", worse, commit="c1",
+                                     recorded=0.0), history)
+        assert [e["metric"] for e in report.regressions] == ["speedup"]
+
+    def test_noise_within_rel_tol_passes(self):
+        history = _records(commit="c0")
+        noisy = json.loads(json.dumps(PAYLOAD))
+        noisy["query_time_s"] *= 1.3     # 30% < the 50% tolerance
+        report = gate(ingest_payload("demo", noisy, commit="c1",
+                                     recorded=0.0), history)
+        assert report.ok
+
+    def test_abs_floor_ignores_tiny_jitter(self):
+        payload = {"query_time_s": 0.001}
+        history = ingest_payload("demo", payload, commit="c0", recorded=0.0)
+        jitter = ingest_payload("demo", {"query_time_s": 0.003},
+                                commit="c1", recorded=0.0)
+        # 3x relative, but only 2 ms absolute: under the 50 ms floor.
+        assert gate(jitter, history, abs_floor=0.05).ok
+        assert not gate(jitter, history, abs_floor=0.0005).ok
+
+    def test_unseen_metric_is_new_not_regression(self):
+        report = gate(_records(commit="c1"), history=[])
+        assert report.ok
+        assert {entry["status"] for entry in report.entries} == {"new"}
+
+    def test_median_of_history_absorbs_one_outlier(self):
+        history = []
+        for commit, scale in (("c0", 1.0), ("c1", 1.0), ("c2", 10.0)):
+            payload = json.loads(json.dumps(PAYLOAD))
+            payload["query_time_s"] *= scale
+            history += ingest_payload("demo", payload, commit=commit,
+                                      recorded=0.0)
+        report = gate(_records(commit="c3"), history)
+        entry = next(e for e in report.entries
+                     if e["metric"] == "query_time_s" and e["config"] == "")
+        assert entry["baseline"] == pytest.approx(0.40)
+        assert entry["status"] == "ok"
+
+    def test_report_table_and_counts(self):
+        history = _records(commit="c0")
+        slow = json.loads(json.dumps(PAYLOAD))
+        slow["query_time_s"] *= 2.0
+        report = gate(ingest_payload("demo", slow, commit="c1",
+                                     recorded=0.0), history)
+        text = report.table()
+        assert "query_time_s" in text
+        assert "regression" in text
+        assert "metrics gated" in text
+        counts = report.counts()
+        assert counts["regression"] == 1
+        assert counts["ok"] == len(report.entries) - 1
+
+    def test_empty_report_is_ok(self):
+        assert GateReport().ok
+        assert "all ok" in GateReport().table()

@@ -137,3 +137,64 @@ class TestUntracedDefault:
         assert registry.value("join.runs") == 1
         assert registry.value("join.queries") == len(points)
         assert registry.value("funnel.candidates") == len(points) ** 2
+
+
+class TestIdempotentPublish:
+    """Publishing the same JoinStats twice must not double-count."""
+
+    def test_double_publish_counts_once(self, points):
+        from repro.obs.metrics import MetricsRegistry
+
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        registry = MetricsRegistry()
+        result.stats.publish(registry)
+        once = {name: registry.value(name) for name in registry.names()
+                if not name.startswith("gpu.")}
+        result.stats.publish(registry)
+        again = {name: registry.value(name) for name in registry.names()
+                 if not name.startswith("gpu.")}
+        assert again == once
+        assert registry.value("join.runs") == 1
+
+    def test_distinct_registries_each_get_the_counters(self, points):
+        from repro.obs.metrics import MetricsRegistry
+
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        first, second = MetricsRegistry(), MetricsRegistry()
+        result.stats.publish(first)
+        result.stats.publish(second)
+        assert first.value("join.runs") == 1
+        assert second.value("join.runs") == 1
+
+    def test_force_republishes(self, points):
+        from repro.obs.metrics import MetricsRegistry
+
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        registry = MetricsRegistry()
+        result.stats.publish(registry)
+        result.stats.publish(registry, force=True)
+        assert registry.value("join.runs") == 2
+
+    def test_explain_then_trace_does_not_double_publish(self, points):
+        """An explain join under an ambient tracer publishes once."""
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = knn_join(points, points, 5, method="sweet", seed=1,
+                              explain=True)
+        assert tracer.registry.value("join.runs") == 1
+        assert tracer.registry.value("funnel.candidates") \
+            == result.audit.funnel["candidates"]
+
+    def test_published_stats_still_pickle(self, points):
+        import pickle
+
+        from repro.obs.metrics import MetricsRegistry
+
+        result = knn_join(points, points, 5, method="sweet", seed=1)
+        result.stats.publish(MetricsRegistry())
+        clone = pickle.loads(pickle.dumps(result.stats))
+        # The publish guard is process-local state: stripped on pickle,
+        # so an unpickled stats object can publish afresh.
+        registry = MetricsRegistry()
+        clone.publish(registry)
+        assert registry.value("join.runs") == 1

@@ -3,6 +3,7 @@
 import math
 import threading
 
+import numpy as np
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
@@ -93,3 +94,66 @@ class TestRegistry:
         assert snap["c"] == 2
         assert snap["g"] == 1.5
         assert snap["h"]["count"] == 1
+
+
+class TestHistogramReservoir:
+    """The bounded-memory reservoir behind long-lived histograms."""
+
+    def test_million_observations_bounded_memory_exact_aggregates(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("serve.latency_s", max_samples=512)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 1.0, size=1_000_000)
+        for value in values:
+            histogram.observe(value)
+        # Memory stays bounded by the cap, never the stream length.
+        assert histogram.reservoir_size == 512
+        assert len(histogram.values()) == 512
+        # Running aggregates are exact for the whole stream.
+        assert histogram.count == 1_000_000
+        assert histogram.total == pytest.approx(float(values.sum()),
+                                                rel=1e-12)
+        assert histogram.mean == pytest.approx(float(values.mean()),
+                                               rel=1e-12)
+        assert histogram.max == float(values.max())
+        # Percentiles are sampled estimates within tolerance of truth.
+        for q in (50, 90, 99):
+            truth = float(np.percentile(values, q))
+            assert histogram.percentile(q) == pytest.approx(truth, abs=0.05)
+
+    def test_below_cap_reservoir_is_the_full_sample_set(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.values() == tuple(float(v) for v in range(100))
+        assert histogram.percentile(50) == pytest.approx(49.5)
+
+    def test_reservoir_replacement_is_deterministic_per_name(self):
+        from repro.obs.metrics import Histogram
+
+        def build(name):
+            histogram = Histogram(name, max_samples=32)
+            for value in range(10_000):
+                histogram.observe(float(value % 977))
+            return histogram.values()
+
+        assert build("latency") == build("latency")
+        assert build("latency") != build("other")
+
+    def test_default_cap_bounds_registry_histograms(self):
+        from repro.obs.metrics import DEFAULT_RESERVOIR_SIZE
+
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(DEFAULT_RESERVOIR_SIZE + 1000):
+            histogram.observe(float(value))
+        assert histogram.reservoir_size == DEFAULT_RESERVOIR_SIZE
+        assert histogram.count == DEFAULT_RESERVOIR_SIZE + 1000
+
+    def test_nan_observation_does_not_poison_max(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        histogram.observe(float("nan"))
+        histogram.observe(2.0)
+        assert histogram.max == 2.0

@@ -1,0 +1,361 @@
+"""Tests for the watch subsystem: rolling windows and SLO monitors."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watch import (KNOWN_SLOS, MetricWindows, RollingWindow,
+                             SloMonitor, SloSpec, SnapshotReader,
+                             evaluate_slos, slo_table)
+
+
+class FakeClock:
+    """Deterministic injectable time source."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+class TestRollingWindow:
+    def test_empty_window_aggregates(self):
+        window = RollingWindow(window_s=10, n_buckets=5, clock=FakeClock())
+        assert window.count() == 0
+        assert window.rate() == 0.0
+        assert math.isnan(window.mean())
+        assert math.isnan(window.percentile(99))
+        assert math.isnan(window.max())
+        assert window.samples() == ()
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValidationError):
+            RollingWindow(window_s=0)
+        with pytest.raises(ValidationError):
+            RollingWindow(n_buckets=0)
+
+    def test_count_rate_mean_within_window(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10, n_buckets=5, clock=clock)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.record(value)
+        assert window.count() == 4
+        assert window.rate() == pytest.approx(0.4)
+        assert window.mean() == pytest.approx(2.5)
+        assert window.percentile(50) == pytest.approx(2.5)
+        assert window.max() == 4.0
+
+    def test_old_observations_age_out(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10, n_buckets=5, clock=clock)
+        window.record(100.0)
+        clock.advance(5.0)
+        window.record(1.0)
+        assert window.count() == 2
+        # Move past the window for the first observation only.
+        clock.advance(7.0)
+        assert window.count() == 1
+        assert window.max() == 1.0
+        clock.advance(60.0)
+        assert window.count() == 0
+
+    def test_eviction_bounds_bucket_memory(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10, n_buckets=5, clock=clock)
+        for _ in range(100):
+            window.record(1.0)
+            clock.advance(2.0)          # one bucket per record
+        assert len(window._buckets) <= window.n_buckets + 1
+
+    def test_reservoir_caps_samples_but_counts_exactly(self):
+        window = RollingWindow(window_s=10, n_buckets=5, clock=FakeClock(),
+                               sample_cap=16)
+        for i in range(1000):
+            window.record(float(i))
+        assert window.count() == 1000
+        assert len(window.samples()) <= 5 * 16
+        assert window.total() == pytest.approx(sum(range(1000)))
+
+    def test_deterministic_given_clock_and_sequence(self):
+        def build():
+            clock = FakeClock()
+            window = RollingWindow(window_s=10, n_buckets=5, clock=clock,
+                                   sample_cap=8)
+            for i in range(200):
+                window.record(float(i % 17))
+                if i % 10 == 9:
+                    clock.advance(1.0)
+            return window
+        first, second = build(), build()
+        assert first.samples() == second.samples()
+        assert first.count() == second.count()
+        assert first.describe() == second.describe()
+
+    def test_counter_increments_skip_the_reservoir(self):
+        window = RollingWindow(window_s=10, n_buckets=5, clock=FakeClock())
+        window.record(1.0, n=7, sample=False)
+        assert window.count() == 7
+        assert window.samples() == ()
+        assert window.total() == 7.0
+
+    def test_describe_payload(self):
+        window = RollingWindow(window_s=10, n_buckets=5, clock=FakeClock())
+        for value in (0.001, 0.002, 0.010):
+            window.record(value)
+        summary = window.describe()
+        assert summary["count"] == 3
+        assert summary["rate_per_s"] == pytest.approx(0.3)
+        assert summary["p50"] == pytest.approx(0.002)
+        assert summary["max"] == pytest.approx(0.010)
+
+
+class TestMetricWindows:
+    def test_histogram_observations_are_windowed(self):
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, clock=FakeClock())
+        for value in (0.001, 0.002, 0.003):
+            registry.histogram("serve.latency_s").observe(value)
+        assert windows.count("serve.latency_s") == 3
+        assert windows.mean("serve.latency_s") == pytest.approx(0.002)
+
+    def test_counter_increments_feed_count_not_samples(self):
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, clock=FakeClock())
+        registry.counter("serve.submitted").inc(5)
+        assert windows.count("serve.submitted") == 5
+        assert windows.window("serve.submitted").samples() == ()
+
+    def test_gauges_are_not_windowed(self):
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, clock=FakeClock())
+        registry.gauge("serve.graph_version_lag").set(3)
+        assert windows.window("serve.graph_version_lag") is None
+
+    def test_prefix_filter(self):
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, prefixes=("serve.",),
+                                clock=FakeClock())
+        registry.histogram("join.time_s").observe(0.5)
+        registry.histogram("serve.latency_s").observe(0.001)
+        assert windows.names() == ["serve.latency_s"]
+
+    def test_metrics_created_before_subscription_are_covered(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serve.latency_s")
+        windows = MetricWindows(registry, clock=FakeClock())
+        histogram.observe(0.004)
+        assert windows.count("serve.latency_s") == 1
+
+    def test_snapshot_maps_names_to_summaries(self):
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, clock=FakeClock())
+        registry.histogram("serve.latency_s").observe(0.002)
+        snapshot = windows.snapshot()
+        assert snapshot["serve.latency_s"]["count"] == 1
+
+
+class TestSloSpec:
+    def test_parse(self):
+        spec = SloSpec.parse("p99_latency_s=0.25")
+        assert spec.name == "p99_latency_s"
+        assert spec.bound == 0.25
+        assert spec.direction == "upper"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValidationError):
+            SloSpec.parse("p99_latency_s")
+        with pytest.raises(ValidationError):
+            SloSpec.parse("=0.5")
+        with pytest.raises(ValidationError):
+            SloSpec.parse("p99_latency_s=fast")
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(ValidationError, match="min_recall"):
+            SloSpec(name="p42_latency", bound=1.0)
+
+    def test_directions(self):
+        assert SloSpec("min_recall", 0.9).direction == "lower"
+        assert SloSpec("funnel_efficiency", 0.5).direction == "lower"
+        assert SloSpec("error_rate", 0.01).direction == "upper"
+
+    def test_describe_uses_direction_comparator(self):
+        assert SloSpec("p99_latency_s", 0.25).describe() \
+            == "p99_latency_s <= 0.25"
+        assert SloSpec("min_recall", 0.9).describe() == "min_recall >= 0.9"
+
+
+def _serving_registry(latencies=(0.001, 0.002, 0.004), submitted=10,
+                      rejected=0, errors=0):
+    registry = MetricsRegistry()
+    registry.counter("serve.submitted").inc(submitted)
+    registry.counter("serve.rejected").inc(rejected)
+    registry.counter("serve.errors").inc(errors)
+    for latency in latencies:
+        registry.histogram("serve.latency_s").observe(latency)
+    return registry
+
+
+class TestEvaluateSlos:
+    def test_live_ok_and_breach(self):
+        registry = _serving_registry()
+        windows = MetricWindows(registry, clock=FakeClock())
+        monitor = SloMonitor([SloSpec("p99_latency_s", 1.0)], registry,
+                             windows=windows)
+        (status,) = monitor.evaluate()
+        assert status.ok and not status.vacuous
+
+        tight = SloMonitor([SloSpec("p99_latency_s", 1e-6)], registry,
+                           windows=windows)
+        (status,) = tight.evaluate()
+        assert not status.ok
+        assert status.value > 1e-6
+
+    def test_vacuous_pass_without_samples(self):
+        registry = _serving_registry(latencies=())
+        monitor = SloMonitor([SloSpec("min_recall", 0.9)], registry)
+        (status,) = monitor.evaluate()
+        assert status.ok and status.vacuous
+        assert math.isnan(status.value)
+        assert "no samples" in status.describe()[2]
+
+    def test_rate_slos_use_counter_ratios(self):
+        registry = _serving_registry(submitted=10, rejected=3, errors=1)
+        monitor = SloMonitor([SloSpec("rejection_rate", 0.25),
+                              SloSpec("error_rate", 0.25)], registry)
+        rejection, error = monitor.evaluate()
+        assert rejection.value == pytest.approx(0.3)
+        assert not rejection.ok
+        assert error.value == pytest.approx(0.1)
+        assert error.ok
+
+    def test_funnel_efficiency_floor(self):
+        registry = MetricsRegistry()
+        registry.counter("funnel.candidates").inc(1000)
+        registry.counter("funnel.level2_survivors").inc(100)
+        monitor = SloMonitor([SloSpec("funnel_efficiency", 0.5)], registry)
+        (status,) = monitor.evaluate()
+        assert status.value == pytest.approx(0.9)
+        assert status.ok
+
+    def test_version_lag_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.graph_version_lag").set(4)
+        monitor = SloMonitor([SloSpec("max_version_lag", 2)], registry)
+        (status,) = monitor.evaluate()
+        assert status.value == 4.0
+        assert not status.ok
+
+    def test_breach_counters_and_transitions(self):
+        registry = _serving_registry()
+        monitor = SloMonitor([SloSpec("p99_latency_s", 1e-6)], registry)
+        monitor.evaluate()
+        monitor.evaluate()
+        assert registry.value("slo.breaches") == 2
+        assert registry.value("slo.breach.p99_latency_s") == 2
+        # Still one continuous breach episode: a single transition.
+        assert registry.value("slo.breach_transitions") == 1
+        assert monitor.last()[0].ok is False
+
+    def test_windows_preferred_over_lifetime(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, window_s=10, n_buckets=5,
+                                clock=clock)
+        registry.histogram("serve.latency_s").observe(10.0)  # ancient spike
+        clock.advance(60.0)
+        registry.histogram("serve.latency_s").observe(0.001)
+        monitor = SloMonitor([SloSpec("p99_latency_s", 0.5)], registry,
+                             windows=windows)
+        (status,) = monitor.evaluate()
+        # The spike aged out of the window, so the SLO holds.
+        assert status.ok
+        assert status.value == pytest.approx(0.001)
+
+    def test_every_known_slo_evaluates(self):
+        registry = _serving_registry()
+        registry.gauge("serve.graph_version_lag").set(0)
+        specs = [SloSpec(name, 1.0) for name in sorted(KNOWN_SLOS)]
+        statuses = evaluate_slos(
+            specs, SnapshotReader(registry.snapshot()))
+        assert len(statuses) == len(KNOWN_SLOS)
+
+
+class TestSnapshotReader:
+    def test_reads_described_histograms_and_counters(self):
+        registry = _serving_registry(latencies=(0.001, 0.002, 0.003),
+                                     submitted=4, rejected=1)
+        reader = SnapshotReader(registry.snapshot())
+        assert reader.percentile("serve.latency_s", 50) \
+            == pytest.approx(0.002)
+        assert reader.counter("serve.submitted") == 4
+        assert reader.counter("serve.rejected") == 1
+        assert math.isnan(reader.percentile("serve.missing", 99))
+        assert reader.counter("serve.missing") == 0
+
+    def test_post_hoc_matches_live_evaluation(self):
+        registry = _serving_registry(submitted=10, rejected=2)
+        specs = (SloSpec("p99_latency_s", 1.0),
+                 SloSpec("rejection_rate", 0.1))
+        live = SloMonitor(specs, registry).evaluate()
+        post = evaluate_slos(specs, SnapshotReader(registry.snapshot()))
+        assert [s.ok for s in live] == [s.ok for s in post]
+        for a, b in zip(live, post):
+            assert a.value == pytest.approx(b.value)
+
+    def test_slo_table_renders(self):
+        registry = _serving_registry()
+        statuses = evaluate_slos([SloSpec("p99_latency_s", 1.0)],
+                                 SnapshotReader(registry.snapshot()))
+        text = slo_table(statuses)
+        assert "p99_latency_s <= 1" in text
+        assert "OK" in text
+
+
+class TestConcurrentWindowedStats:
+    def test_windowed_aggregates_deterministic_under_threads(self):
+        """Concurrent writers, fixed event multiset: every aggregate is
+        exact and order-independent (below the reservoir cap the window
+        holds the full sample set)."""
+        clock = FakeClock(t=100.0)
+        registry = MetricsRegistry()
+        windows = MetricWindows(registry, window_s=60, n_buckets=12,
+                                clock=clock)
+        histogram = registry.histogram("serve.latency_s")
+        counter = registry.counter("serve.submitted")
+        per_thread = [[(t + 1) * 0.001 + i * 1e-6 for i in range(50)]
+                      for t in range(8)]
+
+        def work(values):
+            for value in values:
+                counter.inc()
+                histogram.observe(value)
+
+        threads = [threading.Thread(target=work, args=(values,))
+                   for values in per_thread]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        everything = sorted(v for values in per_thread for v in values)
+        assert windows.count("serve.submitted") == 400
+        assert windows.count("serve.latency_s") == 400
+        assert sorted(windows.window("serve.latency_s").samples()) \
+            == everything
+        assert windows.percentile("serve.latency_s", 99) == pytest.approx(
+            float(np.percentile(np.asarray(everything), 99)))
+        monitor = SloMonitor([SloSpec("p99_latency_s", 1.0)], registry,
+                             windows=windows)
+        (status,) = monitor.evaluate()
+        assert status.ok
+        assert status.value == pytest.approx(
+            float(np.percentile(np.asarray(everything), 99)))

@@ -1,0 +1,164 @@
+"""Tests for serve-layer SLO monitoring and windowed stats.
+
+Satellite invariant: windowed views over the serving metrics stay
+deterministic under concurrent writers — given a fixed event multiset,
+percentiles, per-route splits and SLO verdicts are pure functions of
+the events, not of thread interleaving.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.watch import MetricWindows, SloMonitor, SloSpec
+from repro.serve import KNNServer
+from repro.serve.stats import StatsCollector
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    targets = rng.normal(size=(250, 6))
+    queries = rng.normal(size=(40, 6))
+    return targets, queries
+
+
+class TestServerSloConfig:
+    def test_string_specs_are_parsed(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu",
+                       slos=("p99_latency_s=5.0",
+                             "error_rate=0.5")) as server:
+            server.query(queries[0], targets, k=3)
+            stats = server.stats()
+        assert len(stats.slo) == 2
+        assert {status.spec.name for status in stats.slo} \
+            == {"p99_latency_s", "error_rate"}
+        assert all(status.ok for status in stats.slo)
+
+    def test_unknown_slo_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="unknown SLO"):
+            KNNServer(method="ti-cpu", slos=("p9000_latency=1",))
+
+    def test_breach_surfaces_in_stats_and_registry(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu",
+                       slos=("p99_latency_s=1e-9",)) as server:
+            for i in range(4):
+                server.query(queries[i], targets, k=3)
+            stats = server.stats()
+        (status,) = stats.slo
+        assert not status.ok
+        registry = server.stats_collector.registry
+        assert registry.value("slo.breaches") >= 1
+        assert registry.value("slo.breach.p99_latency_s") >= 1
+        # One continuous breach episode -> one transition signal.
+        assert registry.value("slo.breach_transitions") == 1
+
+    def test_slo_rows_render_in_stats_table(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu",
+                       slos=("p99_latency_s=5.0",)) as server:
+            server.query(queries[0], targets, k=3)
+            text = server.stats().table()
+        assert "SLO p99_latency_s <= 5" in text
+        assert "OK" in text
+
+    def test_window_rows_render_in_stats_table(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu") as server:
+            for i in range(3):
+                server.query(queries[i], targets, k=3)
+            stats = server.stats()
+        assert stats.window["serve.latency_s"]["count"] == 3
+        text = stats.table()
+        assert "window req rate /s" in text
+        assert "window latency p50/p99 ms" in text
+
+    def test_no_slos_means_empty_status_and_no_monitor_cost(self, data):
+        targets, queries = data
+        with KNNServer(method="ti-cpu") as server:
+            server.query(queries[0], targets, k=3)
+            stats = server.stats()
+        assert stats.slo == ()
+        registry = server.stats_collector.registry
+        assert registry.value("slo.breaches") == 0
+
+
+class TestWindowedStatsUnderConcurrency:
+    def _fixed_clock(self, t=1000.0):
+        return lambda: t
+
+    def test_windowed_percentiles_deterministic_across_interleavings(self):
+        """Same event multiset, different thread schedules: identical
+        windowed aggregates and SLO verdicts every time."""
+        per_thread = [[(t + 1) * 0.001 + i * 1e-6 for i in range(40)]
+                      for t in range(6)]
+        everything = sorted(v for values in per_thread for v in values)
+        expected_p99 = float(np.percentile(np.asarray(everything), 99))
+
+        def run_once():
+            collector = StatsCollector()
+            windows = MetricWindows(collector.registry,
+                                    clock=self._fixed_clock())
+            monitor = SloMonitor([SloSpec("p99_latency_s", 1.0),
+                                  SloSpec("rejection_rate", 0.5)],
+                                 collector.registry, windows=windows)
+            barrier = threading.Barrier(len(per_thread))
+
+            def work(values, route):
+                barrier.wait()
+                for value in values:
+                    collector.record_submitted()
+                    collector.record_served(value, route=route)
+
+            threads = [
+                threading.Thread(
+                    target=work,
+                    args=(values, "exact" if t % 2 == 0 else "approx"))
+                for t, values in enumerate(per_thread)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            statuses = monitor.evaluate()
+            return windows, statuses
+
+        results = [run_once() for _ in range(3)]
+        for windows, statuses in results:
+            assert windows.count("serve.latency_s") == len(everything)
+            assert sorted(windows.window("serve.latency_s").samples()) \
+                == everything
+            assert windows.percentile("serve.latency_s", 99) \
+                == pytest.approx(expected_p99)
+            # Per-route split: half the threads served each route.
+            assert windows.count("serve.latency_exact_s") == 120
+            assert windows.count("serve.latency_approx_s") == 120
+            latency, rejection = statuses
+            assert latency.ok
+            assert latency.value == pytest.approx(expected_p99)
+            assert rejection.ok and rejection.value == 0.0
+        # And identical across runs, not merely each-correct.
+        first = results[0][1]
+        for _, statuses in results[1:]:
+            assert [s.value for s in statuses] \
+                == [s.value for s in first]
+
+    def test_counter_windows_match_lifetime_under_threads(self):
+        collector = StatsCollector()
+        windows = MetricWindows(collector.registry,
+                                clock=self._fixed_clock())
+
+        def work():
+            for _ in range(200):
+                collector.record_submitted()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert collector.registry.value("serve.submitted") == 1600
+        assert windows.count("serve.submitted") == 1600

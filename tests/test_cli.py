@@ -357,3 +357,148 @@ class TestGraphCLI:
                            "--recall-target", "0.9"])
         assert code == 2
         assert "--index-dir" in text
+
+
+class TestExplainCommand:
+    def test_explain_renders_audit_table(self):
+        code, text = _run(["explain", "--n", "300", "--dim", "6",
+                           "-k", "5"])
+        assert code == 0
+        assert "query audit" in text
+        assert "funnel.candidates" in text
+        assert "plan.workers" in text
+        assert "span.engine.execute" in text
+
+    def test_explain_json_writes_audit_record(self, tmp_path):
+        import json
+
+        path = tmp_path / "audit.jsonl"
+        code, text = _run(["explain", "--n", "300", "--dim", "6",
+                           "-k", "5", "--json", str(path)])
+        assert code == 0
+        (record,) = [json.loads(line)
+                     for line in path.read_text().splitlines()]
+        assert record["type"] == "query_audit"
+        assert record["k"] == 5
+        assert record["funnel"]["candidates"] > 0
+
+    def test_explain_sharded_lists_shards(self):
+        code, text = _run(["explain", "--n", "300", "--dim", "6",
+                           "-k", "5", "--method", "ti-cpu",
+                           "--workers", "2", "--pool", "thread"])
+        assert code == 0
+        assert "shard 0" in text
+
+
+class TestBenchGateCommand:
+    @pytest.fixture
+    def results_dir(self, tmp_path):
+        import json
+
+        payload = {"dataset": "synthetic", "n": 500,
+                   "query_time_s": 0.2, "speedup": 3.0}
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_gate_without_trajectory_exits_2(self, results_dir):
+        code, text = _run(["bench-gate", "--results-dir",
+                           str(results_dir)])
+        assert code == 2
+        assert "--ingest" in text
+
+    def test_ingest_then_repeat_gate_passes(self, results_dir):
+        code, text = _run(["bench-gate", "--results-dir",
+                           str(results_dir), "--ingest"])
+        assert code == 0
+        assert "ingested" in text
+        assert (results_dir / "TRAJECTORY.jsonl").exists()
+        code, text = _run(["bench-gate", "--results-dir",
+                           str(results_dir)])
+        assert code == 0
+        assert "ok=2" in text
+
+    def test_2x_slowdown_gates_nonzero(self, results_dir):
+        import json
+
+        _run(["bench-gate", "--results-dir", str(results_dir),
+              "--ingest"])
+        slow = {"dataset": "synthetic", "n": 500,
+                "query_time_s": 0.4, "speedup": 3.0}
+        candidate = results_dir / "BENCH_demo.json"
+        candidate.write_text(json.dumps(slow))
+        code, text = _run(["bench-gate", "--results-dir",
+                           str(results_dir)])
+        assert code == 1
+        assert "regression" in text
+        assert "query_time_s" in text
+        assert "2.00x" in text
+
+    def test_committed_trajectory_self_gates_clean(self):
+        """The repo's own BENCH payloads pass against the committed
+        trajectory (the CI bench-gate contract)."""
+        code, text = _run(["bench-gate"])
+        assert code == 0
+        assert "no regressions" in text
+
+
+class TestObsReportCommand:
+    @pytest.fixture
+    def events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        code, _ = _run(["trace", "--events-out", str(path),
+                        "run", "--n", "300", "--dim", "6", "-k", "5"])
+        assert code == 0
+        return path
+
+    def test_report_renders_spans_funnel_metrics(self, events):
+        code, text = _run(["obs", "report", "--events", str(events)])
+        assert code == 0
+        assert "span timings" in text
+        assert "filtering funnel" in text
+        assert "engine.execute" in text
+
+    def test_report_evaluates_slos_ok(self, events):
+        code, text = _run(["obs", "report", "--events", str(events),
+                           "--slo", "funnel_efficiency=0.1"])
+        assert code == 0
+        assert "funnel_efficiency >= 0.1" in text
+        assert "OK" in text
+
+    def test_report_slo_breach_exits_nonzero(self, events):
+        code, text = _run(["obs", "report", "--events", str(events),
+                           "--slo", "funnel_efficiency=0.9999"])
+        assert code == 1
+        assert "BREACH" in text
+
+    def test_report_rejects_unknown_slo(self, events):
+        code, text = _run(["obs", "report", "--events", str(events),
+                           "--slo", "p9000=1"])
+        assert code == 2
+        assert "unknown SLO" in text
+
+    def test_report_missing_file_exits_2(self, tmp_path):
+        code, text = _run(["obs", "report", "--events",
+                           str(tmp_path / "absent.jsonl")])
+        assert code == 2
+
+
+class TestServeBenchSlo:
+    def test_slo_holds_exits_zero(self):
+        code, text = _run(["serve-bench", "--n", "300", "--dim", "6",
+                           "-k", "5", "--requests", "20",
+                           "--slo", "p99_latency_s=30"])
+        assert code == 0
+        assert "SLO objective(s) hold" in text
+
+    def test_slo_breach_exits_nonzero(self):
+        code, text = _run(["serve-bench", "--n", "300", "--dim", "6",
+                           "-k", "5", "--requests", "20",
+                           "--slo", "p99_latency_s=1e-9"])
+        assert code == 1
+        assert "SLO BREACH" in text
+        assert "p99_latency_s" in text
+
+    def test_rejects_malformed_slo(self):
+        code, text = _run(["serve-bench", "--n", "200", "--dim", "6",
+                           "--slo", "latency"])
+        assert code == 2
