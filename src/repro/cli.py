@@ -377,6 +377,37 @@ def _method_arg(parser):
                         help="a registered engine")
 
 
+def _availability_note(method):
+    """The missing-requirement one-liner for a method, or None."""
+    from .engine import missing_requirements
+
+    missing = missing_requirements(get_engine(method))
+    if not missing:
+        return None
+    note = "method %r requires %s, which is not installed" % (
+        method, ", ".join(missing))
+    if "numba" in missing:
+        from .native.support import NUMBA_INSTALL_HINT
+
+        note += " — %s" % (NUMBA_INSTALL_HINT
+                           % method.replace("-native", "-flat"))
+    return note
+
+
+def _check_method_available(method, out):
+    """Fail fast (exit 2) when an optional engine dependency is absent.
+
+    The ``*-native`` engines declare ``requires=("numba",)``; selecting
+    one on an install without numba prints the one-line remedy instead
+    of an ImportError traceback.
+    """
+    note = _availability_note(method)
+    if note is not None:
+        out.write("%s\n" % note)
+        return 2
+    return 0
+
+
 def _eps_arg(parser):
     parser.add_argument("--eps", type=float, default=None,
                         help="range radius for the ε-range join engines "
@@ -531,6 +562,9 @@ def _profile_row(label, result, baseline=None):
 
 def cmd_run(args, out):
     spec = get_engine(args.method)
+    code = _check_method_available(args.method, out)
+    if code:
+        return code
     range_kind = spec.caps.result_kind == "range"
     approximate = spec.caps.approximate
     code = _check_recall_target(args, out)
@@ -787,6 +821,9 @@ def cmd_compare(args, out):
     rows = []
     for method in args.methods:
         spec = get_engine(method)
+        code = _check_method_available(method, out)
+        if code:
+            return code
         options, code = _range_options(method, args.eps, out) \
             if spec.required_options else ({}, 0)
         if code:
@@ -882,6 +919,9 @@ def cmd_adaptive(args, out):
 
 
 def cmd_plan(args, out):
+    code = _check_method_available(args.method, out)
+    if code:
+        return code
     options, code = _range_options(args.method, args.eps, out)
     if code:
         return code
@@ -891,6 +931,9 @@ def cmd_plan(args, out):
                           device=device if spec.caps.needs_device else None,
                           workers=args.workers, pool=args.pool)
     out.write("execution plan for %s (method=%s):\n" % (name, args.method))
+    if spec.caps.requires:
+        out.write("  %-16s %s (installed)\n"
+                  % ("requires", ", ".join(spec.caps.requires)))
     if options:
         out.write("  %-16s %s\n" % ("knobs", options))
     for key, value in exec_plan.describe().items():
@@ -910,6 +953,9 @@ def cmd_classify(args, out):
     from .workloads import knn_classify
 
     spec = get_engine(args.method)
+    code = _check_method_available(args.method, out)
+    if code:
+        return code
     rng = np.random.default_rng(args.seed)
     points, labels = _labelled_mixture(args.n, args.dim, rng, args.classes)
     if not 0.0 < args.train_frac < 1.0:
@@ -942,6 +988,9 @@ def cmd_novelty(args, out):
     from .workloads import novelty_scores
 
     spec = get_engine(args.method)
+    code = _check_method_available(args.method, out)
+    if code:
+        return code
     rng = np.random.default_rng(args.seed)
     points = gaussian_mixture(args.n, args.dim, rng,
                               n_clusters=max(4, args.n // 100),
@@ -985,6 +1034,12 @@ def cmd_serve_bench(args, out):
     code = _check_recall_target(args, out)
     if code:
         return code
+    for method in (args.method, args.degraded_method):
+        if method in (None, "none", ""):
+            continue
+        code = _check_method_available(method, out)
+        if code:
+            return code
     try:
         slos = tuple(SloSpec.parse(text) for text in args.slo)
     except ValidationError as exc:
@@ -1094,6 +1149,9 @@ def cmd_serve_bench(args, out):
 
 def cmd_explain(args, out):
     spec = get_engine(args.method)
+    code = _check_method_available(args.method, out)
+    if code:
+        return code
     options, code = _range_options(args.method, args.eps, out)
     if code:
         return code

@@ -259,11 +259,17 @@ def point_scan(query_point, query_index, target_clusters, candidate_ids,
         member_dists = target_clusters.member_dists[tc]
         acc.enter_cluster(tc)
         tol = bound_comparison_tol(q2tc, acc.tol_ref)
+        # ``limit()`` only changes when the accumulator's bound state
+        # mutates — an accepted offer (top-k θ tightening) or cluster
+        # entry (reverse-KNN) — so the ``limit() + tol`` sum is hoisted
+        # out of the member loop and refreshed exactly at those points:
+        # identical decisions, recomputed ~updates times instead of
+        # once per member.
+        limit = acc.limit() + tol
 
         for pos in range(member_idx.size):
             trace.steps += 1
             lb = q2tc - member_dists[pos]
-            limit = acc.limit() + tol
             if lb > limit:
                 trace.breaks += 1
                 break
@@ -275,7 +281,8 @@ def point_scan(query_point, query_index, target_clusters, candidate_ids,
                 continue
             dist = euclidean(query_point, points[t])
             trace.distance_computations += 1
-            acc.offer(dist, t)
+            if acc.offer(dist, t):
+                limit = acc.limit() + tol
 
     trace.heap_updates = acc.updates
     trace.accepted = acc.accepted

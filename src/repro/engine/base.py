@@ -58,6 +58,15 @@ class EngineCaps:
         recall* instead of declaring a mismatch; everything else — the
         batch/shard merge, serving, stats — treats approximate results
         exactly like exact ones.
+    requires:
+        Optional runtime dependencies (importable module names, e.g.
+        ``("numba",)`` for the native kernel tier) the engine needs.
+        The registry's availability helpers
+        (:func:`repro.engine.missing_requirements`) probe them, the
+        dispatcher fails fast with an
+        :class:`~repro.errors.EngineUnavailableError` when one is
+        absent, and ``repro.METHODS.available()`` / ``repro plan`` /
+        ``compare`` surface the availability to users.
     """
 
     needs_device: bool = False
@@ -67,6 +76,7 @@ class EngineCaps:
     tiles_internally: bool = False
     result_kind: str = "knn"
     approximate: bool = False
+    requires: tuple = ()
 
 
 @dataclass

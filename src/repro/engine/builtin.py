@@ -20,8 +20,9 @@ from ..core.joins import ENGINES as _JOINS
 from ..core.sweet import ENGINE as _SWEET
 from ..core.ti_knn import ENGINE as _TI_CPU
 from ..graph.search import ENGINES as _GRAPH
+from ..native.engine import ENGINES as _NATIVE
 from .registry import register
 
 for _spec in (_SWEET, _TI_GPU, _TI_CPU, _CUBLAS, _BRUTE, _KDTREE,
-              *_JOINS, *_BRUTE_JOINS, *_GRAPH):
+              *_JOINS, *_BRUTE_JOINS, *_GRAPH, *_NATIVE):
     register(_spec, replace=True)

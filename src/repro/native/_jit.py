@@ -1,0 +1,254 @@
+"""numba-jitted level-2 scan kernels (import only when numba exists).
+
+Algorithm 2 loop-for-loop over the flat CSR layout
+(:class:`~repro.native.layout.FlatTargets`): one ``prange`` lane per
+query, a preallocated per-query heap row, the ``bound_comparison_tol``
+slack and the descending-member early ``break`` — decision for
+decision the sequential reference (:func:`repro.core.filters
+.point_scan`), so results and funnel counters are bit-identical to
+the numpy engines.
+
+Two bitwise-identity constraints shape the code:
+
+* exact distances go through ``np.sqrt(np.dot(diff, diff))``, the same
+  dot-product reduction the reference ``euclidean`` uses (numba lowers
+  1-D float64 ``np.dot`` to the BLAS ``ddot`` numpy's reduction also
+  calls; the numba-gated parity tests assert the identity holds on the
+  installed BLAS);
+* θ and the pruning limit are plain float64 locals updated exactly
+  where :class:`~repro.core.predicates.TopKAccumulator` updates them
+  (a successful heap push), the hoisted ``point_scan`` form.
+
+The kernels are module-level functions (not closures) so numba's
+on-disk cache (``cache=True``) can persist the compiled machine code
+across processes; host-side wrappers live in
+:mod:`repro.native.scan_numba`.
+
+Per-query counter columns (``counters[qi, _]``)::
+
+    0 steps  1 breaks  2 examined  3 distance_computations
+    4 center_distance_computations  5 accepted
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+from ..core.filters import BOUND_COMPARISON_RTOL
+
+__all__ = ["scan_all_full", "scan_all_partial"]
+
+_RTOL = float(BOUND_COMPARISON_RTOL)
+
+
+@njit(cache=True)
+def _heap_replace_root(heap_d, heap_i, distance, index):
+    """Max-heap root replacement + sift-down (``KNearestHeap``)."""
+    k = heap_d.shape[0]
+    heap_d[0] = distance
+    heap_i[0] = index
+    pos = 0
+    while True:
+        left = 2 * pos + 1
+        right = left + 1
+        largest = pos
+        if left < k and heap_d[left] > heap_d[largest]:
+            largest = left
+        if right < k and heap_d[right] > heap_d[largest]:
+            largest = right
+        if largest == pos:
+            break
+        tmp_d = heap_d[pos]
+        heap_d[pos] = heap_d[largest]
+        heap_d[largest] = tmp_d
+        tmp_i = heap_i[pos]
+        heap_i[pos] = heap_i[largest]
+        heap_i[largest] = tmp_i
+        pos = largest
+
+
+@njit(parallel=True, cache=True)
+def scan_all_full(q_points, rows, ub_arr, cand_flat, cand_start, cand_end,
+                  offsets, member_idx, member_dists, points, k,
+                  out_dists, out_idx, counters):
+    """Full (updating-θ) scans for a batch of queries, one lane each.
+
+    ``out_dists``/``out_idx`` arrive preallocated as (nq, k) heaps
+    (``inf`` / -1); on return each row is the query's final heap in
+    heap order — the host applies ``sorted_items``.
+    """
+    nq = q_points.shape[0]
+    dim = q_points.shape[1]
+    for qi in prange(nq):
+        heap_d = out_dists[qi]
+        heap_i = out_idx[qi]
+        qp = q_points[qi]
+        ub = ub_arr[qi]
+        diff = np.empty(dim, dtype=np.float64)
+        count = 0
+        accepted = 0
+        steps = 0
+        breaks = 0
+        examined = 0
+        dcomp = 0
+        cdc = 0
+        theta = ub
+        for ci in range(cand_start[qi], cand_end[qi]):
+            tc = cand_flat[ci]
+            q2tc = rows[qi, tc]
+            cdc += 1
+            tol = _RTOL * (abs(q2tc) + abs(ub) + 1.0)
+            limit = theta + tol
+            for pos in range(offsets[tc], offsets[tc + 1]):
+                steps += 1
+                lbv = q2tc - member_dists[pos]
+                if lbv > limit:
+                    breaks += 1
+                    break
+                if lbv < -limit:
+                    continue
+                examined += 1
+                t = member_idx[pos]
+                for col in range(dim):
+                    diff[col] = qp[col] - points[t, col]
+                dist = np.sqrt(np.dot(diff, diff))
+                dcomp += 1
+                if dist < heap_d[0]:
+                    if heap_i[0] == -1:
+                        count += 1
+                    _heap_replace_root(heap_d, heap_i, dist, t)
+                    accepted += 1
+                    if count >= k:
+                        theta = min(ub, heap_d[0])
+                    limit = theta + tol
+        counters[qi, 0] = steps
+        counters[qi, 1] = breaks
+        counters[qi, 2] = examined
+        counters[qi, 3] = dcomp
+        counters[qi, 4] = cdc
+        counters[qi, 5] = accepted
+
+
+@njit(cache=True)
+def _pair_sift_up(heap_d, heap_i, pos):
+    """Sift-up for the (distance, index) lexicographic max-heap."""
+    while pos > 0:
+        parent = (pos - 1) // 2
+        if (heap_d[parent] < heap_d[pos]
+                or (heap_d[parent] == heap_d[pos]
+                    and heap_i[parent] < heap_i[pos])):
+            tmp_d = heap_d[parent]
+            heap_d[parent] = heap_d[pos]
+            heap_d[pos] = tmp_d
+            tmp_i = heap_i[parent]
+            heap_i[parent] = heap_i[pos]
+            heap_i[pos] = tmp_i
+            pos = parent
+        else:
+            break
+
+
+@njit(cache=True)
+def _pair_replace_root(heap_d, heap_i, size, distance, index):
+    """Root replacement for the lexicographic max-heap."""
+    heap_d[0] = distance
+    heap_i[0] = index
+    pos = 0
+    while True:
+        left = 2 * pos + 1
+        right = left + 1
+        largest = pos
+        if left < size and (heap_d[left] > heap_d[largest]
+                            or (heap_d[left] == heap_d[largest]
+                                and heap_i[left] > heap_i[largest])):
+            largest = left
+        if right < size and (heap_d[right] > heap_d[largest]
+                             or (heap_d[right] == heap_d[largest]
+                                 and heap_i[right] > heap_i[largest])):
+            largest = right
+        if largest == pos:
+            break
+        tmp_d = heap_d[pos]
+        heap_d[pos] = heap_d[largest]
+        heap_d[largest] = tmp_d
+        tmp_i = heap_i[pos]
+        heap_i[pos] = heap_i[largest]
+        heap_i[largest] = tmp_i
+        pos = largest
+
+
+@njit(parallel=True, cache=True)
+def scan_all_partial(q_points, rows, ub_arr, cand_flat, cand_start, cand_end,
+                     offsets, member_idx, member_dists, points, k,
+                     out_dists, out_idx, out_counts, counters):
+    """Partial (fixed-θ) scans + in-lane k-select, one lane per query.
+
+    θ stays at the level-1 ``UB``; every survivor is offered to a
+    k-bounded max-heap keyed lexicographically on ``(distance,
+    index)``, whose sorted content equals
+    ``heapq.nsmallest(k, pairs)`` — the reference partial filter's
+    ``select_k_from_pairs``.  Each output row holds its query's
+    ``out_counts[qi]`` kept pairs, ascending by (distance, index).
+    """
+    nq = q_points.shape[0]
+    dim = q_points.shape[1]
+    for qi in prange(nq):
+        heap_d = out_dists[qi]
+        heap_i = out_idx[qi]
+        qp = q_points[qi]
+        ub = ub_arr[qi]
+        diff = np.empty(dim, dtype=np.float64)
+        kept = 0
+        steps = 0
+        breaks = 0
+        examined = 0
+        dcomp = 0
+        cdc = 0
+        for ci in range(cand_start[qi], cand_end[qi]):
+            tc = cand_flat[ci]
+            q2tc = rows[qi, tc]
+            cdc += 1
+            tol = _RTOL * (abs(q2tc) + abs(ub) + 1.0)
+            limit = ub + tol
+            for pos in range(offsets[tc], offsets[tc + 1]):
+                steps += 1
+                lbv = q2tc - member_dists[pos]
+                if lbv > limit:
+                    breaks += 1
+                    break
+                if lbv < -limit:
+                    continue
+                examined += 1
+                t = member_idx[pos]
+                for col in range(dim):
+                    diff[col] = qp[col] - points[t, col]
+                dist = np.sqrt(np.dot(diff, diff))
+                dcomp += 1
+                if kept < k:
+                    heap_d[kept] = dist
+                    heap_i[kept] = t
+                    _pair_sift_up(heap_d, heap_i, kept)
+                    kept += 1
+                elif (dist < heap_d[0]
+                      or (dist == heap_d[0] and t < heap_i[0])):
+                    _pair_replace_root(heap_d, heap_i, kept, dist, t)
+        # Ascending (distance, index) — insertion sort over <= k pairs.
+        for a in range(1, kept):
+            dv = heap_d[a]
+            iv = heap_i[a]
+            b = a - 1
+            while b >= 0 and (heap_d[b] > dv
+                              or (heap_d[b] == dv and heap_i[b] > iv)):
+                heap_d[b + 1] = heap_d[b]
+                heap_i[b + 1] = heap_i[b]
+                b -= 1
+            heap_d[b + 1] = dv
+            heap_i[b + 1] = iv
+        out_counts[qi] = kept
+        counters[qi, 0] = steps
+        counters[qi, 1] = breaks
+        counters[qi, 2] = examined
+        counters[qi, 3] = dcomp
+        counters[qi, 4] = cdc
+        counters[qi, 5] = examined

@@ -1,0 +1,118 @@
+"""Flat (CSR-packed) view of a clustered target set.
+
+The level-2 kernels — numpy-vectorized and numba-jitted alike — want
+the per-cluster member lists of a
+:class:`~repro.core.clustering.ClusteredSet` as three flat arrays
+(member indices, member distances, cluster offsets) instead of a list
+of ragged ndarrays: one contiguous layout both tiers index with
+``offsets[tc]:offsets[tc + 1]``, and the only container shape numba
+can compile over.
+
+Packing is O(n) and allocates ~12 bytes per target point, so it is
+memoized per :class:`ClusteredSet` *object* (validated by a weak
+reference, the idiom of :mod:`repro.index.fingerprint`): a prepared
+plan queried many times — or sliced into query batches/shards — packs
+once per process.  The memo treats the clustered set as immutable,
+the contract every prepared plan already imposes.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlatTargets", "flat_targets", "cached_layouts", "clear_memo"]
+
+_memo = {}            # id(ClusteredSet) -> (weakref, FlatTargets)
+_memo_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class FlatTargets:
+    """CSR layout of a target clustering's member lists.
+
+    Attributes
+    ----------
+    points:
+        (n, d) float64 C-contiguous target matrix (shared with the
+        clustered set when already canonical).
+    member_idx:
+        (n,) int64 concatenation of every cluster's member indices, in
+        the clustered set's (descending member-distance) order.
+    member_dists:
+        (n,) float64 member-to-centre distances, aligned with
+        ``member_idx``.
+    offsets:
+        (m + 1,) int64 row pointer: cluster ``tc``'s members live at
+        ``[offsets[tc], offsets[tc + 1])``.
+    """
+
+    points: np.ndarray
+    member_idx: np.ndarray
+    member_dists: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_clusters(self):
+        return int(self.offsets.shape[0] - 1)
+
+    def sizes(self):
+        return np.diff(self.offsets)
+
+
+def _pack(clustered):
+    sizes = np.asarray([m.size for m in clustered.members], dtype=np.int64)
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    if sizes.sum():
+        member_idx = np.ascontiguousarray(
+            np.concatenate(clustered.members).astype(np.int64, copy=False))
+        member_dists = np.ascontiguousarray(
+            np.concatenate(clustered.member_dists).astype(
+                np.float64, copy=False))
+    else:
+        member_idx = np.empty(0, dtype=np.int64)
+        member_dists = np.empty(0, dtype=np.float64)
+    points = np.ascontiguousarray(
+        np.asarray(clustered.points, dtype=np.float64))
+    return FlatTargets(points=points, member_idx=member_idx,
+                       member_dists=member_dists, offsets=offsets)
+
+
+def flat_targets(clustered):
+    """The memoized :class:`FlatTargets` of a clustered target set.
+
+    Repeat calls with the same :class:`ClusteredSet` object return the
+    cached layout without touching the member lists (O(1)); the entry
+    is dropped when the clustered set is garbage collected, so a
+    recycled ``id`` can never alias a stale layout.
+    """
+    key = id(clustered)
+    with _memo_lock:
+        entry = _memo.get(key)
+        if entry is not None and entry[0]() is clustered:
+            return entry[1]
+    flat = _pack(clustered)
+    try:
+        ref = weakref.ref(clustered,
+                          lambda _ref, _key=key: _memo.pop(_key, None))
+    except TypeError:
+        return flat
+    with _memo_lock:
+        _memo[key] = (ref, flat)
+    return flat
+
+
+def cached_layouts():
+    """Number of live memo entries (tests, debugging)."""
+    with _memo_lock:
+        return len(_memo)
+
+
+def clear_memo():
+    """Drop every memoized layout (tests)."""
+    with _memo_lock:
+        _memo.clear()

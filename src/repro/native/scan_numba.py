@@ -1,0 +1,116 @@
+"""Host-side wrappers around the jitted kernels of :mod:`._jit`.
+
+Importing this module requires numba (it imports :mod:`._jit`, which
+imports ``numba`` at module level so ``cache=True`` sees module-level
+functions); go through :func:`repro.native.support.numba_available`
+first.  The wrappers own the batch-buffer allocation and the per-dim
+warm-up/compile-time ledger.
+
+Counter columns of the (nq, 6) ``counters`` matrix both kernels fill::
+
+    COL_STEPS, COL_BREAKS, COL_EXAMINED, COL_DCOMP, COL_CDC,
+    COL_ACCEPTED
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .support import record_compile_seconds
+
+__all__ = ["run_full", "run_partial", "warm_up",
+           "COL_STEPS", "COL_BREAKS", "COL_EXAMINED", "COL_DCOMP",
+           "COL_CDC", "COL_ACCEPTED"]
+
+COL_STEPS = 0
+COL_BREAKS = 1
+COL_EXAMINED = 2
+COL_DCOMP = 3
+COL_CDC = 4
+COL_ACCEPTED = 5
+
+_warmed_dims = set()
+
+
+def warm_up(dim=2):
+    """Compile (or cache-load) both kernels for ``dim``-d points.
+
+    Returns the wall seconds this call spent (0.0 when ``dim`` is
+    already warm in this process); the time is added to the compile
+    ledger :func:`repro.native.support.native_compile_seconds` reads.
+    """
+    dim = int(dim)
+    if dim in _warmed_dims:
+        return 0.0
+    started = time.perf_counter()
+    from . import _jit
+
+    points = np.vstack([np.ones(dim), np.zeros(dim)]).astype(np.float64)
+    member_idx = np.array([0, 1], dtype=np.int64)
+    member_dists = np.array([float(np.sqrt(dim)), 0.0], dtype=np.float64)
+    offsets = np.array([0, 2], dtype=np.int64)
+    q_points = np.zeros((1, dim), dtype=np.float64)
+    rows = np.zeros((1, 1), dtype=np.float64)
+    ub_arr = np.array([10.0 + dim], dtype=np.float64)
+    cand_flat = np.array([0], dtype=np.int64)
+    cand_start = np.array([0], dtype=np.int64)
+    cand_end = np.array([1], dtype=np.int64)
+    out_d = np.full((1, 1), np.inf, dtype=np.float64)
+    out_i = np.full((1, 1), -1, dtype=np.int64)
+    counters = np.zeros((1, 6), dtype=np.int64)
+    _jit.scan_all_full(q_points, rows, ub_arr, cand_flat, cand_start,
+                       cand_end, offsets, member_idx, member_dists, points,
+                       1, out_d, out_i, counters)
+    out_d[:] = np.inf
+    out_i[:] = -1
+    out_counts = np.zeros(1, dtype=np.int64)
+    _jit.scan_all_partial(q_points, rows, ub_arr, cand_flat, cand_start,
+                          cand_end, offsets, member_idx, member_dists,
+                          points, 1, out_d, out_i, out_counts, counters)
+    elapsed = time.perf_counter() - started
+    record_compile_seconds(elapsed)
+    _warmed_dims.add(dim)
+    return elapsed
+
+
+def run_full(flat, q_points, rows, ub_arr, cand_flat, cand_start, cand_end,
+             k):
+    """Full scans for a query batch; returns (heap_d, heap_i, counters).
+
+    Each returned heap row is in heap order — apply
+    :func:`repro.native.scan_numpy.heap_sorted_items` per query.
+    """
+    from . import _jit
+
+    nq = q_points.shape[0]
+    k = int(k)
+    out_d = np.full((nq, k), np.inf, dtype=np.float64)
+    out_i = np.full((nq, k), -1, dtype=np.int64)
+    counters = np.zeros((nq, 6), dtype=np.int64)
+    _jit.scan_all_full(q_points, rows, ub_arr, cand_flat, cand_start,
+                       cand_end, flat.offsets, flat.member_idx,
+                       flat.member_dists, flat.points, k, out_d, out_i,
+                       counters)
+    return out_d, out_i, counters
+
+
+def run_partial(flat, q_points, rows, ub_arr, cand_flat, cand_start,
+                cand_end, k):
+    """Partial scans + in-lane k-select; returns
+    (dists, idx, counts, counters) with each row's first ``counts[qi]``
+    entries ascending by (distance, index)."""
+    from . import _jit
+
+    nq = q_points.shape[0]
+    k = int(k)
+    out_d = np.full((nq, k), np.inf, dtype=np.float64)
+    out_i = np.full((nq, k), -1, dtype=np.int64)
+    out_counts = np.zeros(nq, dtype=np.int64)
+    counters = np.zeros((nq, 6), dtype=np.int64)
+    _jit.scan_all_partial(q_points, rows, ub_arr, cand_flat, cand_start,
+                          cand_end, flat.offsets, flat.member_idx,
+                          flat.member_dists, flat.points, k, out_d, out_i,
+                          out_counts, counters)
+    return out_d, out_i, out_counts, counters

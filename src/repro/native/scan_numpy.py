@@ -1,0 +1,285 @@
+"""Vectorized numpy fallback of the flat level-2 scan.
+
+This is Algorithm 2 (and Sweet KNN's weakened partial variant) over
+the :class:`~repro.native.layout.FlatTargets` CSR layout, with the
+top-k predicate specialized out of the accumulator protocol: the
+per-query heap is a pair of preallocated flat arrays mutated by an
+inline replica of :class:`repro.kselect.KNearestHeap`, and the
+updating bound θ is a local float.
+
+The vectorization is the decision-faithful pattern proven by
+:mod:`repro.core.scan`: ``lb = d(q, c_t) - d(t, c_t)`` ascends along a
+cluster's (descending-sorted) member list, so runs of skips are
+located with ``searchsorted`` and exact distances are computed in
+batched windows.  Windows are consumed in constant-θ *epochs*: θ can
+only tighten on a successful heap push, so everything up to the first
+distance that beats the heap root is bulk-counted, the push is applied,
+and the walk resumes under the refreshed bound — the same decisions as
+the sequential loop, one Python iteration per *push* instead of per
+member.  Two details make the output
+bit-identical (results **and** funnel counters) to the sequential
+reference (:func:`repro.core.filters.point_scan`):
+
+* window distances use the batched-matmul form
+  ``sqrt((diffs[:, None, :] @ diffs[:, :, None]).ravel())``, which is
+  elementwise bit-equal to the reference's per-pair
+  ``sqrt(np.dot(diff, diff))`` (both reduce through the same dot
+  kernel) — unlike ``einsum``, whose SIMD reduction order can differ
+  in the last ulp;
+* the pruning limit ``θ + tol`` is refreshed exactly when the
+  accumulator state changes (a successful heap push), which is the
+  hoisted form of the reference loop (see ``point_scan``) — identical
+  decisions, recomputed ~k times instead of once per member.
+
+Counter semantics match ``point_scan`` step for step: every member
+position considered costs one ``steps``, a break costs one step plus
+one ``breaks``, and only members that pass both bound checks count as
+``examined``/``distance_computations``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.filters import ScanTrace, bound_comparison_tol
+
+__all__ = ["scan_query_full", "scan_query_partial", "heap_sorted_items",
+           "select_k_flat"]
+
+#: Members whose exact distances are computed per vectorised batch
+#: (matches the simulated-GPU scan's window).
+_WINDOW = 64
+
+
+def heap_sorted_items(heap_dists, heap_idx):
+    """``KNearestHeap.sorted_items`` over flat heap arrays.
+
+    Bound-only slots (index -1) are excluded; ties keep heap-array
+    order (stable argsort), exactly the reference heap's output order.
+    """
+    mask = heap_idx >= 0
+    order = np.argsort(heap_dists[mask], kind="stable")
+    return heap_dists[mask][order], heap_idx[mask][order]
+
+
+def select_k_flat(dists, idx, k):
+    """k smallest pairs by ``(distance, index)``, ascending.
+
+    Bit-equal to :func:`repro.kselect.select_k_from_pairs`
+    (``heapq.nsmallest`` over ``(dist, t)`` tuples): primary key
+    distance, ties broken by target index.
+    """
+    if dists.size == 0:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    take = min(int(k), dists.size)
+    order = np.lexsort((idx, dists))[:take]
+    return dists[order], idx[order]
+
+
+def _heap_replace_root(heap_dists, heap_idx, distance, index):
+    """``KNearestHeap._replace_root`` over flat sequences (sift-down).
+
+    Operates on plain Python lists (the scan's working representation:
+    list item access is ~10x cheaper than numpy scalar indexing) but
+    replicates the reference sift move for move, so the final layout —
+    and therefore the tie order of ``sorted_items`` — is identical.
+    """
+    heap_dists[0] = distance
+    heap_idx[0] = index
+    pos = 0
+    k = len(heap_dists)
+    while True:
+        left = 2 * pos + 1
+        right = left + 1
+        largest = pos
+        if left < k and heap_dists[left] > heap_dists[largest]:
+            largest = left
+        if right < k and heap_dists[right] > heap_dists[largest]:
+            largest = right
+        if largest == pos:
+            break
+        heap_dists[pos], heap_dists[largest] = (heap_dists[largest],
+                                                heap_dists[pos])
+        heap_idx[pos], heap_idx[largest] = heap_idx[largest], heap_idx[pos]
+        pos = largest
+
+
+def scan_query_full(flat, query_point, row, cand, ub, k):
+    """One query's full (updating-θ) scan over the flat layout.
+
+    Parameters
+    ----------
+    flat:
+        :class:`~repro.native.layout.FlatTargets`.
+    query_point:
+        (d,) query coordinates.
+    row:
+        Precomputed query-to-centre distances (``center_distance_rows``
+        row; non-candidate columns may be NaN).
+    cand:
+        Level-1 survivor cluster ids, ascending by centre distance.
+    ub:
+        The query cluster's level-1 upper bound.
+    k:
+        Neighbours to keep.
+
+    Returns
+    -------
+    (dists, idx, trace)
+        Sorted neighbour arrays (ascending; ties in heap order) and
+        the :class:`~repro.core.filters.ScanTrace` work counters.
+    """
+    trace = ScanTrace()
+    k = int(k)
+    ub = float(ub)
+    heap_dists = [np.inf] * k
+    heap_idx = [-1] * k
+    count = 0
+    accepted = 0
+    cdc = 0
+    theta = ub
+    points = flat.points
+    member_idx = flat.member_idx
+    member_dists = flat.member_dists
+    offsets = flat.offsets
+    qp = query_point
+    replace_root = _heap_replace_root
+    window = _WINDOW
+
+    steps = 0
+    breaks = 0
+    examined = 0
+
+    for tc in cand:
+        q2tc = row[tc]
+        cdc += 1
+        tol = bound_comparison_tol(q2tc, ub)
+        start = offsets[tc]
+        end = offsets[tc + 1]
+        size = end - start
+        if size == 0:
+            continue
+        lb = q2tc - member_dists[start:end]
+        lb_list = lb.tolist()
+        limit = theta + tol
+        pos = 0
+        # Window cache: exact distances are speculatively batched per
+        # window (and lowered to Python floats — the walk below is
+        # plain float compares) and reused across θ updates, which
+        # never change a member's distance, only the bounds around it.
+        win_start = 0
+        win_end = 0
+        w_dists = w_idx = None
+        while pos < size:
+            value = lb_list[pos]
+            if value > limit:
+                steps += 1
+                breaks += 1
+                break
+            if value < -limit:
+                # A run of skips: lb ascends and θ cannot change while
+                # skipping, so every position before the first
+                # lb >= -limit is skipped under the current bound.
+                run_end = int(lb.searchsorted(-limit, side="left"))
+                if run_end <= pos:
+                    run_end = pos + 1
+                steps += run_end - pos
+                pos = run_end
+                continue
+            if pos >= win_end:
+                stop = int(lb.searchsorted(limit, side="right"))
+                win_start = pos
+                win_end = stop if stop < pos + window else pos + window
+                if win_end > size:
+                    win_end = size
+                w_idx_arr = member_idx[start + win_start:start + win_end]
+                diffs = qp - points[w_idx_arr]
+                w_dists = np.sqrt(
+                    (diffs[:, None, :] @ diffs[:, :, None]).ravel()).tolist()
+                w_idx = w_idx_arr.tolist()
+            steps += 1
+            examined += 1
+            dist = w_dists[pos - win_start]
+            # TopKAccumulator.offer, inlined: reject against the root,
+            # replace + sift on success, tighten θ once the heap holds
+            # k real neighbours.  The pruning limit is refreshed
+            # exactly here — the only point it can change (the hoisted
+            # point_scan form).
+            if dist < heap_dists[0]:
+                if heap_idx[0] == -1:
+                    count += 1
+                replace_root(heap_dists, heap_idx, dist,
+                             w_idx[pos - win_start])
+                accepted += 1
+                if count >= k:
+                    theta = min(ub, heap_dists[0])
+                limit = theta + tol
+            pos += 1
+
+    trace.center_distance_computations = cdc
+    trace.steps = steps
+    trace.breaks = breaks
+    trace.examined = examined
+    trace.distance_computations = examined
+    trace.heap_updates = accepted
+    trace.accepted = accepted
+    dists, idx = heap_sorted_items(
+        np.asarray(heap_dists, dtype=np.float64),
+        np.asarray(heap_idx, dtype=np.int64))
+    return dists, idx, trace
+
+
+def scan_query_partial(flat, query_point, row, cand, ub, k):
+    """One query's partial (fixed-θ) scan over the flat layout.
+
+    θ stays at the level-1 ``UB``, so the skip prefix, compute range
+    and break point are pure positional thresholds and every cluster
+    vectorizes completely; the survivors are k-selected afterwards
+    (``select_k_flat``), exactly the reference partial filter.
+    """
+    trace = ScanTrace()
+    ub = float(ub)
+    points = flat.points
+    member_idx = flat.member_idx
+    member_dists = flat.member_dists
+    offsets = flat.offsets
+    qp = query_point
+    kept_dists = []
+    kept_idx = []
+
+    for tc in cand:
+        q2tc = row[tc]
+        trace.center_distance_computations += 1
+        tol = bound_comparison_tol(q2tc, ub)
+        start = offsets[tc]
+        end = offsets[tc + 1]
+        size = end - start
+        if size == 0:
+            continue
+        lb = q2tc - member_dists[start:end]
+        limit = ub + tol
+        skip_end = int(np.searchsorted(lb, -limit, side="left"))
+        stop = int(np.searchsorted(lb, limit, side="right"))
+        trace.steps += stop
+        if stop < size:
+            trace.steps += 1
+            trace.breaks += 1
+        survivors = stop - skip_end
+        if survivors > 0:
+            trace.examined += survivors
+            trace.distance_computations += survivors
+            trace.accepted += survivors
+            w_idx = member_idx[start + skip_end:start + stop]
+            diffs = qp - points[w_idx]
+            kept_dists.append(np.sqrt(
+                (diffs[:, None, :] @ diffs[:, :, None]).ravel()))
+            kept_idx.append(w_idx)
+
+    if kept_dists:
+        all_dists = np.concatenate(kept_dists)
+        all_idx = np.concatenate(kept_idx)
+    else:
+        all_dists = np.empty(0, dtype=np.float64)
+        all_idx = np.empty(0, dtype=np.int64)
+    dists, idx = select_k_flat(all_dists, all_idx, k)
+    return dists, idx, trace

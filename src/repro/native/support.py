@@ -1,0 +1,69 @@
+"""Optional-dependency plumbing for the native tier.
+
+numba is an *optional* dependency: the ``*-flat`` engines never touch
+it, the ``*-native`` engines require it and fail fast through the
+engine registry's availability checks
+(:func:`repro.engine.missing_requirements`) when it is absent.  This
+module is the single place that answers "is numba importable?" and
+keeps the per-process JIT-compilation ledger the bench harness reads
+(so warm-vs-cold JIT never pollutes ``query_time_s``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+
+__all__ = ["numba_available", "native_compile_seconds",
+           "record_compile_seconds", "warm_up_kernels",
+           "NUMBA_INSTALL_HINT"]
+
+#: The one-line remedy surfaced by the fail-fast UX (CLI exit 2,
+#: ``EngineUnavailableError``, ``repro plan``).
+NUMBA_INSTALL_HINT = ("pip install numba  # or use the %s engine, the "
+                      "always-available numpy fallback")
+
+_lock = threading.Lock()
+_availability = None
+_compile_seconds = 0.0
+
+
+def numba_available():
+    """True when numba is importable in this process (cached)."""
+    global _availability
+    if _availability is None:
+        _availability = importlib.util.find_spec("numba") is not None
+    return bool(_availability)
+
+
+def record_compile_seconds(seconds):
+    """Add JIT-compilation wall time to the per-process ledger."""
+    global _compile_seconds
+    with _lock:
+        _compile_seconds += float(seconds)
+
+
+def native_compile_seconds():
+    """Total wall seconds this process spent compiling native kernels.
+
+    Monotone per process; the native engine snapshots it around a join
+    and reports the delta in ``stats.extra["native_compile_s"]`` so
+    timing harnesses can subtract compilation from ``query_time_s``.
+    """
+    with _lock:
+        return _compile_seconds
+
+
+def warm_up_kernels(dim=2):
+    """Force-compile the jitted kernels for ``dim``-dimensional points.
+
+    Returns the wall seconds the warm-up took (0.0 when numba is
+    absent).  The time is also added to the compile ledger.  Serving
+    and benchmark paths call this before the measured section; numba's
+    on-disk cache (``cache=True``) makes repeat process starts cheap.
+    """
+    if not numba_available():
+        return 0.0
+    from . import scan_numba
+
+    return scan_numba.warm_up(dim)

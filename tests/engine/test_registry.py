@@ -11,7 +11,8 @@ from repro.errors import ValidationError
 
 BUILTIN = ("sweet", "ti-gpu", "ti-cpu", "cublas", "brute", "kdtree",
            "range-join", "self-join-eps", "rknn", "range-join-brute",
-           "rknn-brute", "graph-bfs", "graph-greedy")
+           "rknn-brute", "graph-bfs", "graph-greedy",
+           "ti-flat", "sweet-flat", "ti-native", "sweet-native")
 
 
 def _toy_run(queries, targets, k, ctx, **options):

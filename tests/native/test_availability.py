@@ -1,0 +1,151 @@
+"""Fail-fast UX for the optional numba dependency.
+
+These tests must pass on every install, so they *force* the
+availability answer through monkeypatching instead of depending on
+whether numba happens to be importable: ``_no_numba`` pins the probe
+to False (exercising the fail-fast path even on numba hosts), and the
+registry-level tests use a synthetic requirement with its own probe.
+"""
+
+import io
+
+import pytest
+
+import repro
+from repro import knn_join
+from repro.cli import main
+from repro.engine import (EngineCaps, EngineSpec, available_engine_names,
+                          engine_available, get_engine,
+                          missing_requirements, register,
+                          register_requirement_probe, unregister)
+from repro.engine import registry as registry_module
+from repro.errors import EngineUnavailableError, ValidationError
+from repro.native import support
+
+
+@pytest.fixture
+def _no_numba(monkeypatch):
+    """Pin 'is numba importable?' to False, wherever it is asked."""
+    monkeypatch.setattr(support, "_availability", False)
+    monkeypatch.setattr(registry_module, "_PROBE_CACHE", {})
+    yield
+    registry_module._PROBE_CACHE.clear()
+
+
+@pytest.fixture
+def _with_numba(monkeypatch):
+    """Pin the registry's availability answer to True (probe level only:
+    the engines themselves still refuse to run without the real numba,
+    which is exactly what the executor-bypass test wants)."""
+    monkeypatch.setattr(registry_module, "_PROBE_CACHE", {"numba": True})
+    yield
+    registry_module._PROBE_CACHE.clear()
+
+
+def _cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRegistryAvailability:
+    def test_native_engines_declare_numba(self):
+        for name in ("ti-native", "sweet-native"):
+            assert get_engine(name).caps.requires == ("numba",)
+
+    def test_flat_engines_require_nothing(self):
+        for name in ("ti-flat", "sweet-flat"):
+            assert get_engine(name).caps.requires == ()
+            assert engine_available(name)
+
+    def test_missing_requirements(self, _no_numba):
+        assert missing_requirements(get_engine("ti-native")) == ("numba",)
+        assert missing_requirements(get_engine("ti-flat")) == ()
+
+    def test_available_names_exclude_unavailable(self, _no_numba):
+        names = available_engine_names()
+        assert "ti-flat" in names
+        assert "sweet-flat" in names
+        assert "ti-native" not in names
+        assert "sweet-native" not in names
+
+    def test_methods_view_surfaces_availability(self, _no_numba):
+        assert "ti-native" in repro.METHODS
+        assert "ti-native" not in repro.METHODS.available()
+        availability = repro.METHODS.availability()
+        assert availability["ti-native"] == ("numba",)
+        assert availability["ti-flat"] == ()
+
+    def test_probe_answer_flips_with_availability(self, _with_numba):
+        assert engine_available("ti-native")
+        assert "ti-native" in available_engine_names()
+
+    def test_custom_requirement_probe(self):
+        spec = register(EngineSpec(
+            name="needs-unobtainium", run=lambda *a, **kw: None,
+            caps=EngineCaps(requires=("unobtainium",))))
+        try:
+            register_requirement_probe("unobtainium", lambda: False)
+            assert missing_requirements(spec) == ("unobtainium",)
+            register_requirement_probe("unobtainium", lambda: True)
+            assert missing_requirements(spec) == ()
+        finally:
+            unregister("needs-unobtainium")
+            registry_module._REQUIREMENT_PROBES.pop("unobtainium", None)
+            registry_module._PROBE_CACHE.pop("unobtainium", None)
+
+
+class TestApiFailFast:
+    @pytest.mark.parametrize("method", ["ti-native", "sweet-native"])
+    def test_knn_join_raises_engine_unavailable(self, _no_numba,
+                                                clustered_points, method):
+        with pytest.raises(EngineUnavailableError) as err:
+            knn_join(clustered_points, clustered_points, 4, method=method)
+        assert err.value.engine == method
+        assert err.value.missing == ("numba",)
+        assert "numba" in str(err.value)
+        # The remedy names the always-available fallback engine.
+        assert method.replace("-native", "-flat") in str(err.value)
+
+    def test_engine_unavailable_is_a_validation_error(self):
+        assert issubclass(EngineUnavailableError, ValidationError)
+
+    def test_flat_fallback_answers(self, _no_numba, clustered_points):
+        result = knn_join(clustered_points, clustered_points, 4,
+                          method="ti-flat")
+        assert result.stats.extra["kernel_tier"] == "numpy-flat"
+
+
+class TestCliFailFast:
+    @pytest.mark.parametrize("argv", [
+        ["run", "--method", "ti-native", "--n", "64", "--dim", "3",
+         "-k", "3"],
+        ["plan", "--method", "ti-native", "--n", "64", "--dim", "3",
+         "-k", "3"],
+        ["compare", "--methods", "ti-cpu,ti-native", "--n", "64",
+         "--dim", "3", "-k", "3"],
+        ["classify", "--method", "sweet-native", "--n", "80", "--dim",
+         "3", "-k", "3"],
+        ["explain", "--method", "ti-native", "--n", "64", "--dim", "3",
+         "-k", "3"],
+    ])
+    def test_exits_2_with_install_hint(self, _no_numba, argv):
+        code, output = _cli(argv)
+        assert code == 2
+        assert "requires numba" in output
+        assert "pip install numba" in output
+        # One line, not a traceback.
+        assert output.count("\n") == 1
+
+    def test_flat_engine_still_runs(self, _no_numba):
+        code, output = _cli(["run", "--method", "ti-flat", "--n", "64",
+                             "--dim", "3", "-k", "3"])
+        assert code == 0
+        assert "numpy-flat" in output
+
+    def test_plan_prints_requires_when_available(self, _with_numba):
+        code, output = _cli(["plan", "--method", "ti-native", "--n", "64",
+                             "--dim", "3", "-k", "3"])
+        assert code == 0
+        assert "requires" in output
+        assert "numba (installed)" in output

@@ -1,0 +1,106 @@
+"""Flat numpy tier parity: bit-identical to the sequential reference.
+
+The exactness contract of :mod:`repro.native` (always-run half): the
+``ti-flat`` and ``sweet-flat`` engines must return the same neighbour
+indices, the same distances to the last bit, and the same filtering
+funnel counters as the sequential reference engine — per filter
+strength, at every worker count, over every pool flavour.  The
+``sweet-*`` engines implement the paper's partial (fixed-θ) filter, so
+their reference is ``ti-cpu`` with ``filter_strength="partial"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import knn_join
+from repro.obs.funnel import funnel_from_stats
+
+#: (contender, reference options) per filter strength.
+PAIRS = [("ti-flat", {}),
+         ("sweet-flat", {"filter_strength": "partial"})]
+
+COUNTERS = ("level2_distance_computations", "center_distance_computations",
+            "examined_points", "candidate_cluster_pairs",
+            "level1_survivor_pairs", "heap_updates",
+            "predicate_accepted_pairs")
+
+
+def _assert_identical(result, reference):
+    assert np.array_equal(result.indices, reference.indices)
+    assert np.array_equal(result.distances, reference.distances)
+    for name in COUNTERS:
+        assert getattr(result.stats, name) == \
+            getattr(reference.stats, name), name
+    assert funnel_from_stats(result.stats) == \
+        funnel_from_stats(reference.stats)
+
+
+class TestSerialParity:
+    @pytest.mark.parametrize("method,ref_options", PAIRS)
+    def test_bit_identical_to_reference(self, clustered_points, rng,
+                                        method, ref_options):
+        queries = rng.normal(size=(60, clustered_points.shape[1]))
+        reference = knn_join(queries, clustered_points, 7, method="ti-cpu",
+                             seed=5, **ref_options)
+        result = knn_join(queries, clustered_points, 7, method=method,
+                          seed=5)
+        _assert_identical(result, reference)
+
+    @pytest.mark.parametrize("method,ref_options", PAIRS)
+    def test_self_join(self, clustered_points, method, ref_options):
+        reference = knn_join(clustered_points, clustered_points, 5,
+                             method="ti-cpu", seed=2, **ref_options)
+        result = knn_join(clustered_points, clustered_points, 5,
+                          method=method, seed=2)
+        _assert_identical(result, reference)
+
+    @pytest.mark.parametrize("method,ref_options", PAIRS)
+    def test_uniform_points(self, uniform_points, method, ref_options):
+        # Weak clusterability: the filter prunes little, the scan walks
+        # almost everything — the opposite regime of the blob fixture.
+        reference = knn_join(uniform_points, uniform_points, 9,
+                             method="ti-cpu", seed=4, **ref_options)
+        result = knn_join(uniform_points, uniform_points, 9,
+                          method=method, seed=4)
+        _assert_identical(result, reference)
+
+    @pytest.mark.parametrize("method", [m for m, _ in PAIRS])
+    def test_k_edge_cases(self, clustered_points, method):
+        for k in (1, len(clustered_points)):
+            reference = knn_join(
+                clustered_points, clustered_points, k, method="ti-cpu",
+                seed=1, **dict(PAIRS)[method])
+            result = knn_join(clustered_points, clustered_points, k,
+                              method=method, seed=1)
+            assert np.array_equal(result.indices, reference.indices)
+            assert np.array_equal(result.distances, reference.distances)
+
+    @pytest.mark.parametrize("method", [m for m, _ in PAIRS])
+    def test_reports_kernel_tier(self, clustered_points, method):
+        result = knn_join(clustered_points, clustered_points, 4,
+                          method=method)
+        assert result.stats.extra["kernel_tier"] == "numpy-flat"
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("method,ref_options", PAIRS)
+    @pytest.mark.parametrize("workers,pool", [
+        (1, None), (2, "thread"), (2, "process"), (4, "thread"),
+        (4, "process")])
+    def test_pools_match_serial_reference(self, clustered_points, rng,
+                                          method, ref_options, workers,
+                                          pool):
+        queries = rng.normal(size=(50, clustered_points.shape[1]))
+        reference = knn_join(queries, clustered_points, 6, method="ti-cpu",
+                             seed=3, **ref_options)
+        kwargs = {} if workers == 1 else {"workers": workers, "pool": pool}
+        result = knn_join(queries, clustered_points, 6, method=method,
+                          seed=3, **kwargs)
+        _assert_identical(result, reference)
+
+    @pytest.mark.parametrize("method", [m for m, _ in PAIRS])
+    def test_kernel_tier_survives_shard_merge(self, clustered_points,
+                                              method):
+        result = knn_join(clustered_points, clustered_points, 4,
+                          method=method, workers=2, pool="thread")
+        assert result.stats.extra["kernel_tier"] == "numpy-flat"

@@ -1,0 +1,128 @@
+"""Numba-gated tests for the compiled kernel tier.
+
+The whole module skips when numba is not importable
+(``pytest.importorskip``); CI's numba matrix leg runs it for real.
+The contract under test is the same as the flat tier's: ``ti-native``
+and ``sweet-native`` results and funnel counters are bit-identical to
+the sequential reference, deterministic across repeat runs, and
+compose with prepared/mmap'd indexes, sharded pools and the serving
+path without special cases.
+"""
+
+import numpy as np
+import pytest
+
+numba = pytest.importorskip("numba")
+
+from repro import SweetKNN, knn_join  # noqa: E402
+from repro.index import Index  # noqa: E402
+from repro.native.support import (native_compile_seconds,  # noqa: E402
+                                  warm_up_kernels)
+from repro.obs.funnel import funnel_from_stats  # noqa: E402
+
+COUNTERS = ("level2_distance_computations", "center_distance_computations",
+            "examined_points", "candidate_cluster_pairs",
+            "level1_survivor_pairs", "heap_updates",
+            "predicate_accepted_pairs")
+
+
+def _assert_identical(result, reference):
+    assert np.array_equal(result.indices, reference.indices)
+    assert np.array_equal(result.distances, reference.distances)
+    for name in COUNTERS:
+        assert getattr(result.stats, name) == \
+            getattr(reference.stats, name), name
+    assert funnel_from_stats(result.stats) == \
+        funnel_from_stats(reference.stats)
+
+
+class TestWarmUp:
+    def test_warm_up_records_compile_time(self):
+        before = native_compile_seconds()
+        warm_up_kernels(dim=3)
+        first = native_compile_seconds()
+        assert first >= before
+        # Re-warming an already-compiled dim is free.
+        assert warm_up_kernels(dim=3) == 0.0
+        assert native_compile_seconds() == first
+
+
+class TestNativeParity:
+    @pytest.mark.parametrize("method,ref_options",
+                             [("ti-native", {}),
+                              ("sweet-native",
+                               {"filter_strength": "partial"})])
+    def test_bit_identical_to_reference(self, clustered_points, rng,
+                                        method, ref_options):
+        queries = rng.normal(size=(60, clustered_points.shape[1]))
+        reference = knn_join(queries, clustered_points, 7, method="ti-cpu",
+                             seed=5, **ref_options)
+        result = knn_join(queries, clustered_points, 7, method=method,
+                          seed=5)
+        _assert_identical(result, reference)
+        assert result.stats.extra["kernel_tier"] == "native"
+
+    @pytest.mark.parametrize("method", ["ti-native", "sweet-native"])
+    def test_matches_flat_tier(self, uniform_points, method):
+        flat = knn_join(uniform_points, uniform_points, 9,
+                        method=method.replace("-native", "-flat"), seed=4)
+        native = knn_join(uniform_points, uniform_points, 9,
+                          method=method, seed=4)
+        assert np.array_equal(native.indices, flat.indices)
+        assert np.array_equal(native.distances, flat.distances)
+
+    @pytest.mark.parametrize("method", ["ti-native", "sweet-native"])
+    def test_deterministic_across_runs(self, clustered_points, method):
+        a = knn_join(clustered_points, clustered_points, 6, method=method,
+                     seed=9)
+        b = knn_join(clustered_points, clustered_points, 6, method=method,
+                     seed=9)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.distances, b.distances)
+
+    @pytest.mark.parametrize("method", ["ti-native", "sweet-native"])
+    @pytest.mark.parametrize("workers,pool", [
+        (2, "thread"), (2, "process"), (4, "thread")])
+    def test_sharded_pools(self, clustered_points, rng, method, workers,
+                           pool):
+        queries = rng.normal(size=(50, clustered_points.shape[1]))
+        serial = knn_join(queries, clustered_points, 6, method=method,
+                          seed=3)
+        sharded = knn_join(queries, clustered_points, 6, method=method,
+                           seed=3, workers=workers, pool=pool)
+        assert np.array_equal(serial.indices, sharded.indices)
+        assert np.array_equal(serial.distances, sharded.distances)
+
+    def test_compile_time_reported_separately(self, clustered_points):
+        result = knn_join(clustered_points, clustered_points, 4,
+                          method="ti-native")
+        assert "native_compile_s" in result.stats.extra
+        assert result.stats.extra["native_compile_s"] >= 0.0
+
+
+class TestNativeRoundTrips:
+    def test_mmap_index_round_trip(self, tmp_path, clustered_points, rng):
+        path = str(tmp_path / "idx")
+        Index(clustered_points, seed=3).save(path)
+        queries = rng.normal(size=(40, clustered_points.shape[1]))
+        fresh = SweetKNN.from_index(Index(clustered_points, seed=3),
+                                    method="ti-native")
+        loaded = SweetKNN.from_index(Index.load(path, mmap=True),
+                                     method="ti-native")
+        reference = SweetKNN.from_index(Index(clustered_points, seed=3),
+                                        method="ti-cpu")
+        _assert_identical(loaded.query(queries, 6),
+                          reference.query(queries, 6))
+        _assert_identical(fresh.query(queries, 6),
+                          reference.query(queries, 6))
+
+    def test_serve_path_round_trip(self, clustered_points, rng):
+        from repro.serve import KNNServer
+
+        queries = rng.normal(size=(20, clustered_points.shape[1]))
+        reference = knn_join(queries, clustered_points, 5,
+                             method="ti-cpu")
+        with KNNServer(method="ti-native") as server:
+            response = server.query(queries, clustered_points, 5)
+        assert np.array_equal(response.indices, reference.indices)
+        assert np.array_equal(response.distances, reference.distances)
