@@ -27,10 +27,24 @@ from .parallelism import ParallelPlan, decide_parallelism
 from .placement import BASE_REGS_PER_THREAD, PlacementDecision, decide_placement
 
 __all__ = ["ExecutionConfig", "decide", "basic_config", "config_for_join",
-           "FILTER_STRENGTH_RATIO"]
+           "FILTER_STRENGTH_RATIO", "filter_strength_for"]
 
 #: Fig. 8's top decision: partial filtering pays off when k/d > 8.
 FILTER_STRENGTH_RATIO = 8.0
+
+
+def filter_strength_for(k, dim):
+    """Fig. 8's top branch: the filter strength for a ``(k, d)`` pair.
+
+    "the scenarios for the partial filtering to outperform the full
+    filtering is when k/d > 8" — partial on strictly greater.  This is
+    the pinned fallback rule the cost-model scheduler
+    (:mod:`repro.sched`) defers to when no calibration artifact is
+    active.
+    """
+    if int(k) / float(int(dim)) <= FILTER_STRENGTH_RATIO:
+        return "full"
+    return "partial"
 
 
 @dataclass(frozen=True)
@@ -80,16 +94,11 @@ def decide(n_queries, n_targets, k, dim, avg_cluster_size, device,
     if force_filter is not None:
         strength = force_filter
         filter_reason = "forced"
-    elif k / float(dim) <= FILTER_STRENGTH_RATIO:
-        # "the scenarios for the partial filtering to outperform the
-        # full filtering is when k/d > 8" — partial on strictly greater.
-        strength = "full"
-        filter_reason = "k/d=%.3f <= %g" % (k / float(dim),
-                                            FILTER_STRENGTH_RATIO)
     else:
-        strength = "partial"
-        filter_reason = "k/d=%.3f > %g" % (k / float(dim),
-                                           FILTER_STRENGTH_RATIO)
+        strength = filter_strength_for(k, dim)
+        filter_reason = "k/d=%.3f %s %g" % (
+            k / float(dim), "<=" if strength == "full" else ">",
+            FILTER_STRENGTH_RATIO)
     if strength not in ("full", "partial"):
         raise ValueError("filter strength must be 'full' or 'partial'")
     obs.event("adaptive.filter_strength", choice=strength,

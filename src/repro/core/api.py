@@ -80,7 +80,10 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
         Neighbours per query.
     method:
         A registered engine name (default the paper's Sweet KNN); see
-        :data:`repro.METHODS`.
+        :data:`repro.METHODS`.  ``"auto"`` asks the cost-model
+        scheduler (:mod:`repro.sched`) for the cheapest predicted exact
+        engine — prior table by default, calibrated model when one is
+        active (``REPRO_SCHED_MODEL`` / :func:`repro.sched.set_model`).
     seed:
         Seed for landmark selection (ignored by engines that do not
         declare ``uses_seed``).
@@ -111,13 +114,22 @@ def knn_join(queries, targets, k, method="sweet", seed=0, device=None,
     KNNResult
     """
     queries, targets, k = _validate(queries, targets, k)
+    decision = None
+    if method in (None, "auto"):
+        from .. import sched
+
+        decision = sched.decide(
+            queries.shape[0], targets.shape[0], k, queries.shape[1],
+            method="auto", workers=workers, pool=pool,
+            clusterability=sched.estimate_clusterability(targets))
+        method = decision.engine
     spec = get_engine(method)
     rng = np.random.default_rng(seed) if spec.caps.uses_seed else None
     if spec.caps.needs_device:
         device = device or tesla_k20c()
     return execute(spec, queries, targets, k, rng=rng, device=device,
                    query_batch_size=query_batch_size, workers=workers,
-                   pool=pool, explain=explain, **options)
+                   pool=pool, explain=explain, decision=decision, **options)
 
 
 class SweetKNN:

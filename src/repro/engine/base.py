@@ -67,6 +67,15 @@ class EngineCaps:
         :class:`~repro.errors.EngineUnavailableError` when one is
         absent, and ``repro.METHODS.available()`` / ``repro plan`` /
         ``compare`` surface the availability to users.
+    cost_hints:
+        Pinned prior for the cost-model scheduler (:mod:`repro.sched`):
+        ``(name, value)`` pairs — ``ref_s`` (host wall seconds on the
+        scheduler's reference join, :data:`repro.sched.model
+        .REFERENCE_FEATURES`) plus log-space shape exponents over the
+        scheduler's feature basis.  Hints only seed the prior; a
+        calibration artifact refines them from measured runs.  Engines
+        that declare none inherit the deliberately pessimistic
+        :data:`repro.sched.model.DEFAULT_HINTS`.
     """
 
     needs_device: bool = False
@@ -77,6 +86,7 @@ class EngineCaps:
     result_kind: str = "knn"
     approximate: bool = False
     requires: tuple = ()
+    cost_hints: tuple = ()
 
 
 @dataclass

@@ -33,6 +33,8 @@ the serial run.
 from __future__ import annotations
 
 import contextlib
+import math
+import time
 
 import numpy as np
 
@@ -51,7 +53,7 @@ __all__ = ["execute"]
 
 def execute(spec, queries, targets, k, rng=None, device=None,
             query_batch_size=None, workers=None, pool=None, index=None,
-            explain=False, **options):
+            explain=False, decision=None, **options):
     """Run ``spec`` on the join, batching oversized query sets.
 
     Parameters
@@ -84,6 +86,12 @@ def execute(spec, queries, targets, k, rng=None, device=None,
         :class:`~repro.index.cache.PlanHandle` (index path +
         ``(fingerprint, version)``) instead of pickling the target
         arrays into every worker.
+    decision:
+        The :class:`repro.sched.Decision` that chose this engine, when
+        the caller already resolved one (``method="auto"``).  ``None``
+        resolves the pinned-engine decision here, so every run carries
+        an auditable record with predicted-vs-actual error in
+        ``result.stats.extra["decision"]``.
     options:
         Engine options, forwarded verbatim.  ``plan`` (a prebuilt
         :class:`~repro.core.ti_knn.JoinPlan`) and ``mq``/``mt`` are
@@ -99,14 +107,30 @@ def execute(spec, queries, targets, k, rng=None, device=None,
             tracer = Tracer()
             stack.enter_context(obs.use_tracer(tracer))
         spans_before = len(tracer.finished_spans()) if explain else 0
+        if decision is None:
+            decision = _resolve_decision(spec, queries, targets, k,
+                                         workers, pool, options)
         with obs.span("engine.execute", engine=spec.name,
                       n_queries=int(n_q), n_targets=int(len(targets)),
                       k=int(k)) as sp:
+            obs.event("sched.decision", engine=decision.engine,
+                      source=decision.source, workers=decision.workers,
+                      predicted_s=decision.predicted_s,
+                      reason=decision.reason)
+            started = time.perf_counter()
             result = _execute(spec, queries, targets, k, rng=rng,
                               device=device,
                               query_batch_size=query_batch_size,
                               workers=workers, pool=pool, index=index,
-                              explain=explain, **options)
+                              explain=explain, decision=decision, **options)
+            actual_s = time.perf_counter() - started
+            record = _decision_record(decision, actual_s)
+            result.stats.extra["decision"] = record
+            obs.event("sched.outcome", engine=decision.engine,
+                      source=decision.source,
+                      predicted_s=record["predicted_s"],
+                      actual_s=record["actual_s"],
+                      log_error=record.get("log_error"))
             sp.annotate(method=result.method,
                         saved_fraction=round(result.stats.saved_fraction, 4))
             if result.profile is not None:
@@ -121,6 +145,36 @@ def execute(spec, queries, targets, k, rng=None, device=None,
                 spec, result, device, options,
                 tracer.finished_spans()[spans_before:])
         return result
+
+
+def _resolve_decision(spec, queries, targets, k, workers, pool, options):
+    """The pinned-engine scheduling decision for a direct ``execute``.
+
+    Reads the clusterability proxy off a prebuilt plan when the caller
+    passed one (the landmark radii are free); shape-only otherwise.
+    """
+    from ..sched import clusterability_from_plan, decide
+
+    clusterability = None
+    prebuilt = options.get("plan") if spec.caps.supports_prepared_index \
+        else None
+    if prebuilt is not None:
+        clusterability = clusterability_from_plan(prebuilt)
+    return decide(len(queries), len(targets), int(k),
+                  int(np.asarray(queries).shape[1]), method=spec.name,
+                  clusterability=clusterability, workers=workers, pool=pool)
+
+
+def _decision_record(decision, actual_s):
+    """The decision payload plus post-run predicted-vs-actual error."""
+    record = decision.to_dict()
+    record["actual_s"] = round(float(actual_s), 6)
+    predicted = record.get("predicted_s")
+    if predicted and actual_s > 0:
+        record["error_ratio"] = round(float(actual_s) / predicted, 4)
+        record["log_error"] = round(
+            abs(math.log(float(actual_s) / predicted)), 4)
+    return record
 
 
 def _assemble_audit(spec, result, device, options, spans):
@@ -154,12 +208,13 @@ def _assemble_audit(spec, result, device, options, spans):
         ef=int(ef) if ef is not None else None,
         plan=plan_info, options=audit_options,
         counters=stats.summary(), funnel=funnel_from_stats(stats),
-        shards=shards, timings=span_timings(spans))
+        shards=shards, timings=span_timings(spans),
+        decision=extra.get("decision"))
 
 
 def _execute(spec, queries, targets, k, rng=None, device=None,
              query_batch_size=None, workers=None, pool=None, index=None,
-             explain=False, **options):
+             explain=False, decision=None, **options):
     n_q = len(queries)
     missing_deps = missing_requirements(spec)
     if missing_deps:
@@ -181,7 +236,12 @@ def _execute(spec, queries, targets, k, rng=None, device=None,
     rows = _resolve_rows(spec, queries, targets, k, device,
                          query_batch_size, options)
 
-    n_workers = resolve_workers(workers)
+    # A calibrated model owns the fan-out it recommended; the fallback
+    # path resolves workers exactly as before.
+    if decision is not None and decision.source == "model":
+        n_workers = decision.workers
+    else:
+        n_workers = resolve_workers(workers)
     if n_workers > 1:
         shard_plan = plan_shards(n_q, rows, n_workers,
                                  kind=resolve_pool_kind(pool),

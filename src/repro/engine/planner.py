@@ -133,6 +133,7 @@ class ExecutionPlan:
     batching: QueryBatchPlan
     device: object = None
     sharding: object = None  # repro.parallel.ShardPlan
+    decision: object = None  # repro.sched.Decision
 
     def describe(self):
         """Flat dict for logging (bench harness, CLI ``plan``)."""
@@ -154,6 +155,9 @@ class ExecutionPlan:
             info.update(self.config.describe())
         if self.device is not None:
             info["device"] = getattr(self.device, "name", str(self.device))
+        if self.decision is not None:
+            for key, value in self.decision.describe().items():
+                info.setdefault(key, value)
         return info
 
 
@@ -180,15 +184,21 @@ def plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
 
 
 def _plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
-                mq=None, mt=None, workers=None, pool=None, **overrides):
+                mq=None, mt=None, workers=None, pool=None,
+                clusterability=None, **overrides):
     # Imported lazily so the planner module itself has no core/gpu
     # dependencies (several core modules import the partition budgets
     # above at import time).
     from ..core.adaptive import basic_config, decide
     from ..core.landmarks import determine_landmark_count
     from ..gpu.device import tesla_k20c
+    from ..sched import decide as sched_decide
     from .registry import get_engine
 
+    decision = sched_decide(n_queries, n_targets, k, dim, method=method,
+                            clusterability=clusterability, workers=workers,
+                            pool=pool)
+    method = decision.engine
     spec = get_engine(method)
     caps = spec.caps
     n_queries, n_targets, k, dim = (int(n_queries), int(n_targets), int(k),
@@ -229,16 +239,28 @@ def _plan_shape(n_queries, n_targets, k, dim, method="sweet", device=None,
     rows = max(1, int(rows))
     n_batches = max(1, -(-n_queries // rows))
 
+    from dataclasses import replace
+
     from ..parallel.shard import plan_shards, resolve_pool_kind, \
         resolve_workers
-    sharding = plan_shards(n_queries, rows, resolve_workers(workers),
+    # The scheduler owns the worker count when a calibrated model chose
+    # it; the fallback path resolves exactly as before.
+    if decision.source == "model":
+        n_workers = decision.workers
+    else:
+        n_workers = resolve_workers(workers)
+    sharding = plan_shards(n_queries, rows, n_workers,
                            kind=resolve_pool_kind(pool))
+    # Re-anchor the record on the actual shard split (the decision was
+    # made before the device row budget was known).
+    decision = replace(decision, workers=sharding.workers,
+                       n_shards=sharding.n_shards)
 
     return ExecutionPlan(
         method=method, n_queries=n_queries, n_targets=n_targets, k=k,
         dim=dim, mq=int(mq), mt=int(mt), config=config,
         batching=QueryBatchPlan(rows_per_batch=rows, n_batches=n_batches),
-        device=device, sharding=sharding)
+        device=device, sharding=sharding, decision=decision)
 
 
 def plan(queries, targets, k, method="sweet", device=None, mq=None, mt=None,

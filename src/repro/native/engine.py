@@ -237,32 +237,46 @@ def _make_run(tier, strength):
     return _run
 
 
-_FLAT_CAPS = EngineCaps(uses_seed=True, supports_prepared_index=True)
-_NATIVE_CAPS = EngineCaps(uses_seed=True, supports_prepared_index=True,
-                          requires=("numba",))
+# Shared TI-family shape exponents; ref_s separates the tiers (flat is
+# ~3x ti-cpu, native ~10x flat per BENCH_native_kernels.json) and the
+# partial filter both runs cheaper and leans less on tight clusters.
+_TI_EXPONENTS = (("log_q", 1.0), ("log_t", 0.3), ("log_k", 0.3),
+                 ("log_d", 0.85))
+_TI_FLAT_CAPS = EngineCaps(
+    uses_seed=True, supports_prepared_index=True,
+    cost_hints=(("ref_s", 1.0), ("clusterability", -1.5)) + _TI_EXPONENTS)
+_SWEET_FLAT_CAPS = EngineCaps(
+    uses_seed=True, supports_prepared_index=True,
+    cost_hints=(("ref_s", 0.8), ("clusterability", -1.0)) + _TI_EXPONENTS)
+_TI_NATIVE_CAPS = EngineCaps(
+    uses_seed=True, supports_prepared_index=True, requires=("numba",),
+    cost_hints=(("ref_s", 0.12), ("clusterability", -1.5)) + _TI_EXPONENTS)
+_SWEET_NATIVE_CAPS = EngineCaps(
+    uses_seed=True, supports_prepared_index=True, requires=("numba",),
+    cost_hints=(("ref_s", 0.09), ("clusterability", -1.0)) + _TI_EXPONENTS)
 
 ENGINES = (
     EngineSpec(
         name="ti-flat",
         run=_make_run("flat", "full"),
-        caps=_FLAT_CAPS,
+        caps=_TI_FLAT_CAPS,
         description="flat-layout vectorized TI KNN (full filter; numpy "
                     "fallback of the native tier)"),
     EngineSpec(
         name="sweet-flat",
         run=_make_run("flat", "partial"),
-        caps=_FLAT_CAPS,
+        caps=_SWEET_FLAT_CAPS,
         description="flat-layout vectorized Sweet KNN partial filter "
                     "(numpy fallback of the native tier)"),
     EngineSpec(
         name="ti-native",
         run=_make_run("native", "full"),
-        caps=_NATIVE_CAPS,
+        caps=_TI_NATIVE_CAPS,
         description="numba-jitted TI KNN (full filter; requires numba)"),
     EngineSpec(
         name="sweet-native",
         run=_make_run("native", "partial"),
-        caps=_NATIVE_CAPS,
+        caps=_SWEET_NATIVE_CAPS,
         description="numba-jitted Sweet KNN partial filter (requires "
                     "numba)"),
 )

@@ -72,6 +72,10 @@ class QueryAudit:
         time, per-shard funnel) when the join ran sharded.
     timings:
         Per-span wall-clock aggregate ``{span: {count, total_s}}``.
+    decision:
+        The scheduler's :meth:`repro.sched.Decision.to_dict` record for
+        this run — chosen engine, predicted cost, rejected alternatives
+        and the post-run predicted-vs-actual error.
     """
 
     method: str = ""
@@ -96,6 +100,7 @@ class QueryAudit:
     funnel: dict = field(default_factory=dict)
     shards: tuple = ()
     timings: dict = field(default_factory=dict)
+    decision: dict = None
 
     def replace(self, **changes):
         """A copy with fields updated (serving layer re-contextualises
@@ -136,6 +141,14 @@ class QueryAudit:
         if self.cache_hit is not None:
             rows.append(["plan cache hit", self.cache_hit])
         rows.append(["degraded", self.degraded])
+        if self.decision:
+            for key in ("source", "engine", "predicted_s", "actual_s",
+                        "error_ratio", "model_version", "reason"):
+                if self.decision.get(key) is not None:
+                    rows.append(["decision." + key, self.decision[key]])
+            for name, cost in self.decision.get("alternatives", [])[:4]:
+                rows.append(["decision.rejected." + str(name),
+                             "%.6gs predicted" % cost])
         for key, value in self.plan.items():
             rows.append(["plan." + str(key), value])
         for stage, value in self.funnel.items():

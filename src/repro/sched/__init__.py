@@ -1,0 +1,51 @@
+"""``repro.sched`` — the calibrated cost-model scheduler.
+
+One decision layer over every execution choice the repo used to make
+with hand-built thresholds: engine selection (``method="auto"``),
+Fig. 8 filter strength, worker fan-out, serve degradation and
+``recall_target`` routing.
+
+Three layers (see ``docs/SCHEDULER.md``):
+
+* :mod:`repro.sched.features` / :mod:`repro.sched.model` — per-instance
+  features (|Q|, |T|, k, d, clusterability proxy) and the deterministic
+  per-engine log-space cost predictor;
+* :mod:`repro.sched.calibrate` — replays the benchmark trajectory (plus
+  optional probe joins) into a versioned JSON
+  :class:`~repro.sched.model.CostModel` artifact;
+* :mod:`repro.sched.scheduler` — :func:`decide` produces auditable
+  :class:`~repro.sched.scheduler.Decision` records; without a
+  calibration artifact it reproduces today's pinned behaviour exactly.
+"""
+
+from .features import (DEFAULT_CLUSTERABILITY, FEATURE_NAMES, Features,
+                       clusterability_from_clusters,
+                       clusterability_from_plan, estimate_clusterability,
+                       features_from_plan, features_from_shape)
+from .model import (COST_MODEL_FORMAT, DEFAULT_HINTS, REFERENCE_FEATURES,
+                    CostModel, EngineModel, Sample, fallback_weights,
+                    fit_engine_model)
+from .calibrate import (DEFAULT_ARTIFACT, calibrate,
+                        dataset_clusterability, default_artifact_path,
+                        default_trajectory_path, probe_samples,
+                        trajectory_samples)
+from .scheduler import (SCHED_MODEL_ENV, Decision, approx_route_pays,
+                        choose_engine, current_model, decide,
+                        default_candidates, degradation_pays,
+                        predict_costs, set_model, use_model)
+
+__all__ = [
+    "FEATURE_NAMES", "DEFAULT_CLUSTERABILITY", "Features",
+    "features_from_shape", "features_from_plan",
+    "clusterability_from_plan", "clusterability_from_clusters",
+    "estimate_clusterability",
+    "REFERENCE_FEATURES", "DEFAULT_HINTS", "COST_MODEL_FORMAT",
+    "CostModel", "EngineModel", "Sample", "fallback_weights",
+    "fit_engine_model",
+    "DEFAULT_ARTIFACT", "calibrate", "trajectory_samples",
+    "probe_samples", "default_trajectory_path", "default_artifact_path",
+    "dataset_clusterability",
+    "Decision", "decide", "choose_engine", "predict_costs",
+    "default_candidates", "degradation_pays", "approx_route_pays",
+    "current_model", "set_model", "use_model", "SCHED_MODEL_ENV",
+]

@@ -1,0 +1,210 @@
+"""Building a :class:`CostModel` artifact from recorded runs.
+
+Two sample sources feed the fit:
+
+* **the benchmark trajectory** (``benchmarks/results/TRAJECTORY.jsonl``)
+  — every committed ``query_time_s`` row whose config names a known
+  dataset, engine and ``workers=1`` becomes a free calibration sample
+  (the cost model predicts *serial* cost; the worker fan-out is modelled
+  separately by :func:`repro.parallel.shard.recommend_workers`).
+  Dataset shapes and the clusterability proxy are reconstructed
+  deterministically from the dataset registry, so replaying the same
+  trajectory always yields byte-identical artifacts.
+* **probe joins** (``probes=True``) — small timed joins of every
+  candidate engine on a kegg-like and an arcene-like shape, for engines
+  the trajectory never measured.  Probes are skipped for engines whose
+  *prior* already predicts more than :data:`PROBE_BUDGET_S` on the
+  probe shape (this keeps calibration from burning minutes inside a
+  simulated-GPU engine just to learn that it is slow).
+
+With no trajectory and no probes the artifact degenerates to the
+pinned prior table — exactly the fallback policy, now written down.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from pathlib import Path
+
+from .features import Features, estimate_clusterability
+from .model import (CostModel, Sample, fallback_weights, fit_engine_model)
+
+__all__ = ["DEFAULT_ARTIFACT", "PROBE_BUDGET_S", "PROBE_SHAPES",
+           "trajectory_samples", "probe_samples", "calibrate",
+           "dataset_clusterability", "default_trajectory_path",
+           "default_artifact_path"]
+
+#: Where ``python -m repro sched calibrate`` writes by default,
+#: relative to the results directory holding the trajectory.
+DEFAULT_ARTIFACT = "cost_model.json"
+
+#: Probes predicted (by the engine's own prior) to exceed this budget
+#: are skipped — calibration stays interactive-fast.
+PROBE_BUDGET_S = 5.0
+
+#: Probe joins: (dataset, rows, k).  One kegg-like clustered shape and
+#: one arcene-like high-d shape — the two regimes the bench acceptance
+#: criteria exercise.
+PROBE_SHAPES = (("kegg", 1024, 20), ("arcene", 100, 10))
+
+_CONFIG_PAIRS = re.compile(r"\[([^\]]*)\]")
+
+_CLUSTERABILITY_CACHE = {}
+
+
+def _results_dir():
+    """``benchmarks/results``: the CLI's cwd-relative convention, with
+    a fallback to the tree this package was imported from."""
+    local = Path("benchmarks") / "results"
+    if local.is_dir():
+        return local
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def default_trajectory_path():
+    """The committed trajectory, resolved from the repo layout."""
+    from ..obs.baseline import TRAJECTORY_NAME
+
+    return _results_dir() / TRAJECTORY_NAME
+
+
+def default_artifact_path():
+    return _results_dir() / DEFAULT_ARTIFACT
+
+
+def dataset_clusterability(name, sample=512, seed=0):
+    """Deterministic clusterability proxy for a registry dataset."""
+    key = (name, int(sample), int(seed))
+    if key not in _CLUSTERABILITY_CACHE:
+        from .. import datasets
+
+        points, _spec = datasets.load(name)
+        _CLUSTERABILITY_CACHE[key] = estimate_clusterability(
+            points, seed=seed, sample=sample)
+    return _CLUSTERABILITY_CACHE[key]
+
+
+def _parse_config(config):
+    """``runs[dataset=kegg,method=ti-cpu,k=20,workers=1]`` -> dict."""
+    fields = {}
+    for group in _CONFIG_PAIRS.findall(config or ""):
+        for pair in group.split(","):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                fields[key.strip()] = value.strip()
+    return fields
+
+
+def trajectory_samples(records):
+    """Extract :class:`Sample` rows from trajectory records.
+
+    Keeps ``query_time_s`` rows whose config names a registry dataset,
+    a registered engine and serial execution; everything else (graph
+    sweeps over synthetic shapes, sharded runs, non-timing metrics) is
+    skipped.  Returns ``(samples, newest_recorded_ts)``.
+    """
+    from ..datasets import DATASETS
+    from ..engine.registry import engine_names
+
+    known_engines = set(engine_names())
+    samples = []
+    newest = 0.0
+    for record in records:
+        if record.get("metric") != "query_time_s":
+            continue
+        fields = _parse_config(record.get("config", ""))
+        dataset = fields.get("dataset")
+        method = fields.get("method")
+        if dataset not in DATASETS or method not in known_engines:
+            continue
+        if fields.get("workers", "1") != "1":
+            continue
+        try:
+            k = int(fields.get("k", 0))
+            seconds = float(record["value"])
+        except (TypeError, ValueError):
+            continue
+        if k <= 0 or seconds <= 0.0:
+            continue
+        spec = DATASETS[dataset]
+        features = Features(
+            n_queries=spec.n, n_targets=spec.n, k=k, dim=spec.dim,
+            clusterability=dataset_clusterability(dataset))
+        samples.append(Sample(engine=method, features=features,
+                              seconds=seconds, source="trajectory"))
+        newest = max(newest, float(record.get("recorded", 0.0)))
+    return samples, newest
+
+
+def probe_samples(engines=None, shapes=PROBE_SHAPES,
+                  budget_s=PROBE_BUDGET_S, seed=0):
+    """Timed probe joins for engines the trajectory never measured."""
+    from .. import datasets
+    from ..core.api import knn_join
+    from ..engine.registry import get_engine
+    from .model import EngineModel
+    from .scheduler import default_candidates
+
+    if engines is None:
+        engines = default_candidates()
+    samples = []
+    for dataset, rows, k in shapes:
+        points, _spec = datasets.load(dataset)
+        points = points[:int(rows)]
+        features = Features(
+            n_queries=points.shape[0], n_targets=points.shape[0],
+            k=int(k), dim=points.shape[1],
+            clusterability=estimate_clusterability(points, seed=seed))
+        for engine in engines:
+            prior = EngineModel(engine=engine, weights=tuple(
+                fallback_weights(get_engine(engine).caps.cost_hints)))
+            if prior.predict_seconds(features) > budget_s:
+                continue
+            start = time.perf_counter()
+            knn_join(points, points, int(k), method=engine, seed=seed)
+            seconds = time.perf_counter() - start
+            samples.append(Sample(engine=engine, features=features,
+                                  seconds=max(seconds, 1e-9),
+                                  source="probe"))
+    return samples
+
+
+def calibrate(trajectory_path=None, probes=False, extra_samples=(),
+              probe_shapes=PROBE_SHAPES, probe_budget_s=PROBE_BUDGET_S):
+    """Build a :class:`CostModel` from every available sample source.
+
+    Deterministic whenever ``probes`` is off: the same trajectory file
+    always produces the same artifact bytes (``created`` is the newest
+    trajectory timestamp, not the wall clock).
+    """
+    from ..engine.registry import get_engine
+    from ..obs.baseline import load_trajectory
+
+    if trajectory_path is None:
+        trajectory_path = default_trajectory_path()
+    samples, newest = trajectory_samples(load_trajectory(trajectory_path))
+    if probes:
+        samples = samples + probe_samples(shapes=probe_shapes,
+                                          budget_s=probe_budget_s)
+    samples = list(samples) + list(extra_samples)
+
+    by_engine = {}
+    for sample in samples:
+        by_engine.setdefault(sample.engine, []).append(sample)
+
+    engines = {}
+    for name in sorted(by_engine):
+        prior = fallback_weights(get_engine(name).caps.cost_hints)
+        engines[name] = fit_engine_model(name, by_engine[name], prior)
+
+    counts = {name: len(rows) for name, rows in sorted(by_engine.items())}
+    source = {
+        "trajectory": str(Path(trajectory_path).name),
+        "n_trajectory": sum(1 for s in samples
+                            if s.source == "trajectory"),
+        "n_probe": sum(1 for s in samples if s.source == "probe"),
+        "samples_per_engine": counts,
+    }
+    return CostModel(engines=engines, source=source,
+                     created=round(float(newest), 3))

@@ -1,0 +1,150 @@
+"""Per-instance features the cost-model scheduler predicts from.
+
+The Fig. 8 scheme reads only ``k / d`` and ``|Q|`` against fixed
+thresholds.  The calibrated scheduler widens that view to the five
+quantities that actually separate the engines' costs on the recorded
+workloads:
+
+* ``|Q|``, ``|T|``, ``k``, ``d`` — the join shape (log-scaled in the
+  model basis, because every engine's cost is a power law in them);
+* **clusterability** — a cheap proxy in ``(0, 1]`` for how much the
+  triangle-inequality filter can prune: the mean landmark-cluster
+  radius relative to the mean centre spread.  Tight, well-separated
+  clusters (kegg-like) give values near 1; weakly clustered high-d
+  data (arcene-like), where every cluster's radius rivals the
+  centre-to-centre distances, sits near 0.5 and the TI engines lose
+  their edge.
+
+The proxy comes for free when a Step-1 plan or prepared index exists
+(:func:`clusterability_from_plan` — the landmark radii are already
+computed); :func:`estimate_clusterability` spends one tiny sampled
+clustering when it does not.  Shape-only callers (the planner before
+any data is touched) use :data:`DEFAULT_CLUSTERABILITY`.
+
+The canonical model basis is ``[1, ln|Q|, ln|T|, ln k, ln d, c]``
+(:meth:`Features.vector`); every weight vector in
+:mod:`repro.sched.model` is aligned with :data:`FEATURE_NAMES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "DEFAULT_CLUSTERABILITY", "Features",
+           "features_from_shape", "features_from_plan",
+           "clusterability_from_plan", "clusterability_from_clusters",
+           "estimate_clusterability"]
+
+#: Order of the model basis; weight vectors align with this tuple.
+FEATURE_NAMES = ("bias", "log_q", "log_t", "log_k", "log_d",
+                 "clusterability")
+
+#: Shape-only callers that cannot afford even a sampled clustering use
+#: this neutral proxy (half way between arcene-like and kegg-like).
+DEFAULT_CLUSTERABILITY = 0.5
+
+
+@dataclass(frozen=True)
+class Features:
+    """One problem instance as the cost model sees it."""
+
+    n_queries: int
+    n_targets: int
+    k: int
+    dim: int
+    clusterability: float = DEFAULT_CLUSTERABILITY
+
+    def vector(self):
+        """The model basis ``[1, ln|Q|, ln|T|, ln k, ln d, c]``."""
+        return np.array([
+            1.0,
+            np.log(max(1, self.n_queries)),
+            np.log(max(1, self.n_targets)),
+            np.log(max(1, self.k)),
+            np.log(max(1, self.dim)),
+            float(self.clusterability),
+        ], dtype=np.float64)
+
+    def describe(self):
+        """Flat dict for audits / decision records (stable rounding)."""
+        return {
+            "|Q|": int(self.n_queries), "|T|": int(self.n_targets),
+            "k": int(self.k), "d": int(self.dim),
+            "clusterability": round(float(self.clusterability), 6),
+        }
+
+
+def features_from_shape(n_queries, n_targets, k, dim,
+                        clusterability=None):
+    """Features from aggregate shape alone (planner-cheap)."""
+    return Features(
+        n_queries=int(n_queries), n_targets=int(n_targets), k=int(k),
+        dim=int(dim),
+        clusterability=(DEFAULT_CLUSTERABILITY if clusterability is None
+                        else float(clusterability)))
+
+
+def clusterability_from_clusters(cluster_set, center_dists=None):
+    """The proxy from one clustered point set's landmark radii.
+
+    ``mean radius / mean centre spread`` measures how much of the
+    centre-to-centre scale each cluster occupies; the proxy is
+    ``1 / (1 + ratio)`` so tight clusters approach 1 and radius-sized
+    clusters approach 0.5.  Reads only arrays the Step-1 state already
+    holds — no distance work.
+    """
+    radius = np.asarray(cluster_set.radius, dtype=np.float64)
+    centers = np.asarray(cluster_set.centers, dtype=np.float64)
+    if center_dists is not None:
+        spread = float(np.mean(center_dists))
+    elif centers.shape[0] > 1:
+        diffs = centers[:, np.newaxis, :] - centers[np.newaxis, :, :]
+        spread = float(np.mean(np.sqrt((diffs ** 2).sum(axis=2))))
+    else:
+        spread = 0.0
+    if spread <= 0.0:
+        return DEFAULT_CLUSTERABILITY
+    ratio = float(np.mean(radius)) / spread
+    return float(1.0 / (1.0 + ratio))
+
+
+def clusterability_from_plan(join_plan):
+    """The proxy from a prepared Step-1 plan (landmark radii are free)."""
+    return clusterability_from_clusters(join_plan.target_clusters,
+                                        join_plan.center_dists)
+
+
+def estimate_clusterability(points, seed=0, sample=512):
+    """Sampled proxy when no plan exists yet (probe joins, benches).
+
+    Clusters ``min(n, sample)`` sampled rows around ``3 * sqrt(s)``
+    landmarks — microseconds of work — and reads the radii.  Fully
+    deterministic for a given ``seed``.
+    """
+    from ..core.clustering import cluster_points
+    from ..core.landmarks import (determine_landmark_count,
+                                  select_landmarks_random_spread)
+
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 4:
+        return DEFAULT_CLUSTERABILITY
+    rng = np.random.default_rng(seed)
+    if n > sample:
+        rows = rng.choice(n, size=int(sample), replace=False)
+        points = points[np.sort(rows)]
+    m = determine_landmark_count(len(points))
+    landmarks = select_landmarks_random_spread(points, m, rng)
+    clusters = cluster_points(points, landmarks, sort_descending=False)
+    return clusterability_from_clusters(clusters)
+
+
+def features_from_plan(join_plan, k):
+    """Features of a prepared join (exact shape + radii-derived proxy)."""
+    return Features(
+        n_queries=int(join_plan.query_clusters.n_points),
+        n_targets=int(join_plan.target_clusters.n_points),
+        k=int(k), dim=int(join_plan.target_clusters.dim),
+        clusterability=clusterability_from_plan(join_plan))

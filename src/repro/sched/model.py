@@ -1,0 +1,236 @@
+"""The per-engine cost predictor behind the scheduler.
+
+Each engine gets a log-space linear model: ``ln cost_s = w · x`` with
+``x`` the canonical basis of :mod:`repro.sched.features`.  Cost is
+host wall-clock ``query_time_s`` — the number the serving layer and
+the benches optimise — so the simulated-GPU engines are predicted (and
+correctly avoided) at their real Python cost, not their simulated
+device time.
+
+Fitting is deterministic ridge-toward-prior least squares
+(:func:`fit_engine_model`): ``(XᵀX + λI) w = Xᵀy + λ w₀`` where
+``w₀`` is the engine's **pinned prior** from its registry cost hints.
+With zero samples the solution *is* the prior, with a handful it
+corrects the prior's offset, with many shapes it recovers the full
+power law — so behaviour is well-defined and reproducible at every
+calibration-data size, which is the contract the decision-determinism
+tests pin down.
+
+Priors are spelled as :data:`EngineCaps.cost_hints <repro.engine.base
+.EngineCaps>` pairs: a human-readable ``ref_s`` ("seconds on the
+kegg-like reference join", :data:`REFERENCE_FEATURES`) plus the shape
+exponents.  :func:`fallback_weights` converts them into a weight
+vector; engines without hints inherit :data:`DEFAULT_HINTS`.
+
+:class:`CostModel` is the versioned artifact: a JSON payload with
+canonical key order and rounded weights, so the same calibration
+inputs always produce byte-identical files and byte-identical
+decisions (the ``version`` field is a content hash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .features import FEATURE_NAMES, Features
+
+__all__ = ["REFERENCE_FEATURES", "DEFAULT_HINTS", "COST_MODEL_FORMAT",
+           "EngineModel", "CostModel", "fallback_weights",
+           "fit_engine_model", "Sample"]
+
+#: The kegg-like reference join the ``ref_s`` cost hints are quoted at.
+REFERENCE_FEATURES = Features(n_queries=4096, n_targets=4096, k=20,
+                              dim=29, clusterability=0.85)
+
+#: Prior exponents for engines that declare no hints of their own: a
+#: host engine with mild TI-style pruning, one second on the reference
+#: join.  Deliberately pessimistic so unknown engines are only chosen
+#: once calibration has actually measured them.
+DEFAULT_HINTS = (("ref_s", 1.0), ("log_q", 1.0), ("log_t", 0.5),
+                 ("log_k", 0.2), ("log_d", 0.5), ("clusterability", -1.0))
+
+#: Artifact format version (bump on incompatible payload changes).
+COST_MODEL_FORMAT = 1
+
+#: Ridge strength toward the prior (in log-space units).
+RIDGE_LAMBDA = 1.0
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One calibration observation: an engine ran a shape in some time."""
+
+    engine: str
+    features: Features
+    seconds: float
+    source: str = "trajectory"    # "trajectory" | "probe"
+
+
+def fallback_weights(cost_hints=()):
+    """Prior weight vector from an engine's registry cost hints.
+
+    ``cost_hints`` pairs override :data:`DEFAULT_HINTS`; the ``ref_s``
+    entry is converted into the bias weight that makes the model
+    predict exactly ``ref_s`` seconds at :data:`REFERENCE_FEATURES`.
+    """
+    hints = dict(DEFAULT_HINTS)
+    hints.update(dict(cost_hints))
+    ref_s = float(hints.pop("ref_s"))
+    unknown = set(hints) - set(FEATURE_NAMES)
+    if unknown:
+        raise ValueError("unknown cost hint(s) %s; hints are 'ref_s' "
+                         "plus exponents over %s"
+                         % (sorted(unknown), FEATURE_NAMES[1:]))
+    weights = np.array([float(hints.get(name, 0.0))
+                        for name in FEATURE_NAMES], dtype=np.float64)
+    reference = REFERENCE_FEATURES.vector()
+    # Solve for the bias: w · x_ref == ln(ref_s).
+    weights[0] = np.log(max(ref_s, 1e-12)) - float(
+        weights[1:] @ reference[1:])
+    # Weights live at artifact precision everywhere, so an in-memory
+    # model and its saved-and-loaded copy predict identical bytes.
+    return np.round(weights, 9)
+
+
+def fit_engine_model(engine, samples, prior_weights,
+                     ridge=RIDGE_LAMBDA):
+    """Fit one engine's weights from its samples (deterministic).
+
+    Solves ``(XᵀX + λI) w = Xᵀy + λ w₀`` — exact prior at zero
+    samples, full least squares in the many-shape limit.
+    """
+    prior = np.asarray(prior_weights, dtype=np.float64)
+    rows = [s.features.vector() for s in samples]
+    if not rows:
+        return EngineModel(engine=engine, weights=tuple(prior),
+                           n_samples=0, rms_residual=None)
+    x = np.vstack(rows)
+    y = np.log(np.maximum([s.seconds for s in samples], 1e-9))
+    lhs = x.T @ x + ridge * np.eye(len(FEATURE_NAMES))
+    rhs = x.T @ y + ridge * prior
+    weights = np.round(np.linalg.solve(lhs, rhs), 9)
+    residual = float(np.sqrt(np.mean((x @ weights - y) ** 2)))
+    return EngineModel(engine=engine, weights=tuple(weights),
+                       n_samples=len(samples),
+                       rms_residual=round(residual, 6))
+
+
+@dataclass(frozen=True)
+class EngineModel:
+    """One engine's fitted (or prior) log-space weight vector."""
+
+    engine: str
+    weights: tuple
+    n_samples: int = 0
+    rms_residual: float = None
+
+    def predict_seconds(self, features):
+        """Predicted host wall seconds for one instance."""
+        value = float(np.asarray(self.weights) @ features.vector())
+        # Clamp the exponent so corrupt artifacts cannot overflow.
+        return float(np.exp(min(max(value, -46.0), 46.0)))
+
+    def to_dict(self):
+        return {
+            "engine": self.engine,
+            "weights": [round(float(w), 9) for w in self.weights],
+            "n_samples": int(self.n_samples),
+            "rms_residual": self.rms_residual,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(engine=str(payload["engine"]),
+                   weights=tuple(float(w) for w in payload["weights"]),
+                   n_samples=int(payload.get("n_samples", 0)),
+                   rms_residual=payload.get("rms_residual"))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The versioned calibration artifact: engine name -> weights.
+
+    ``version`` is a content hash of the canonical payload, so two
+    calibrations from the same inputs share it, and a decision record
+    carrying it names exactly the artifact that produced it.
+    """
+
+    engines: dict = field(default_factory=dict)
+    source: dict = field(default_factory=dict)
+    created: float = 0.0
+
+    @property
+    def version(self):
+        digest = hashlib.sha1(
+            json.dumps(self._payload_body(), sort_keys=True).encode())
+        return digest.hexdigest()[:12]
+
+    def engine_names(self):
+        return tuple(sorted(self.engines))
+
+    def has_engine(self, name):
+        return name in self.engines
+
+    def predict(self, engine, features, cost_hints=()):
+        """Predicted seconds; falls back to the pinned prior for
+        engines the artifact never saw."""
+        model = self.engines.get(engine)
+        if model is None:
+            model = EngineModel(engine=engine,
+                                weights=tuple(fallback_weights(cost_hints)))
+        return model.predict_seconds(features)
+
+    def _payload_body(self):
+        return {
+            "format_version": COST_MODEL_FORMAT,
+            "feature_names": list(FEATURE_NAMES),
+            "reference": REFERENCE_FEATURES.describe(),
+            "engines": {name: self.engines[name].to_dict()
+                        for name in sorted(self.engines)},
+            "source": self.source,
+            "created": self.created,
+        }
+
+    def to_dict(self):
+        payload = self._payload_body()
+        payload["version"] = self.version
+        return payload
+
+    def save(self, path):
+        """Write the canonical JSON artifact (byte-stable)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        return str(path)
+
+    @classmethod
+    def from_dict(cls, payload):
+        if int(payload.get("format_version", 0)) != COST_MODEL_FORMAT:
+            raise ValueError(
+                "cost-model artifact format %r is not supported "
+                "(expected %d); recalibrate with `python -m repro "
+                "sched calibrate`"
+                % (payload.get("format_version"), COST_MODEL_FORMAT))
+        names = tuple(payload.get("feature_names", ()))
+        if names != tuple(FEATURE_NAMES):
+            raise ValueError(
+                "cost-model artifact was calibrated over features %s "
+                "but this build uses %s; recalibrate" %
+                (list(names), list(FEATURE_NAMES)))
+        engines = {name: EngineModel.from_dict(entry)
+                   for name, entry in payload.get("engines", {}).items()}
+        return cls(engines=engines,
+                   source=dict(payload.get("source", {})),
+                   created=float(payload.get("created", 0.0)))
+
+    @classmethod
+    def load(cls, path):
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

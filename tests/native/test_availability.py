@@ -122,8 +122,6 @@ class TestCliFailFast:
          "-k", "3"],
         ["plan", "--method", "ti-native", "--n", "64", "--dim", "3",
          "-k", "3"],
-        ["compare", "--methods", "ti-cpu,ti-native", "--n", "64",
-         "--dim", "3", "-k", "3"],
         ["classify", "--method", "sweet-native", "--n", "80", "--dim",
          "3", "-k", "3"],
         ["explain", "--method", "ti-native", "--n", "64", "--dim", "3",
@@ -134,6 +132,22 @@ class TestCliFailFast:
         assert code == 2
         assert "requires numba" in output
         assert "pip install numba" in output
+        # One line, not a traceback.
+        assert output.count("\n") == 1
+
+    def test_compare_skips_unavailable_non_baseline(self, _no_numba):
+        code, output = _cli(["compare", "--methods", "ti-cpu,ti-native",
+                             "--n", "64", "--dim", "3", "-k", "3"])
+        assert code == 0
+        assert "SKIPPED" in output
+        assert "requires numba" in output
+        assert "pip install numba" in output
+
+    def test_compare_still_fails_on_unavailable_baseline(self, _no_numba):
+        code, output = _cli(["compare", "--methods", "ti-native,ti-cpu",
+                             "--n", "64", "--dim", "3", "-k", "3"])
+        assert code == 2
+        assert "requires numba" in output
         # One line, not a traceback.
         assert output.count("\n") == 1
 

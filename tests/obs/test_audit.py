@@ -82,7 +82,15 @@ class TestExplainJoin:
         explained = knn_join(points, points, 5, method="sweet", seed=1,
                              explain=True)
         assert explained.audit.funnel == funnel_from_stats(plain.stats)
-        assert explained.audit.counters == plain.stats.summary()
+        # The decision record carries measured wall time, which differs
+        # between two separate runs; everything else is exact.
+        counters = dict(explained.audit.counters)
+        expected = plain.stats.summary()
+        for record in (counters.get("decision"), expected.get("decision")):
+            if record:
+                for measured in ("actual_s", "error_ratio", "log_error"):
+                    record.pop(measured, None)
+        assert counters == expected
         for stage in FUNNEL_STAGES:
             assert stage in explained.audit.funnel
 

@@ -1,0 +1,76 @@
+"""Calibration: trajectory replay determinism and the sample filter."""
+
+import json
+
+from repro.sched import calibrate, trajectory_samples
+from repro.sched.calibrate import default_trajectory_path
+
+
+def _record(config, metric="query_time_s", value=1.5, recorded=100.0):
+    return {"metric": metric, "config": config, "value": value,
+            "recorded": recorded}
+
+
+class TestTrajectorySamples:
+    def test_parses_the_runs_convention(self):
+        records = [_record(
+            "runs[dataset=kegg,method=ti-cpu,k=20,workers=1]",
+            value=2.5, recorded=42.0)]
+        samples, newest = trajectory_samples(records)
+        assert len(samples) == 1
+        assert samples[0].engine == "ti-cpu"
+        assert samples[0].seconds == 2.5
+        assert samples[0].features.n_queries == 4096  # kegg stand-in
+        assert samples[0].features.dim == 29
+        assert samples[0].features.k == 20
+        assert newest == 42.0
+
+    def test_skips_foreign_rows(self):
+        records = [
+            _record("runs[dataset=kegg,method=ti-cpu,k=20,workers=2]"),
+            _record("runs[dataset=nope,method=ti-cpu,k=20,workers=1]"),
+            _record("runs[dataset=kegg,method=nope,k=20,workers=1]"),
+            _record("runs[dataset=kegg,method=ti-cpu,k=20,workers=1]",
+                    metric="wall_time_s"),
+            _record("runs[dataset=kegg,method=ti-cpu,k=20,workers=1]",
+                    value=-1.0),
+            _record("datasets[dataset=clustered,n=2000]",
+                    metric="recall"),
+        ]
+        samples, _newest = trajectory_samples(records)
+        assert samples == []
+
+
+class TestCalibrateDeterminism:
+    def test_no_data_degenerates_to_the_prior_table(self, tmp_path):
+        model = calibrate(trajectory_path=tmp_path / "missing.jsonl")
+        assert model.engines == {}
+        assert model.created == 0.0
+        # Version is still well-defined (and stable) for the empty fit.
+        assert model.version == calibrate(
+            trajectory_path=tmp_path / "missing.jsonl").version
+
+    def test_same_trajectory_same_bytes(self, tmp_path):
+        trajectory = tmp_path / "t.jsonl"
+        rows = [_record(
+            "runs[dataset=kegg,method=ti-flat,k=20,workers=1]",
+            value=1.1, recorded=10.0)]
+        trajectory.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\n")
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        calibrate(trajectory_path=trajectory).save(first)
+        calibrate(trajectory_path=trajectory).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_committed_trajectory_replays_identically(self, tmp_path):
+        path = default_trajectory_path()
+        if not path.exists():
+            return  # fresh checkout without the committed history
+        first = calibrate(trajectory_path=path)
+        second = calibrate(trajectory_path=path)
+        assert first.to_dict() == second.to_dict()
+        assert first.version == second.version
+        # ``created`` replays the newest recorded timestamp, not the
+        # wall clock.
+        assert first.created == second.created

@@ -1,0 +1,204 @@
+"""Decision determinism and the pinned-fallback parity contract.
+
+The two properties the PR's refactor hangs on:
+
+* **byte-identical decisions** — the same inputs and the same
+  ``CostModel`` artifact resolve to the same ``Decision`` record, byte
+  for byte, regardless of the worker-pool kind and regardless of
+  whether the clusterability proxy came from a freshly built or an
+  mmap-loaded index;
+* **fallback parity** — with no calibration artifact the policy *is*
+  the previous behaviour: the caller's engine, the Fig. 8 filter rule,
+  ``resolve_workers`` worker resolution.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import sched
+from repro.core.adaptive import decide as adaptive_decide
+from repro.core.adaptive import filter_strength_for
+from repro.engine.registry import engine_names, get_engine
+from repro.gpu.device import tesla_k20c
+from repro.parallel.shard import resolve_workers
+
+#: Tier-1 fixture shapes: (|Q|=|T|, k, d) — the kegg-like medium
+#: shape, the arcene-like high-d shape, a small synthetic mixture and
+#: a partial-filter shape (k/d > 8).
+SHAPES = ((4096, 20, 29), (100, 20, 10000), (2000, 10, 16), (800, 40, 4))
+
+
+def _decision_bytes(**kwargs):
+    decision = sched.decide(**kwargs)
+    return json.dumps(decision.to_dict(), sort_keys=True).encode()
+
+
+def _model():
+    prior = sched.fallback_weights((("ref_s", 2.0),))
+    samples = [
+        sched.Sample("ti-cpu",
+                     sched.features_from_shape(4096, 4096, 20, 29),
+                     seconds=2.5),
+        sched.Sample("kdtree",
+                     sched.features_from_shape(100, 100, 20, 10000),
+                     seconds=0.25),
+    ]
+    engines = {}
+    for sample in samples:
+        engines[sample.engine] = sched.fit_engine_model(
+            sample.engine, [sample],
+            sched.fallback_weights(
+                get_engine(sample.engine).caps.cost_hints))
+    return sched.CostModel(engines=engines, source={}, created=1.0)
+
+
+class TestByteIdentity:
+    def test_identical_across_pool_kinds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        model = _model()
+        for n, k, dim in SHAPES:
+            records = {
+                pool: _decision_bytes(
+                    n_queries=n, n_targets=n, k=k, dim=dim,
+                    method="auto", model=model, pool=pool)
+                for pool in ("process", "thread", "serial", None)}
+            assert len(set(records.values())) == 1, (n, k, dim, records)
+
+    def test_identical_for_repeated_calls(self):
+        model = _model()
+        first = _decision_bytes(n_queries=500, n_targets=500, k=5,
+                                dim=12, method="auto", model=model)
+        second = _decision_bytes(n_queries=500, n_targets=500, k=5,
+                                 dim=12, method="auto", model=model)
+        assert first == second
+
+    def test_identical_through_artifact_round_trip(self, tmp_path):
+        model = _model()
+        path = tmp_path / "m.json"
+        model.save(path)
+        loaded = sched.CostModel.load(path)
+        for n, k, dim in SHAPES:
+            assert _decision_bytes(
+                n_queries=n, n_targets=n, k=k, dim=dim, method="auto",
+                model=model) == _decision_bytes(
+                n_queries=n, n_targets=n, k=k, dim=dim, method="auto",
+                model=loaded)
+
+    def test_identical_for_mmap_loaded_index(self, tmp_path):
+        from repro.index import Index
+
+        rng = np.random.default_rng(11)
+        points = rng.normal(size=(400, 6))
+        built = Index(points, seed=3)
+        built.save(tmp_path / "idx")
+        loaded = Index.load(tmp_path / "idx")
+        model = _model()
+        records = []
+        for index in (built, loaded):
+            proxy = sched.clusterability_from_clusters(
+                index.target_clusters)
+            records.append(_decision_bytes(
+                n_queries=64, n_targets=len(points), k=5, dim=6,
+                method="auto", clusterability=proxy, model=model))
+        assert records[0] == records[1]
+
+    def test_record_never_carries_the_pool_kind(self):
+        decision = sched.decide(200, 200, 5, 8, method="auto",
+                                model=_model(), pool="thread")
+        payload = json.dumps(decision.to_dict())
+        assert "thread" not in payload
+
+
+class TestFallbackParity:
+    def test_engine_stays_pinned_for_every_registered_engine(self):
+        for name in engine_names():
+            decision = sched.decide(500, 500, 10, 16, method=name,
+                                    model=False)
+            assert decision.engine == name
+            assert decision.source == "fallback"
+            assert decision.engine_pinned
+
+    def test_filter_strength_matches_the_fig8_rule(self):
+        device = tesla_k20c()
+        for n, k, dim in SHAPES:
+            config = adaptive_decide(n, n, k, dim, 32.0, device)
+            decision = sched.decide(n, n, k, dim, method="sweet",
+                                    model=False)
+            assert decision.filter_strength == config.filter_strength
+            assert decision.filter_strength == filter_strength_for(k, dim)
+
+    def test_workers_resolve_exactly_as_before(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        decision = sched.decide(5000, 5000, 10, 16, method="ti-cpu",
+                                model=False)
+        assert decision.workers == resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        decision = sched.decide(5000, 5000, 10, 16, method="ti-cpu",
+                                model=False)
+        assert decision.workers == resolve_workers(None) == 3
+
+    def test_explicit_workers_always_win(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        decision = sched.decide(5000, 5000, 10, 16, method="ti-cpu",
+                                model=_model(), workers=2)
+        assert decision.workers == 2
+
+    def test_auto_without_model_uses_the_prior_table(self):
+        for n, k, dim in SHAPES:
+            decision = sched.decide(n, n, k, dim, method="auto",
+                                    model=False)
+            features = sched.features_from_shape(n, n, k, dim)
+            expected = sched.predict_costs(
+                sched.default_candidates(), features)[0][0]
+            assert decision.engine == expected
+            assert not decision.engine_pinned
+
+
+class TestExecutedRecords:
+    def test_executed_decision_identical_across_pools(self):
+        """The decision part of ``stats.extra`` (everything but the
+        measured-time fields) is byte-identical across pool kinds."""
+        from repro import knn_join
+
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(300, 8))
+        records = {}
+        for pool in ("serial", "thread", "process"):
+            result = knn_join(points, points, 5, method="ti-cpu",
+                              seed=0, workers=2, pool=pool)
+            record = dict(result.stats.extra["decision"])
+            for measured in ("actual_s", "error_ratio", "log_error"):
+                record.pop(measured, None)
+            records[pool] = json.dumps(record, sort_keys=True)
+        assert len(set(records.values())) == 1, records
+
+
+class TestModelActivation:
+    def test_use_model_scopes_the_choice(self):
+        model = _model()
+        baseline = sched.decide(4096, 4096, 20, 29, method="auto")
+        with sched.use_model(model):
+            scoped = sched.decide(4096, 4096, 20, 29, method="auto")
+        after = sched.decide(4096, 4096, 20, 29, method="auto")
+        assert scoped.source == "model"
+        assert scoped.model_version == model.version
+        assert baseline.source == after.source == "fallback"
+
+    def test_model_choice_is_argmin_of_predictions(self):
+        model = _model()
+        for n, k, dim in SHAPES:
+            features = sched.features_from_shape(n, n, k, dim)
+            expected = sched.predict_costs(
+                sched.default_candidates(), features, model=model)[0]
+            decision = sched.decide(n, n, k, dim, method="auto",
+                                    model=model)
+            assert decision.engine == expected[0]
+            assert decision.predicted_s == pytest.approx(expected[1])
+
+    def test_alternatives_are_sorted_cheapest_first(self):
+        decision = sched.decide(1000, 1000, 10, 16, method="auto",
+                                model=_model())
+        costs = [cost for _name, cost in decision.alternatives]
+        assert costs == sorted(costs)

@@ -1,0 +1,86 @@
+"""Feature extraction: the model basis and the clusterability proxy."""
+
+import numpy as np
+
+from repro.sched import (DEFAULT_CLUSTERABILITY, FEATURE_NAMES,
+                         clusterability_from_clusters,
+                         clusterability_from_plan,
+                         estimate_clusterability, features_from_plan,
+                         features_from_shape)
+
+
+class TestBasis:
+    def test_vector_matches_feature_names(self):
+        features = features_from_shape(100, 200, 10, 16,
+                                       clusterability=0.7)
+        vector = features.vector()
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector[0] == 1.0
+        assert vector[1] == np.log(100)
+        assert vector[2] == np.log(200)
+        assert vector[3] == np.log(10)
+        assert vector[4] == np.log(16)
+        assert vector[5] == 0.7
+
+    def test_shape_only_uses_neutral_proxy(self):
+        features = features_from_shape(100, 100, 10, 16)
+        assert features.clusterability == DEFAULT_CLUSTERABILITY
+
+    def test_describe_is_plain_data(self):
+        described = features_from_shape(
+            10, 20, 3, 4, clusterability=0.123456789).describe()
+        assert described == {"|Q|": 10, "|T|": 20, "k": 3, "d": 4,
+                             "clusterability": 0.123457}
+
+
+class TestClusterabilityProxy:
+    def test_deterministic_for_a_seed(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(600, 8))
+        assert estimate_clusterability(points, seed=3) \
+            == estimate_clusterability(points, seed=3)
+
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        for points in (rng.normal(size=(300, 4)),
+                       rng.normal(size=(50, 200))):
+            proxy = estimate_clusterability(points)
+            assert 0.0 < proxy <= 1.0
+
+    def test_tight_clusters_score_higher_than_diffuse(self):
+        rng = np.random.default_rng(5)
+        centers = rng.normal(scale=50.0, size=(8, 6))
+        tight = np.repeat(centers, 50, axis=0) \
+            + rng.normal(scale=0.01, size=(400, 6))
+        diffuse = rng.normal(scale=50.0, size=(400, 6))
+        assert estimate_clusterability(tight) \
+            > estimate_clusterability(diffuse)
+
+    def test_tiny_input_falls_back_to_default(self):
+        assert estimate_clusterability(np.zeros((2, 3))) \
+            == DEFAULT_CLUSTERABILITY
+
+    def test_plan_proxy_matches_cluster_proxy(self):
+        from repro.core.ti_knn import prepare_clusters
+
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(400, 6))
+        plan = prepare_clusters(points, points,
+                                np.random.default_rng(0))
+        proxy = clusterability_from_plan(plan)
+        assert proxy == clusterability_from_clusters(
+            plan.target_clusters, plan.center_dists)
+        assert 0.0 < proxy <= 1.0
+
+    def test_features_from_plan_carries_shape(self):
+        from repro.core.ti_knn import prepare_clusters
+
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(150, 5))
+        plan = prepare_clusters(points, points,
+                                np.random.default_rng(0))
+        features = features_from_plan(plan, k=9)
+        assert features.n_queries == 150
+        assert features.n_targets == 150
+        assert features.k == 9
+        assert features.dim == 5

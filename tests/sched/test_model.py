@@ -1,0 +1,123 @@
+"""The cost model: priors, fitting determinism, artifact round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sched import (REFERENCE_FEATURES, CostModel, Sample,
+                         fallback_weights, features_from_shape,
+                         fit_engine_model)
+from repro.sched.model import EngineModel
+
+
+class TestFallbackWeights:
+    def test_prior_predicts_ref_s_at_reference(self):
+        weights = fallback_weights((("ref_s", 3.5), ("log_q", 1.0)))
+        model = EngineModel(engine="x", weights=tuple(weights))
+        assert model.predict_seconds(REFERENCE_FEATURES) \
+            == pytest.approx(3.5, rel=1e-9)
+
+    def test_default_hints_apply_without_engine_hints(self):
+        model = EngineModel(engine="x",
+                            weights=tuple(fallback_weights(())))
+        assert model.predict_seconds(REFERENCE_FEATURES) \
+            == pytest.approx(1.0, rel=1e-9)
+
+    def test_unknown_hint_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost hint"):
+            fallback_weights((("log_banana", 2.0),))
+
+
+class TestFitting:
+    def test_zero_samples_is_exactly_the_prior(self):
+        prior = fallback_weights((("ref_s", 2.0),))
+        fitted = fit_engine_model("x", [], prior)
+        assert fitted.weights == tuple(prior)
+        assert fitted.n_samples == 0
+
+    def test_fit_is_deterministic(self):
+        prior = fallback_weights(())
+        samples = [Sample("x", features_from_shape(512 * (i + 1),
+                                                   512 * (i + 1), 10, 16),
+                          seconds=0.01 * (i + 1)) for i in range(4)]
+        first = fit_engine_model("x", samples, prior)
+        second = fit_engine_model("x", samples, prior)
+        assert first.weights == second.weights
+
+    def test_many_samples_recover_a_power_law(self):
+        # Ground truth: cost = 1e-6 * |Q| * d (log_q = log_d = 1).
+        prior = fallback_weights(())
+        samples = []
+        rng = np.random.default_rng(0)
+        for _ in range(64):
+            n = int(rng.integers(100, 50000))
+            d = int(rng.integers(2, 500))
+            samples.append(Sample(
+                "x", features_from_shape(n, n, 10, d),
+                seconds=1e-6 * n * d))
+        fitted = fit_engine_model("x", samples, prior)
+        probe = features_from_shape(3000, 3000, 10, 64)
+        assert fitted.predict_seconds(probe) \
+            == pytest.approx(1e-6 * 3000 * 64, rel=0.25)
+
+
+class TestArtifact:
+    def _model(self):
+        prior = fallback_weights((("ref_s", 2.0),))
+        samples = [Sample("ti-cpu", features_from_shape(1000, 1000, 10, 8),
+                          seconds=0.5)]
+        return CostModel(
+            engines={"ti-cpu": fit_engine_model("ti-cpu", samples, prior)},
+            source={"trajectory": "t.jsonl"}, created=123.0)
+
+    def test_save_load_round_trip_is_byte_identical(self, tmp_path):
+        model = self._model()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        model.save(first)
+        CostModel.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_version_is_a_content_hash(self):
+        model = self._model()
+        assert model.version == self._model().version
+        different = CostModel(engines=model.engines,
+                              source={"trajectory": "other.jsonl"},
+                              created=123.0)
+        assert different.version != model.version
+
+    def test_round_trip_preserves_version(self, tmp_path):
+        model = self._model()
+        path = tmp_path / "m.json"
+        model.save(path)
+        assert CostModel.load(path).version == model.version
+
+    def test_unseen_engine_falls_back_to_prior(self):
+        model = self._model()
+        features = features_from_shape(100, 100, 10, 8)
+        prior = EngineModel(
+            engine="y", weights=tuple(fallback_weights(())))
+        assert model.predict("y", features) \
+            == prior.predict_seconds(features)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = self._model().to_dict()
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            CostModel.load(path)
+
+    def test_wrong_feature_basis_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = self._model().to_dict()
+        payload["feature_names"] = ["bias", "log_q"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="features"):
+            CostModel.load(path)
+
+    def test_corrupt_weights_cannot_overflow(self):
+        model = EngineModel(engine="x", weights=(1e9,) + (0.0,) * 5)
+        value = model.predict_seconds(features_from_shape(10, 10, 5, 4))
+        assert np.isfinite(value)
